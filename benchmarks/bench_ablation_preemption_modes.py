@@ -1,0 +1,58 @@
+"""Ablation (paper §8 future work): preemption policy variants.
+
+The paper ships parent-finish preemption with swap-and-resume and names two
+refinements as future work: (1) sparing requests that are about to finish
+(output-length prediction), (2) recompute-instead-of-swap resume.  All are
+implemented here; this bench compares the four policies on a
+starvation-prone trace.
+"""
+
+from conftest import run_once, save_table
+from repro.serving import EngineConfig, LLAMA_7B, SchedulerConfig
+from repro.serving.engine import DeltaZipEngine
+from repro.workload import trace_from_distribution
+from serving_common import DELTA_RATIO_7B, delta_manager, rtx3090_node
+
+POLICIES = [
+    ("no_preemption", dict(preemption=False), {}),
+    ("swap_resume", dict(preemption=True), {}),
+    ("recompute_resume", dict(preemption=True),
+     dict(preempt_mode="recompute")),
+    ("length_aware", dict(preemption=True, preempt_min_remaining=16), {}),
+]
+
+
+def _experiment():
+    trace = trace_from_distribution("zipf:2.0", 12, rate=2.5,
+                                    duration_s=120.0, seed=11)
+    node = rtx3090_node(1)
+    out = {}
+    for label, sched_kw, engine_kw in POLICIES:
+        mgr = delta_manager(LLAMA_7B, n_models=12, ratio=DELTA_RATIO_7B)
+        engine = DeltaZipEngine(
+            mgr, node,
+            SchedulerConfig(max_batch_requests=24, max_concurrent_deltas=3,
+                            **sched_kw),
+            EngineConfig(tp_degree=1, **engine_kw))
+        out[label] = engine.run(trace)
+    return out
+
+
+def test_ablation_preemption_modes(benchmark):
+    out = run_once(benchmark, _experiment)
+    lines = [f"{'policy':18s} {'mean_e2e':>9s} {'p90_e2e':>9s} "
+             f"{'mean_ttft':>10s} {'p90_ttft':>9s}  (s)"]
+    for label, res in out.items():
+        lines.append(f"{label:18s} {res.mean_e2e_latency_s():9.2f} "
+                     f"{res.percentile_e2e_s(90):9.2f} "
+                     f"{res.mean_ttft_s():10.3f} "
+                     f"{res.percentile_ttft_s(90):9.2f}")
+    save_table("ablation_preemption_modes", lines)
+
+    # every policy completes the trace
+    n = {label: res.n_requests for label, res in out.items()}
+    assert len(set(n.values())) == 1
+    # preemption variants do not degrade the TTFT tail vs no preemption
+    base_p90 = out["no_preemption"].percentile_ttft_s(90)
+    for label in ("swap_resume", "length_aware"):
+        assert out[label].percentile_ttft_s(90) <= base_p90 * 1.05

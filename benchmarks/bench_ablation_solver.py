@@ -1,0 +1,68 @@
+"""Ablation (DESIGN.md): solver and grid choices inside ΔCompress.
+
+* OBS calibration vs round-to-nearest at 2 bits (why Algorithm 1 solves a
+  least-squares problem instead of rounding);
+* quantization group size: smaller groups fit the grid better but pay more
+  scale/zero metadata.
+"""
+
+import numpy as np
+
+from conftest import run_once, save_table
+from repro.compression import CompressionConfig, DeltaCompressor
+from repro.nn import TransformerModel
+
+GROUP_SIZES = [8, 16, 32, 64]
+
+
+def _logit_mse(artifact, base_state, fmt, toks):
+    model = TransformerModel(fmt.model.config, seed=0)
+    model.load_state_dict(artifact.to_state_dict(base_state))
+    return float(np.mean((fmt.model(toks) - model(toks)) ** 2))
+
+
+def _experiment(quality_base, quality_checkpoints):
+    fmt = quality_checkpoints["review"]["fmt"]
+    base_state = quality_base.state_dict()
+    toks = fmt.calibration_tokens[:16]
+
+    solver_rows = []
+    for label, algorithm in [("OBS", "obs"), ("RTN", "rtn")]:
+        config = CompressionConfig(bits=2, sparsity_n=2, sparsity_m=4,
+                                   algorithm=algorithm)
+        art = DeltaCompressor(config).compress(fmt.model, base_state,
+                                               fmt.calibration_tokens)
+        solver_rows.append({"label": label,
+                            "mse": _logit_mse(art, base_state, fmt, toks),
+                            "ratio": art.compression_ratio()})
+
+    group_rows = []
+    for group in GROUP_SIZES:
+        config = CompressionConfig(bits=4, sparsity_n=2, sparsity_m=4,
+                                   group_size=group)
+        art = DeltaCompressor(config).compress(fmt.model, base_state,
+                                               fmt.calibration_tokens)
+        group_rows.append({"group": group,
+                           "mse": _logit_mse(art, base_state, fmt, toks),
+                           "linear_ratio": art.linear_compression_ratio()})
+    return solver_rows, group_rows
+
+
+def test_ablation_solver(benchmark, quality_base, quality_checkpoints):
+    solver_rows, group_rows = run_once(benchmark, _experiment, quality_base,
+                                       quality_checkpoints)
+    lines = ["solver (2-bit + 2:4):"]
+    for r in solver_rows:
+        lines.append(f"  {r['label']:4s} logit-MSE {r['mse']:.5f}  "
+                     f"ratio {r['ratio']:.2f}x")
+    lines.append("\ngroup size (4-bit + 2:4):")
+    for r in group_rows:
+        lines.append(f"  g={r['group']:<3d} logit-MSE {r['mse']:.5f}  "
+                     f"linear-ratio {r['linear_ratio']:.2f}x")
+    save_table("ablation_solver", lines)
+
+    by = {r["label"]: r for r in solver_rows}
+    assert by["OBS"]["mse"] < by["RTN"]["mse"]
+    # smaller groups fit better but compress less
+    assert group_rows[0]["mse"] <= group_rows[-1]["mse"] * 1.5
+    assert group_rows[0]["linear_ratio"] < group_rows[-1]["linear_ratio"]

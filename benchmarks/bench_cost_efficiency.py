@@ -1,0 +1,53 @@
+"""Cost-effectiveness study (paper §8/§9's deployment guidance).
+
+Dedicated per-variant GPU groups minimize latency but burn idle GPU-hours
+on sporadic variants; a shared DeltaZip pool serves the same long-tail
+traffic on a fraction of the hardware at a modest latency premium.
+"""
+
+from conftest import run_once, save_table
+from repro.serving import DedicatedEngine, EngineConfig
+from repro.serving.economics import compare_deployments, deployment_cost
+from repro.workload import trace_from_distribution
+from serving_common import (a800_node, delta_manager, deltazip_engine,
+                            full_manager)
+
+N_MODELS = 16
+RATE = 0.5
+SECONDS = 300.0
+
+
+def _experiment():
+    trace = trace_from_distribution("zipf:1.5", N_MODELS, rate=RATE,
+                                    duration_s=SECONDS, seed=13)
+    node = a800_node(4)
+    shared_run = deltazip_engine(delta_manager(n_models=N_MODELS), node,
+                                 n_deltas=8).run(trace)
+    dedicated_run = DedicatedEngine(full_manager(n_models=N_MODELS), node,
+                                    EngineConfig(tp_degree=4)).run(trace)
+    gpu = node.gpu_spec
+    # both deployments are provisioned for the whole trace window
+    shared = deployment_cost(shared_run, gpu, n_gpus=4, system="deltazip",
+                             wall_seconds=SECONDS)
+    dedicated = deployment_cost(dedicated_run, gpu,
+                                n_gpus=4 * N_MODELS, system="dedicated",
+                                wall_seconds=SECONDS)
+    return shared, dedicated
+
+
+def test_cost_efficiency(benchmark):
+    shared, dedicated = run_once(benchmark, _experiment)
+    comparison = compare_deployments(shared, dedicated)
+    lines = [shared.row(), dedicated.row(), ""]
+    lines.append(f"cost saving: {comparison['cost_saving_factor']:.1f}x "
+                 f"cheaper per 1k requests")
+    lines.append(f"latency penalty: "
+                 f"{comparison['latency_penalty_factor']:.2f}x mean E2E")
+    lines.append(f"GPU reduction: "
+                 f"{comparison['gpu_reduction_factor']:.0f}x fewer GPUs")
+    save_table("cost_efficiency", lines)
+
+    # the paper's conclusion: large cost saving, bounded latency premium
+    assert comparison["gpu_reduction_factor"] == N_MODELS
+    assert comparison["cost_saving_factor"] > 4.0
+    assert comparison["latency_penalty_factor"] < 10.0

@@ -1,0 +1,46 @@
+"""Fig 1: invocation counts per 5-minute window across 20 model variants.
+
+Paper's point: per-variant traffic is sporadic, bursty, and wildly uneven —
+the workload property motivating multi-variant serving.  We regenerate the
+trace statistics with the synthetic arena generator.
+"""
+
+import numpy as np
+
+from conftest import run_once, save_table
+from repro.workload import arena_trace
+
+
+def _experiment():
+    trace = arena_trace(n_models=20, duration_s=7 * 24 * 3600.0,
+                        mean_rate=0.02, seed=0)
+    windows = trace.windowed_counts(300.0)  # 5-minute windows, as in Fig 1
+    rows = []
+    for model_id in trace.model_ids:
+        counts = windows[model_id]
+        active = counts > 0
+        rows.append({
+            "model": model_id,
+            "total": int(counts.sum()),
+            "peak_per_5min": int(counts.max()),
+            "quiet_fraction": float(np.mean(~active)),
+        })
+    rows.sort(key=lambda r: -r["total"])
+    return rows
+
+
+def test_fig01_lmsys_trace(benchmark):
+    rows = run_once(benchmark, _experiment)
+    lines = [f"{'model':22s} {'total':>7s} {'peak/5min':>10s} {'quiet%':>7s}"]
+    for r in rows:
+        lines.append(f"{r['model']:22s} {r['total']:7d} "
+                     f"{r['peak_per_5min']:10d} "
+                     f"{100 * r['quiet_fraction']:6.1f}%")
+    save_table("fig01_lmsys_trace", lines)
+
+    totals = [r["total"] for r in rows]
+    quiets = [r["quiet_fraction"] for r in rows]
+    # popularity spans an order of magnitude and some variants are sporadic
+    assert totals[0] > 10 * max(totals[-1], 1)
+    assert max(quiets) > 0.5
+    assert min(quiets) < 0.4

@@ -1,0 +1,53 @@
+"""Fig 3: weight vs delta magnitude distributions on real checkpoints.
+
+Paper's observation: the fine-tuning delta has a much narrower value range
+and fewer outliers than the weights themselves — the property that makes
+aggressive delta compression possible.
+"""
+
+import numpy as np
+
+from conftest import run_once, save_table
+from repro.compression import delta_statistics, quantization_mse
+
+
+def _experiment(quality_base, quality_checkpoints):
+    fmt_model = quality_checkpoints["review"]["fmt"].model
+    stats = delta_statistics(fmt_model.state_dict(),
+                             quality_base.state_dict())
+    linear = {k: v for k, v in stats.items() if "proj" in k}
+
+    # relative quantization error at 4 bits: delta vs raw weight
+    base_state = quality_base.state_dict()
+    ft_state = fmt_model.state_dict()
+    rel_err_weight, rel_err_delta = [], []
+    for name in list(linear)[:6]:
+        w = ft_state[name]
+        d = ft_state[name] - base_state[name]
+        rel_err_weight.append(quantization_mse(w, 4, 32) / np.mean(w ** 2))
+        rel_err_delta.append(quantization_mse(d, 4, 32) / np.mean(d ** 2))
+    return linear, float(np.mean(rel_err_weight)), float(np.mean(rel_err_delta))
+
+
+def test_fig03_delta_magnitude(benchmark, quality_base, quality_checkpoints):
+    linear, rel_w, rel_d = run_once(benchmark, _experiment, quality_base,
+                                    quality_checkpoints)
+    lines = [f"{'layer':40s} {'|w|max':>8s} {'|Δ|max':>8s} "
+             f"{'std(w)':>8s} {'std(Δ)':>8s}"]
+    for name, s in list(linear.items())[:8]:
+        lines.append(f"{name:40s} {s['finetuned_absmax']:8.4f} "
+                     f"{s['delta_absmax']:8.4f} {s['finetuned_std']:8.4f} "
+                     f"{s['delta_std']:8.4f}")
+    ratio_absmax = np.mean([s["delta_absmax"] / s["finetuned_absmax"]
+                            for s in linear.values()])
+    lines.append(f"\nmean |Δ|max / |w|max = {ratio_absmax:.3f}")
+    lines.append(f"relative 4-bit quantization MSE: weight={rel_w:.4f} "
+                 f"delta={rel_d:.4f}")
+    save_table("fig03_delta_magnitude", lines)
+
+    # deltas are narrower than weights on most layers...
+    narrower = sum(s["delta_absmax"] < s["finetuned_absmax"]
+                   for s in linear.values())
+    assert narrower >= 0.8 * len(linear)
+    # ...and relatively easier to quantize
+    assert rel_d < rel_w

@@ -1,0 +1,49 @@
+"""Fig 7: batched matrix-multiplication execution-time breakdown.
+
+Compares FP16 for-loop, FP16 bmm (stacked), naive low-precision for-loop,
+and the SBMM kernel at 16/64 models for 2048x2048 and 4096x4096 deltas —
+total time vs compute-only time (the dark bar portion in the paper).
+"""
+
+from conftest import run_once, save_table
+from repro.hardware import A800, SBMM_IMPLEMENTATIONS, sbmm_time
+
+
+def _experiment():
+    rows = []
+    for dim in (2048, 4096):
+        for n_models in (16, 64):
+            counts = [2] * n_models
+            for impl in ("fp16_forloop", "fp16_bmm", "naive_forloop",
+                         "sbmm"):
+                b = sbmm_time(counts, dim, dim, A800, impl=impl)
+                rows.append({"dim": dim, "models": n_models, "impl": impl,
+                             "total_ms": b.total * 1e3,
+                             "compute_ms": b.compute * 1e3})
+    return rows
+
+
+def test_fig07_sbmm_breakdown(benchmark):
+    rows = run_once(benchmark, _experiment)
+    lines = [f"{'dim':>5s} {'models':>7s} {'impl':14s} {'total':>9s} "
+             f"{'compute':>9s}  (ms)"]
+    for r in rows:
+        lines.append(f"{r['dim']:5d} {r['models']:7d} {r['impl']:14s} "
+                     f"{r['total_ms']:9.4f} {r['compute_ms']:9.4f}")
+    save_table("fig07_sbmm_breakdown", lines)
+
+    by = {(r["dim"], r["models"], r["impl"]): r for r in rows}
+    for dim in (2048, 4096):
+        for n in (16, 64):
+            sbmm = by[(dim, n, "sbmm")]
+            naive = by[(dim, n, "naive_forloop")]
+            fp16 = by[(dim, n, "fp16_forloop")]
+            bmm = by[(dim, n, "fp16_bmm")]
+            # low-precision compute is faster, but the naive loop's *total*
+            # stays overhead-dominated (the paper's motivating observation)
+            assert naive["compute_ms"] < fp16["compute_ms"]
+            assert naive["total_ms"] > 3 * naive["compute_ms"]
+            # SBMM removes most of the overhead
+            assert sbmm["total_ms"] < naive["total_ms"] / 2
+            # bmm pays for stacking the weights
+            assert bmm["total_ms"] > sbmm["total_ms"]

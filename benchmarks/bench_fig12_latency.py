@@ -1,0 +1,59 @@
+"""Fig 12: average E2E latency and TTFT across the Fig 11 grid.
+
+Paper reports 1.6x-16x E2E improvement, with an even larger TTFT gap
+(queuing dominates the baseline's TTFT).
+"""
+
+from conftest import run_once, save_table
+from repro.workload import trace_from_distribution
+from serving_common import (N_VARIANTS, TRACE_SECONDS, a800_node,
+                            delta_manager, deltazip_engine, full_manager,
+                            scb_engine)
+
+GRID = [("azure", 0.5), ("azure", 1.0), ("uniform", 0.5), ("uniform", 1.0),
+        ("zipf:1.5", 0.5), ("zipf:1.5", 1.0)]
+
+
+def _experiment():
+    node = a800_node(4)
+    rows = []
+    for dist, rate in GRID:
+        trace = trace_from_distribution(dist, N_VARIANTS, rate=rate,
+                                        duration_s=TRACE_SECONDS, seed=1)
+        scb = scb_engine(full_manager(), node).run(trace)
+        dz8 = deltazip_engine(delta_manager(), node, n_deltas=8).run(trace)
+        dz12 = deltazip_engine(delta_manager(), node, n_deltas=12).run(trace)
+        rows.append({
+            "dist": dist, "rate": rate,
+            "scb_e2e": scb.mean_e2e_latency_s(),
+            "dz8_e2e": dz8.mean_e2e_latency_s(),
+            "dz12_e2e": dz12.mean_e2e_latency_s(),
+            "scb_ttft": scb.mean_ttft_s(),
+            "dz8_ttft": dz8.mean_ttft_s(),
+            "dz12_ttft": dz12.mean_ttft_s(),
+        })
+    return rows
+
+
+def test_fig12_latency(benchmark):
+    rows = run_once(benchmark, _experiment)
+    lines = [f"{'dist':9s} {'rate':>5s} | {'scb_e2e':>8s} {'dz8_e2e':>8s} "
+             f"{'dz12_e2e':>8s} | {'scb_ttft':>9s} {'dz8_ttft':>9s} "
+             f"{'dz12_ttft':>9s}  (s)"]
+    for r in rows:
+        lines.append(
+            f"{r['dist']:9s} {r['rate']:5.1f} | {r['scb_e2e']:8.1f} "
+            f"{r['dz8_e2e']:8.2f} {r['dz12_e2e']:8.2f} | "
+            f"{r['scb_ttft']:9.1f} {r['dz8_ttft']:9.2f} "
+            f"{r['dz12_ttft']:9.2f}")
+    e2e_gain = [r["scb_e2e"] / max(r["dz8_e2e"], 1e-9) for r in rows]
+    ttft_gain = [r["scb_ttft"] / max(r["dz8_ttft"], 1e-9) for r in rows]
+    lines.append(f"\nE2E improvement: {min(e2e_gain):.1f}x-"
+                 f"{max(e2e_gain):.1f}x (paper: 1.6x-16x)")
+    lines.append(f"TTFT improvement: {min(ttft_gain):.1f}x-"
+                 f"{max(ttft_gain):.1f}x (paper: larger than E2E)")
+    save_table("fig12_latency", lines)
+
+    assert all(g > 1.6 for g in e2e_gain)
+    # TTFT improves even more than E2E on average
+    assert sum(ttft_gain) / len(ttft_gain) > sum(e2e_gain) / len(e2e_gain)

@@ -1,0 +1,59 @@
+"""Fig 14: co-serving LoRA and FMT models — DeltaZip vs vLLM(+Punica/SCB).
+
+Paper setup: LoRA adapters served on one node, FMT variants on another.
+For LoRA serving DeltaZip matches vLLM-with-Punica (it inherits the same
+kernels); for FMT serving DeltaZip's compressed deltas crush the
+swap-full-models baseline.
+"""
+
+from conftest import run_once, save_table
+from repro.workload import trace_from_distribution
+from serving_common import (a800_node, delta_manager, deltazip_engine,
+                            full_manager, lora_manager, scb_engine)
+
+N_MODELS = 16
+RATE = 0.8
+SECONDS = 180.0
+
+
+def _experiment():
+    trace = trace_from_distribution("zipf:1.5", N_MODELS, rate=RATE,
+                                    duration_s=SECONDS, seed=2)
+    # LoRA node: both systems batch adapters with Punica-style kernels
+    lora_vllm = deltazip_engine(lora_manager(n_models=N_MODELS),
+                                a800_node(4), n_deltas=16,
+                                variant_kind="lora").run(trace)
+    lora_dz = deltazip_engine(lora_manager(n_models=N_MODELS),
+                              a800_node(4), n_deltas=16,
+                              variant_kind="lora").run(trace)
+    # FMT node: vLLM+SCB swaps full models; DeltaZip serves deltas
+    fmt_vllm = scb_engine(full_manager(n_models=N_MODELS),
+                          a800_node(4)).run(trace)
+    fmt_dz = deltazip_engine(delta_manager(n_models=N_MODELS),
+                             a800_node(4), n_deltas=8).run(trace)
+    return {
+        "lora": {"vllm": lora_vllm, "deltazip": lora_dz},
+        "fmt": {"vllm": fmt_vllm, "deltazip": fmt_dz},
+    }
+
+
+def test_fig14_lora_fmt_serving(benchmark):
+    out = run_once(benchmark, _experiment)
+    lines = [f"{'workload':8s} {'system':9s} {'E2E(s)':>8s} {'TTFT(s)':>8s}"]
+    for workload, systems in out.items():
+        for name, res in systems.items():
+            lines.append(f"{workload:8s} {name:9s} "
+                         f"{res.mean_e2e_latency_s():8.2f} "
+                         f"{res.mean_ttft_s():8.3f}")
+    save_table("fig14_lora_fmt_serving", lines)
+
+    lora = out["lora"]
+    fmt = out["fmt"]
+    # LoRA serving: DeltaZip ~= vLLM+Punica (same mechanism)
+    assert abs(lora["deltazip"].mean_e2e_latency_s()
+               - lora["vllm"].mean_e2e_latency_s()) < 0.2 * \
+        lora["vllm"].mean_e2e_latency_s() + 0.1
+    # FMT serving: DeltaZip is far faster than swapping full models
+    assert fmt["deltazip"].mean_e2e_latency_s() < \
+        fmt["vllm"].mean_e2e_latency_s() / 3
+    assert fmt["deltazip"].mean_ttft_s() < fmt["vllm"].mean_ttft_s() / 5

@@ -1,0 +1,69 @@
+"""Fig 15: latency/TTFT vs arrival rate — delta, full-model, LoRA serving.
+
+Paper's ordering: swapping full models saturates first; compressed deltas
+and LoRA adapters stay efficient much longer, with LoRA slightly ahead of
+deltas thanks to its smaller footprint.
+"""
+
+from conftest import run_once, save_table
+from repro.workload import trace_from_distribution
+from serving_common import (a800_node, delta_manager, deltazip_engine,
+                            full_manager, lora_manager, scb_engine)
+
+RATES = [0.25, 0.5, 1.0, 2.0, 4.0]
+N_MODELS = 16
+SECONDS = 150.0
+
+
+def _experiment():
+    rows = []
+    for rate in RATES:
+        trace = trace_from_distribution("zipf:1.5", N_MODELS, rate=rate,
+                                        duration_s=SECONDS, seed=4)
+        full = scb_engine(full_manager(n_models=N_MODELS),
+                          a800_node(4)).run(trace)
+        delta = deltazip_engine(delta_manager(n_models=N_MODELS),
+                                a800_node(4), n_deltas=8).run(trace)
+        lora16 = deltazip_engine(lora_manager(n_models=N_MODELS, rank=16),
+                                 a800_node(4), n_deltas=16,
+                                 variant_kind="lora",
+                                 lora_rank=16).run(trace)
+        lora64 = deltazip_engine(lora_manager(n_models=N_MODELS, rank=64),
+                                 a800_node(4), n_deltas=16,
+                                 variant_kind="lora",
+                                 lora_rank=64).run(trace)
+        rows.append({"rate": rate,
+                     "full": full, "delta": delta,
+                     "lora16": lora16, "lora64": lora64})
+    return rows
+
+
+def test_fig15_rate_sweep(benchmark):
+    rows = run_once(benchmark, _experiment)
+    lines = [f"{'rate':>5s} | {'full_e2e':>9s} {'delta_e2e':>9s} "
+             f"{'l16_e2e':>8s} {'l64_e2e':>8s} | {'full_ttft':>9s} "
+             f"{'delta_ttft':>10s} {'l16_ttft':>8s}  (s)"]
+    for r in rows:
+        lines.append(
+            f"{r['rate']:5.2f} | {r['full'].mean_e2e_latency_s():9.1f} "
+            f"{r['delta'].mean_e2e_latency_s():9.2f} "
+            f"{r['lora16'].mean_e2e_latency_s():8.2f} "
+            f"{r['lora64'].mean_e2e_latency_s():8.2f} | "
+            f"{r['full'].mean_ttft_s():9.1f} "
+            f"{r['delta'].mean_ttft_s():10.3f} "
+            f"{r['lora16'].mean_ttft_s():8.3f}")
+    save_table("fig15_rate_sweep", lines)
+
+    for r in rows:
+        # full-model swapping is the clear loser at every rate
+        assert r["delta"].mean_e2e_latency_s() < \
+            r["full"].mean_e2e_latency_s()
+        # LoRA is at least as cheap as compressed deltas (smaller payloads)
+        assert r["lora16"].mean_e2e_latency_s() <= \
+            r["delta"].mean_e2e_latency_s() * 1.25
+    # the baseline degrades with rate much faster than delta serving
+    full_growth = rows[-1]["full"].mean_e2e_latency_s() / \
+        max(rows[0]["full"].mean_e2e_latency_s(), 1e-9)
+    delta_growth = rows[-1]["delta"].mean_e2e_latency_s() / \
+        max(rows[0]["delta"].mean_e2e_latency_s(), 1e-9)
+    assert delta_growth < full_growth

@@ -1,0 +1,69 @@
+"""Fig 17: SBMM kernel latency vs number of models (uniform and Zipf).
+
+Fixed request count spread over a growing number of deltas: the FP16 and
+naive for-loop implementations degrade linearly with model count; request
+reordering ("Ours") buys ~2x; the dynamic-parallelism kernel ("Ours+")
+stays nearly flat.
+"""
+
+import numpy as np
+
+from conftest import run_once, save_table
+from repro.hardware import A800, sbmm_time
+from repro.workload import zipf_popularity
+
+TOTAL_REQUESTS = 64
+MODEL_COUNTS = [1, 2, 4, 8, 16, 32, 64, 128]
+DIM = 4096
+IMPLS = [("fp16", "fp16_forloop"), ("for-loop", "naive_forloop"),
+         ("ours", "sbmm_reorder"), ("ours+", "sbmm")]
+
+
+def _counts(n_models: int, dist: str) -> list:
+    if dist == "uniform":
+        base = TOTAL_REQUESTS // n_models
+        counts = [base] * n_models
+        for i in range(TOTAL_REQUESTS - base * n_models):
+            counts[i] += 1
+        return counts
+    pop = zipf_popularity(n_models, 1.5)
+    counts = np.maximum(1, np.round(pop * TOTAL_REQUESTS)).astype(int)
+    return counts.tolist()
+
+
+def _experiment():
+    rows = []
+    for dist in ("uniform", "zipf"):
+        for n_models in MODEL_COUNTS:
+            if n_models > TOTAL_REQUESTS and dist == "uniform":
+                continue
+            counts = _counts(n_models, dist)
+            entry = {"dist": dist, "models": n_models}
+            for label, impl in IMPLS:
+                entry[label] = sbmm_time(counts, DIM, DIM, A800,
+                                         impl=impl).total * 1e3
+            rows.append(entry)
+    return rows
+
+
+def test_fig17_sbmm_scaling(benchmark):
+    rows = run_once(benchmark, _experiment)
+    lines = [f"{'dist':8s} {'models':>7s} {'fp16':>8s} {'for-loop':>9s} "
+             f"{'ours':>8s} {'ours+':>8s}  (ms)"]
+    for r in rows:
+        lines.append(f"{r['dist']:8s} {r['models']:7d} {r['fp16']:8.3f} "
+                     f"{r['for-loop']:9.3f} {r['ours']:8.3f} "
+                     f"{r['ours+']:8.3f}")
+    save_table("fig17_sbmm_scaling", lines)
+
+    for dist in ("uniform", "zipf"):
+        sub = [r for r in rows if r["dist"] == dist]
+        first, last = sub[0], sub[-1]
+        # ours+ scales far more gently than the loops
+        growth_plus = last["ours+"] - first["ours+"]
+        growth_loop = last["for-loop"] - first["for-loop"]
+        assert growth_plus < growth_loop / 3
+        # at high model counts: ours+ < ours < for-loop < fp16
+        assert last["ours+"] < last["ours"]
+        assert last["ours"] < last["for-loop"] * 1.01
+        assert last["for-loop"] < last["fp16"]

@@ -1,0 +1,56 @@
+"""Fig 18: tensor-parallel scaling of DeltaZip.
+
+Paper: 7B on 1x/2x RTX 3090 and 13B on 2x/4x A800 — latency drops with
+more GPUs, and the drop is larger on the NVLink-connected A800 platform.
+"""
+
+from conftest import run_once, save_table
+from repro.serving import LLAMA_13B, LLAMA_7B
+from repro.workload import trace_from_distribution
+from serving_common import (DELTA_RATIO_7B, a800_node, delta_manager,
+                            deltazip_engine, rtx3090_node)
+
+SECONDS = 120.0
+
+
+def _experiment():
+    rows = []
+    trace7 = trace_from_distribution("zipf:1.5", 12, rate=1.5,
+                                     duration_s=SECONDS, seed=8)
+    for tp in (1, 2):
+        mgr = delta_manager(LLAMA_7B, n_models=12, ratio=DELTA_RATIO_7B)
+        res = deltazip_engine(mgr, rtx3090_node(2), n_deltas=3,
+                              tp=tp).run(trace7)
+        rows.append({"model": "7B", "platform": f"{tp}x3090",
+                     "e2e": res.mean_e2e_latency_s(),
+                     "ttft": res.mean_ttft_s()})
+    trace13 = trace_from_distribution("zipf:1.5", 24, rate=1.5,
+                                      duration_s=SECONDS, seed=8)
+    for tp in (2, 4):
+        mgr = delta_manager(LLAMA_13B, n_models=24)
+        res = deltazip_engine(mgr, a800_node(4), n_deltas=8,
+                              tp=tp).run(trace13)
+        rows.append({"model": "13B", "platform": f"{tp}xA800",
+                     "e2e": res.mean_e2e_latency_s(),
+                     "ttft": res.mean_ttft_s()})
+    return rows
+
+
+def test_fig18_parallelism(benchmark):
+    rows = run_once(benchmark, _experiment)
+    lines = [f"{'model':>6s} {'platform':>9s} {'E2E(s)':>8s} {'TTFT(s)':>8s}"]
+    for r in rows:
+        lines.append(f"{r['model']:>6s} {r['platform']:>9s} "
+                     f"{r['e2e']:8.2f} {r['ttft']:8.3f}")
+    save_table("fig18_parallelism", lines)
+
+    by = {(r["model"], r["platform"]): r for r in rows}
+    # more GPUs -> lower latency on both platforms (the figure's headline)
+    assert by[("7B", "2x3090")]["e2e"] < by[("7B", "1x3090")]["e2e"]
+    assert by[("13B", "4xA800")]["e2e"] < by[("13B", "2xA800")]["e2e"]
+    assert by[("7B", "2x3090")]["ttft"] <= by[("7B", "1x3090")]["ttft"]
+    # note: in our cost model the 3090 gains more from TP=2 than the paper
+    # reports, because the single-3090 configuration is memory-pressure
+    # bound (deltas + KV in 24 GB) and doubling the pool relieves it; the
+    # paper's larger A800 gain comes from faster inter-GPU links, which we
+    # also model (see EXPERIMENTS.md).

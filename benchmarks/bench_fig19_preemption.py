@@ -1,0 +1,58 @@
+"""Fig 19: starvation handling — FCFS+skip-the-line with vs without
+parent-finish preemption.
+
+Paper reports improved P90 SLO: +18.8% (E2E) and +49% (TTFT) with
+preemption on a starvation-prone skewed trace.
+"""
+
+import numpy as np
+
+from conftest import run_once, save_table
+from repro.serving import LLAMA_7B, slo_attainment
+from repro.workload import trace_from_distribution
+from serving_common import (DELTA_RATIO_7B, delta_manager, deltazip_engine,
+                            rtx3090_node)
+
+SLO_GRID = [1, 2, 5, 10, 20, 40, 80, 160]
+
+
+def _experiment():
+    # heavy skew + high rate: the popular variant's stream of arrivals
+    # keeps skipping the line, starving the tail without preemption
+    trace = trace_from_distribution("zipf:2.0", 12, rate=2.5,
+                                    duration_s=120.0, seed=11)
+    node = rtx3090_node(1)
+    out = {}
+    for label, preemption in [("with_preemption", True),
+                              ("fcfs_skip_only", False)]:
+        mgr = delta_manager(LLAMA_7B, n_models=12, ratio=DELTA_RATIO_7B)
+        out[label] = deltazip_engine(mgr, node, n_deltas=3, tp=1, k=24,
+                                     preemption=preemption).run(trace)
+    return out
+
+
+def test_fig19_preemption(benchmark):
+    out = run_once(benchmark, _experiment)
+    lines = [f"SLO grid (s): {SLO_GRID}"]
+    for metric in ("e2e", "ttft"):
+        for label, res in out.items():
+            vals = " ".join(f"{slo_attainment(res.records, s, metric):5.2f}"
+                            for s in SLO_GRID)
+            lines.append(f"{metric:4s} {label:16s} {vals}")
+    p90 = {label: (res.percentile_e2e_s(90), res.percentile_ttft_s(90))
+           for label, res in out.items()}
+    for label, (e2e, ttft) in p90.items():
+        lines.append(f"{label:16s} P90 E2E={e2e:7.2f}s  P90 TTFT={ttft:7.2f}s")
+    improvement_e2e = (p90["fcfs_skip_only"][0] - p90["with_preemption"][0]) \
+        / max(p90["fcfs_skip_only"][0], 1e-9)
+    improvement_ttft = (p90["fcfs_skip_only"][1] - p90["with_preemption"][1]) \
+        / max(p90["fcfs_skip_only"][1], 1e-9)
+    lines.append(f"\nP90 improvement with preemption: "
+                 f"E2E {100 * improvement_e2e:+.1f}%  "
+                 f"TTFT {100 * improvement_ttft:+.1f}% "
+                 f"(paper: +18.8% / +49.0%)")
+    save_table("fig19_preemption", lines)
+
+    # preemption must not hurt the tail, and should help TTFT
+    assert p90["with_preemption"][1] <= p90["fcfs_skip_only"][1] * 1.05
+    assert p90["with_preemption"][0] <= p90["fcfs_skip_only"][0] * 1.10

@@ -1,0 +1,113 @@
+"""Table 1: post-compression model quality and compression ratios.
+
+Per base model and task: FP16 (uncompressed FMT), SparseGPT-direct 4bit*,
+AWQ 4bit, DeltaZip 4bit*, DeltaZip 2bit* (* = +50% structured sparsity).
+Paper's claims, checked in-shape here:
+
+* ΔCompress (2-bit + 2:4) reaches ~8-14x on linear weights with accuracy
+  comparable to FP16 (end-to-end ratio is lower on embedding-heavy models
+  — our tiny models are embedding-heavy, like Gemma-2 in the paper);
+* compressing the *delta* tracks the fine-tuned model's function better
+  than compressing the weights directly (SparseGPT rows) — at toy scale
+  the gap shows in logit-MSE/NLL rather than saturated accuracy, see
+  EXPERIMENTS.md;
+* AWQ holds accuracy but tops out at ~4x (quantization only).
+"""
+
+from conftest import (N_EVAL, QUALITY_TASKS, run_once, save_table)
+from repro.compression import CompressionConfig, DeltaCompressor
+from repro.evaluation import evaluate_task
+from repro.nn import TransformerModel
+
+CONFIGS = [
+    ("SparseGPT(4bit*)", CompressionConfig.sparsegpt_4bit()),
+    ("SparseGPT(2bit*)", CompressionConfig(bits=2, sparsity_n=2,
+                                           sparsity_m=4, delta_mode=False)),
+    ("AWQ(4bit)", CompressionConfig.awq_4bit()),
+    ("DeltaZip(4bit*)", CompressionConfig.deltazip_4bit()),
+    ("DeltaZip(2bit*)", CompressionConfig.deltazip_2bit()),
+]
+
+
+def _experiment(quality_base, quality_checkpoints):
+    import numpy as np
+    from repro.evaluation import answer_nll
+    base_state = quality_base.state_dict()
+    rows = []
+    for task_name in QUALITY_TASKS:
+        entry = quality_checkpoints[task_name]
+        task, fmt = entry["task"], entry["fmt"]
+        eval_rng = np.random.default_rng(1234)
+        examples = task.examples(N_EVAL, eval_rng)
+        from repro.evaluation import evaluate_examples
+        ref_toks = fmt.calibration_tokens[:16]
+        ref_logits = fmt.model(ref_toks)
+        rows.append({"task": task_name, "method": "FP16",
+                     "acc": evaluate_examples(fmt.model, examples).accuracy
+                     * 100,
+                     "nll": answer_nll(fmt.model, examples),
+                     "logit_mse": 0.0,
+                     "ratio": 1.0, "linear_ratio": 1.0})
+        for label, config in CONFIGS:
+            artifact = DeltaCompressor(config).compress(
+                fmt.model, base_state, fmt.calibration_tokens)
+            model = TransformerModel(quality_base.config, seed=0)
+            model.load_state_dict(artifact.to_state_dict(base_state))
+            mse = float(np.mean((ref_logits - model(ref_toks)) ** 2))
+            rows.append({"task": task_name, "method": label,
+                         "acc": evaluate_examples(model, examples).accuracy
+                         * 100,
+                         "nll": answer_nll(model, examples),
+                         "logit_mse": mse,
+                         "ratio": artifact.compression_ratio(),
+                         "linear_ratio": artifact.linear_compression_ratio()})
+    return rows
+
+
+def test_table1_quality(benchmark, quality_base, quality_checkpoints):
+    rows = run_once(benchmark, _experiment, quality_base,
+                    quality_checkpoints)
+    lines = [f"{'task':8s} {'method':18s} {'acc%':>6s} {'nll':>7s} "
+             f"{'logitMSE':>9s} {'ratio':>6s} {'linear-ratio':>12s}"]
+    for r in rows:
+        lines.append(f"{r['task']:8s} {r['method']:18s} {r['acc']:6.1f} "
+                     f"{r['nll']:7.3f} {r['logit_mse']:9.5f} "
+                     f"{r['ratio']:6.2f} {r['linear_ratio']:12.2f}")
+    lines.append(
+        "\nNote: at this model scale accuracy saturates (tiny task-tuned "
+        "models are heavily over-parameterized), so the delta-vs-direct "
+        "contrast shows in the continuous metrics (answer NLL, logit MSE); "
+        "see EXPERIMENTS.md.")
+    save_table("table1_quality", lines)
+
+    by = {(r["task"], r["method"]): r for r in rows}
+    for task in QUALITY_TASKS:
+        fp16 = by[(task, "FP16")]["acc"]
+        dz4 = by[(task, "DeltaZip(4bit*)")]
+        dz2 = by[(task, "DeltaZip(2bit*)")]
+        # ΔCompress holds quality near FP16 at both bit widths
+        assert dz4["acc"] >= fp16 - 8.0, (task, dz4["acc"], fp16)
+        assert dz2["acc"] >= fp16 - 10.0, (task, dz2["acc"], fp16)
+
+    def total(metric, method):
+        return sum(by[(t, method)][metric] for t in QUALITY_TASKS)
+
+    # the delta-compressed models track the FMT models' function better
+    # than direct weight compression at the same config — aggregated over
+    # tasks (per-task the margin varies at toy scale, where fine-tuning
+    # deltas are proportionally much larger than on real LLMs)
+    assert total("logit_mse", "DeltaZip(4bit*)") < \
+        total("logit_mse", "SparseGPT(4bit*)")
+    assert total("logit_mse", "DeltaZip(2bit*)") < \
+        total("logit_mse", "SparseGPT(2bit*)")
+    assert total("nll", "DeltaZip(2bit*)") <= \
+        total("nll", "SparseGPT(2bit*)") + 0.02
+    # accuracy ordering is directional (ties allowed at saturation)
+    assert total("acc", "DeltaZip(4bit*)") >= \
+        total("acc", "SparseGPT(4bit*)") - 5.0
+    # ratio ordering: DeltaZip 2bit > 4bit >= AWQ (linear-weight view)
+    some = QUALITY_TASKS[0]
+    assert by[(some, "DeltaZip(2bit*)")]["linear_ratio"] > \
+        by[(some, "DeltaZip(4bit*)")]["linear_ratio"]
+    assert by[(some, "DeltaZip(4bit*)")]["linear_ratio"] > \
+        by[(some, "AWQ(4bit)")]["linear_ratio"]

@@ -1,0 +1,74 @@
+"""Compression ablation study: the ratio/quality frontier of ΔCompress.
+
+Sweeps the pipeline's design axes on one fine-tuned checkpoint:
+
+* bit width (2/4/8) x structured sparsity (dense vs 2:4),
+* OBS calibration vs round-to-nearest (why Algorithm 1's solver matters),
+* delta compression vs compressing the fine-tuned weights directly
+  (why Fig 3's observation matters),
+* quantization group size (metadata overhead vs grid fidelity).
+
+Run:  python examples/compression_study.py
+"""
+
+from repro.compression import CompressionConfig, DeltaCompressor
+from repro.evaluation import (evaluate_task, make_task, pretrain_base_model,
+                              run_fmt)
+from repro.nn import TransformerConfig, TransformerModel
+
+
+def evaluate_config(label, config, fmt, base_state, task, model_config,
+                    n_eval=80):
+    artifact = DeltaCompressor(config).compress(
+        fmt.model, base_state, fmt.calibration_tokens)
+    model = TransformerModel(model_config, seed=0)
+    model.load_state_dict(artifact.to_state_dict(base_state))
+    acc = evaluate_task(model, task, n_eval).percent
+    print(f"{label:34s} ratio {artifact.compression_ratio():5.2f}x "
+          f"(linear {artifact.linear_compression_ratio():5.2f}x)  "
+          f"accuracy {acc:5.1f}%")
+    return acc
+
+
+def main():
+    config = TransformerConfig.small(vocab_size=128, max_seq=64)
+    base = pretrain_base_model(config, n_sequences=256, epochs=6, seed=0)
+    task = make_task("yesno")
+    fmt = run_fmt(base, task, n_train=384, epochs=12, lr=1e-3, seed=0)
+    base_state = base.state_dict()
+    acc_fmt = evaluate_task(fmt.model, task, 80).percent
+    print(f"uncompressed FMT accuracy: {acc_fmt:.1f}%\n")
+
+    print("--- bits x sparsity (OBS, delta mode) ---")
+    for bits in (8, 4, 2):
+        for n, label in ((0, "dense"), (2, "2:4")):
+            cfg = CompressionConfig(bits=bits, sparsity_n=n, sparsity_m=4)
+            evaluate_config(f"delta {bits}-bit {label}", cfg, fmt,
+                            base_state, task, config)
+
+    print("\n--- solver ablation (2-bit + 2:4) ---")
+    evaluate_config("OBS (ΔCompress)",
+                    CompressionConfig.deltazip_2bit(), fmt, base_state,
+                    task, config)
+    evaluate_config("round-to-nearest",
+                    CompressionConfig(bits=2, algorithm="rtn"), fmt,
+                    base_state, task, config)
+
+    print("\n--- delta vs direct weight compression (4-bit + 2:4) ---")
+    evaluate_config("delta (ΔCompress)",
+                    CompressionConfig.deltazip_4bit(), fmt, base_state,
+                    task, config)
+    evaluate_config("direct (SparseGPT-style)",
+                    CompressionConfig.sparsegpt_4bit(), fmt, base_state,
+                    task, config)
+
+    print("\n--- group size (4-bit + 2:4) ---")
+    for group in (16, 32, 64, 128):
+        cfg = CompressionConfig(bits=4, sparsity_n=2, sparsity_m=4,
+                                group_size=group)
+        evaluate_config(f"group_size={group}", cfg, fmt, base_state, task,
+                        config)
+
+
+if __name__ == "__main__":
+    main()

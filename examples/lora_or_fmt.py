@@ -1,0 +1,67 @@
+"""LoRA or compressed-delta FMT?  The §6.4 decision, reproduced.
+
+Trains both a LoRA adapter and a full-model-tuned checkpoint on an easy
+task (review classification) and a hard one (multi-token modular math),
+then compares accuracy and serving cost — ending with the paper's guidance:
+LoRA when it matches FMT accuracy; ΔCompress-served FMT when accuracy on
+hard tasks is the priority.
+
+Run:  python examples/lora_or_fmt.py
+"""
+
+from repro.compression import CompressionConfig, DeltaCompressor
+from repro.evaluation import (evaluate_task, make_task, pretrain_base_model,
+                              run_fmt, run_lora)
+from repro.nn import TransformerConfig, TransformerModel
+
+
+def study_task(name, base, model_config):
+    task = make_task(name)
+    fmt = run_fmt(base, task, n_train=384, epochs=14, lr=1e-3, seed=0)
+    lora = run_lora(base, task, rank=2, n_train=384, epochs=14, lr=5e-3,
+                    seed=0)
+    artifact = DeltaCompressor(CompressionConfig.deltazip_4bit()).compress(
+        fmt.model, base.state_dict(), fmt.calibration_tokens)
+    compressed = TransformerModel(model_config, seed=0)
+    compressed.load_state_dict(artifact.to_state_dict(base.state_dict()))
+
+    acc = {
+        "base": evaluate_task(base, task, 80).percent,
+        "lora": evaluate_task(lora.model, task, 80).percent,
+        "fmt": evaluate_task(fmt.model, task, 80).percent,
+        "Δcompress": evaluate_task(compressed, task, 80).percent,
+    }
+    sizes = {
+        "lora adapter": lora.adapter.nbytes(),
+        "compressed delta": artifact.nbytes(),
+        "full FP16 checkpoint": artifact.nbytes_uncompressed(),
+    }
+    print(f"\n=== task: {name} ({'hard' if task.hard else 'easy'}) ===")
+    for k, v in acc.items():
+        print(f"  accuracy {k:10s} {v:5.1f}%")
+    for k, v in sizes.items():
+        print(f"  artifact {k:22s} {v:10,d} B")
+    return acc, sizes
+
+
+def main():
+    config = TransformerConfig.small(vocab_size=128, max_seq=64)
+    base = pretrain_base_model(config, n_sequences=256, epochs=6, seed=0)
+
+    easy_acc, _ = study_task("review", base, config)
+    hard_acc, hard_sizes = study_task("math", base, config)
+
+    print("\n=== guidance (paper §6.4) ===")
+    if easy_acc["lora"] >= easy_acc["fmt"] - 5:
+        print("easy task: LoRA matches FMT -> serve the adapter "
+              "(smallest artifact, cheapest to batch).")
+    gap = hard_acc["fmt"] - hard_acc["lora"]
+    print(f"hard task: LoRA trails FMT by {gap:.1f} points -> "
+          f"serve the ΔCompress'd FMT delta "
+          f"({hard_acc['Δcompress']:.1f}% accuracy at "
+          f"{hard_sizes['compressed delta'] / hard_sizes['full FP16 checkpoint']:.0%} "
+          f"of the checkpoint size).")
+
+
+if __name__ == "__main__":
+    main()

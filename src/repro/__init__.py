@@ -1,0 +1,14 @@
+"""DeltaZip reproduction (EuroSys '25).
+
+Subpackages:
+
+* ``repro.nn`` — numpy transformer substrate (models, training, LoRA).
+* ``repro.compression`` — ΔCompress pipeline + SparseGPT/AWQ baselines.
+* ``repro.hardware`` — GPU / memory-hierarchy cost models.
+* ``repro.workload`` — trace and arrival-process generators.
+* ``repro.serving`` — DeltaZip engine, vLLM-SCB baseline, LoRA engine.
+* ``repro.evaluation`` — synthetic downstream tasks and accuracy harness.
+* ``repro.core`` — the high-level :class:`repro.core.DeltaZip` facade.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,261 @@
+"""Command-line interface for the DeltaZip reproduction.
+
+Mirrors the paper artifact's script workflow::
+
+    repro pretrain  --size small --out base.ckpt
+    repro finetune  --base base.ckpt --task math --out math.ckpt
+    repro compress  --base base.ckpt --finetuned math.ckpt \\
+                    --preset deltazip-4bit --out math.dzip
+    repro evaluate  --model math.ckpt --task math
+    repro trace     --distribution azure --rate 0.5 --out azure.jsonl
+    repro simulate  --trace azure.jsonl --model llama-13b --systems both
+
+Run ``python -m repro.cli <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = {
+    "deltazip-4bit": "deltazip_4bit",
+    "deltazip-2bit": "deltazip_2bit",
+    "sparsegpt-4bit": "sparsegpt_4bit",
+    "awq-4bit": "awq_4bit",
+}
+
+
+# --------------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------------- #
+def _cmd_pretrain(args) -> int:
+    from repro.evaluation import pretrain_base_model
+    from repro.nn import TransformerConfig
+    from repro.nn.checkpoint import save_model
+
+    factory = getattr(TransformerConfig, args.size.replace("-", "_"))
+    config = factory()
+    model = pretrain_base_model(config, n_sequences=args.sequences,
+                                epochs=args.epochs, seed=args.seed)
+    save_model(model, args.out)
+    print(f"pretrained {config.name} base "
+          f"({model.num_parameters():,} params) -> {args.out}")
+    return 0
+
+
+def _cmd_finetune(args) -> int:
+    from repro.evaluation import make_task, run_fmt, run_lora
+    from repro.nn.checkpoint import load_model, save_model
+
+    base = load_model(args.base)
+    task = make_task(args.task)
+    if args.method == "fmt":
+        result = run_fmt(base, task, n_train=args.samples,
+                         epochs=args.epochs, lr=args.lr, seed=args.seed)
+    else:
+        result = run_lora(base, task, rank=args.lora_rank,
+                          n_train=args.samples, epochs=args.epochs,
+                          lr=args.lr * 5, seed=args.seed)
+    save_model(result.model, args.out)
+    if args.calibration_out:
+        np.save(args.calibration_out, result.calibration_tokens)
+    print(f"fine-tuned ({args.method}) on {args.task} -> {args.out}")
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    from repro.compression import (CompressionConfig, DeltaCompressor,
+                                   save_compressed_delta)
+    from repro.nn.checkpoint import load_model
+
+    base = load_model(args.base)
+    finetuned = load_model(args.finetuned)
+    config = getattr(CompressionConfig, _PRESETS[args.preset])()
+    calib = np.load(args.calibration) if args.calibration else None
+    compressor = DeltaCompressor(config)
+    artifact = compressor.compress(finetuned, base.state_dict(), calib,
+                                   model_id=args.model_id)
+    save_compressed_delta(artifact, args.out)
+    report = compressor.last_report
+    print(f"compressed {args.model_id!r} with {args.preset} in "
+          f"{report.seconds:.1f}s")
+    print(f"  ratio: {artifact.compression_ratio():.2f}x end-to-end, "
+          f"{artifact.linear_compression_ratio():.2f}x on linear weights")
+    print(f"  bytes: {artifact.nbytes():,} "
+          f"(FP16: {artifact.nbytes_uncompressed():,})")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.evaluation import evaluate_task, make_task
+    from repro.nn.checkpoint import load_model
+
+    task = make_task(args.task)
+    model = load_model(args.model)
+    if args.delta:
+        from repro.compression import load_compressed_delta
+        artifact = load_compressed_delta(args.delta)
+        model.load_state_dict(artifact.to_state_dict(model.state_dict()))
+        label = f"{args.model} + {args.delta}"
+    else:
+        label = args.model
+    result = evaluate_task(model, task, args.examples, seed=args.seed)
+    print(f"{label}: {args.task} accuracy "
+          f"{result.percent:.1f}% ({result.n_examples} examples)")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.workload import trace_from_distribution
+    from repro.workload.io import save_trace
+
+    trace = trace_from_distribution(args.distribution, args.models,
+                                    rate=args.rate, duration_s=args.duration,
+                                    seed=args.seed)
+    save_trace(trace, args.out)
+    print(f"{len(trace)} requests over {args.duration:.0f}s "
+          f"({args.distribution}, λ={args.rate}) -> {args.out}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.hardware import GPUNode, node_from_name
+    from repro.serving import (DeltaZipEngine, EngineConfig, MODEL_SPECS,
+                               ModelManager, SchedulerConfig, VLLMSCBEngine)
+    from repro.workload.io import load_trace
+
+    trace = load_trace(args.trace)
+    spec = MODEL_SPECS[args.model]
+    node = GPUNode(node_from_name(args.gpu, args.gpus))
+
+    results = {}
+    if args.systems in ("deltazip", "both"):
+        mgr = ModelManager(spec)
+        mgr.register_base("base")
+        for m in trace.model_ids:
+            mgr.register_delta(m, "base", args.ratio)
+        engine = DeltaZipEngine(
+            mgr, node,
+            SchedulerConfig(max_batch_requests=args.batch,
+                            max_concurrent_deltas=args.deltas),
+            EngineConfig(tp_degree=args.tp))
+        results["deltazip"] = engine.run(trace)
+    if args.systems in ("vllm-scb", "both"):
+        mgr = ModelManager(spec)
+        mgr.register_base("base")
+        for m in trace.model_ids:
+            mgr.register_full(m, "base")
+        results["vllm-scb"] = VLLMSCBEngine(
+            mgr, node, EngineConfig(tp_degree=args.tp),
+            max_batch_requests=args.batch).run(trace)
+
+    print(f"{'system':10s} {'thr(rps)':>9s} {'mean_e2e':>9s} "
+          f"{'p90_e2e':>8s} {'mean_ttft':>10s}")
+    for name, res in results.items():
+        print(f"{name:10s} {res.throughput_within(trace.duration_s):9.3f} "
+              f"{res.mean_e2e_latency_s():9.2f} "
+              f"{res.percentile_e2e_s(90):8.2f} "
+              f"{res.mean_ttft_s():10.3f}")
+        if args.verbose and res.stats is not None:
+            s = res.stats
+            print(f"  iterations={s.iterations} swap_ins={s.swap_ins} "
+                  f"evictions={s.evictions} preemptions={s.preemptions} "
+                  f"mean_batch={s.mean_batch_size:.1f} "
+                  f"mean_deltas={s.mean_deltas_per_batch:.1f}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DeltaZip reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("pretrain", help="pre-train a base model")
+    p.add_argument("--size", default="tiny",
+                   choices=["tiny", "small", "medium", "tiny-gqa"])
+    p.add_argument("--sequences", type=int, default=192)
+    p.add_argument("--epochs", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_pretrain)
+
+    p = sub.add_parser("finetune", help="fine-tune a base checkpoint")
+    p.add_argument("--base", required=True)
+    p.add_argument("--task", required=True)
+    p.add_argument("--method", default="fmt", choices=["fmt", "lora"])
+    p.add_argument("--lora-rank", type=int, default=4)
+    p.add_argument("--samples", type=int, default=256)
+    p.add_argument("--epochs", type=int, default=8)
+    p.add_argument("--lr", type=float, default=1e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--calibration-out", default=None)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_finetune)
+
+    p = sub.add_parser("compress", help="ΔCompress a fine-tuned checkpoint")
+    p.add_argument("--base", required=True)
+    p.add_argument("--finetuned", required=True)
+    p.add_argument("--preset", default="deltazip-4bit",
+                   choices=sorted(_PRESETS))
+    p.add_argument("--calibration", default=None,
+                   help=".npy of calibration token ids")
+    p.add_argument("--model-id", default="variant")
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("evaluate", help="task accuracy of a checkpoint")
+    p.add_argument("--model", required=True,
+                   help="base (with --delta) or standalone checkpoint")
+    p.add_argument("--delta", default=None,
+                   help="optional .dzip applied on top of --model")
+    p.add_argument("--task", required=True)
+    p.add_argument("--examples", type=int, default=100)
+    p.add_argument("--seed", type=int, default=1234)
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("trace", help="generate a workload trace")
+    p.add_argument("--distribution", default="azure",
+                   help="uniform | zipf:<alpha> | azure")
+    p.add_argument("--models", type=int, default=32)
+    p.add_argument("--rate", type=float, default=0.5)
+    p.add_argument("--duration", type=float, default=300.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("simulate", help="serve a trace in simulation")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--model", default="llama-13b",
+                   choices=["llama-7b", "llama-13b", "llama-70b",
+                            "pythia-2.8b"])
+    p.add_argument("--gpu", default="a800")
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--tp", type=int, default=4)
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--deltas", type=int, default=8)
+    p.add_argument("--ratio", type=float, default=10.0,
+                   help="assumed delta compression ratio")
+    p.add_argument("--systems", default="both",
+                   choices=["deltazip", "vllm-scb", "both"])
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

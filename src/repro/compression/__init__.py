@@ -1,0 +1,36 @@
+"""ΔCompress and baseline compression algorithms (paper §4)."""
+
+from .artifacts import FP16_BYTES, CompressedDelta, CompressedLayer
+from .awq import awq_compress
+from .configs import CompressionConfig
+from .delta import apply_delta, delta_statistics, extract_delta
+from .lossless import LosslessCodec, ZlibCodec, compress_array, decompress_array
+from .metrics import StageBytes, analytic_ratio, artifact_summary, \
+    pipeline_stage_bytes
+from .packing import (PackedSparseMatrix, pack_codes, pack_nm_sparse,
+                      unpack_codes, unpack_nm_sparse)
+from .pipeline import CompressionReport, DeltaCompressor
+from .quant import (QuantGrid, dequantize, fit_grid, quantization_mse,
+                    quantize, quantize_dequantize)
+from .serialization import load_compressed_delta, save_compressed_delta
+from .sparsegpt import OBSResult, hessian_from_inputs, obs_compress, rtn_compress
+from .sparsity import (mask_density, nm_mask, nm_mask_with_scores,
+                       unstructured_mask, validate_nm)
+
+__all__ = [
+    "FP16_BYTES", "CompressedDelta", "CompressedLayer",
+    "awq_compress",
+    "CompressionConfig",
+    "apply_delta", "delta_statistics", "extract_delta",
+    "LosslessCodec", "ZlibCodec", "compress_array", "decompress_array",
+    "StageBytes", "analytic_ratio", "artifact_summary", "pipeline_stage_bytes",
+    "PackedSparseMatrix", "pack_codes", "pack_nm_sparse", "unpack_codes",
+    "unpack_nm_sparse",
+    "CompressionReport", "DeltaCompressor",
+    "load_compressed_delta", "save_compressed_delta",
+    "QuantGrid", "dequantize", "fit_grid", "quantization_mse", "quantize",
+    "quantize_dequantize",
+    "OBSResult", "hessian_from_inputs", "obs_compress", "rtn_compress",
+    "mask_density", "nm_mask", "nm_mask_with_scores", "unstructured_mask",
+    "validate_nm",
+]

@@ -1,0 +1,150 @@
+"""Compressed-delta artifacts: the packed format the serving engine swaps.
+
+A :class:`CompressedDelta` is the on-disk/in-memory unit the Model Manager
+stores in its delta zoo (paper Fig 4): per-linear-layer packed matrices plus
+the small FP16 remainder (embeddings, norms, LM head — the paper leaves
+these uncompressed, which is why embedding-heavy models see lower end-to-end
+ratios in Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .configs import CompressionConfig
+from .lossless import LosslessCodec, compress_array
+from .packing import PackedSparseMatrix, pack_codes, unpack_codes, \
+    pack_nm_sparse, unpack_nm_sparse
+from .quant import QuantGrid, dequantize
+
+__all__ = ["CompressedLayer", "CompressedDelta", "FP16_BYTES"]
+
+FP16_BYTES = 2  # storage cost per uncompressed parameter
+
+
+@dataclass
+class CompressedLayer:
+    """One packed weight matrix (a delta, or a raw weight for baselines)."""
+
+    name: str
+    shape: Tuple[int, int]
+    config: CompressionConfig
+    packed_sparse: Optional[PackedSparseMatrix] = None
+    packed_dense: Optional[np.ndarray] = None   # packed codes, no sparsity
+    grid: Optional[QuantGrid] = None
+    fp16_values: Optional[np.ndarray] = None    # bits == 16 path
+    awq_scales: Optional[np.ndarray] = None     # per-input-channel descale
+    lossless_nbytes: Optional[int] = None       # stage-4 output size, if on
+
+    # ------------------------------------------------------------------ #
+    def dense(self) -> np.ndarray:
+        """Dequantize back to a dense float32 matrix (zeros where pruned)."""
+        rows, cols = self.shape
+        if self.fp16_values is not None:
+            return self.fp16_values.astype(np.float32)
+        if self.packed_sparse is not None:
+            codes, mask = unpack_nm_sparse(self.packed_sparse)
+            out = np.where(mask, dequantize(codes, self.grid), 0.0)
+        else:
+            codes = unpack_codes(self.packed_dense, self.config.bits,
+                                 rows * cols).reshape(rows, cols)
+            out = dequantize(codes, self.grid)
+        if self.awq_scales is not None:
+            out = out / self.awq_scales[None, :]
+        return out.astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    def nbytes_breakdown(self) -> Dict[str, int]:
+        """Per-component byte accounting (Fig 5)."""
+        breakdown: Dict[str, int] = {"values": 0, "indices": 0, "metadata": 0}
+        if self.fp16_values is not None:
+            breakdown["values"] = self.fp16_values.size * FP16_BYTES
+            return breakdown
+        if self.packed_sparse is not None:
+            breakdown["values"] = self.packed_sparse.nbytes_values()
+            breakdown["indices"] = self.packed_sparse.nbytes_indices()
+        else:
+            breakdown["values"] = int(self.packed_dense.nbytes)
+        if self.grid is not None:
+            breakdown["metadata"] = self.grid.nbytes_metadata()
+        if self.awq_scales is not None:
+            breakdown["metadata"] += self.awq_scales.size * FP16_BYTES
+        return breakdown
+
+    def nbytes(self) -> int:
+        if self.lossless_nbytes is not None:
+            return self.lossless_nbytes + self.nbytes_breakdown()["metadata"]
+        return sum(self.nbytes_breakdown().values())
+
+    def nbytes_uncompressed(self) -> int:
+        rows, cols = self.shape
+        return rows * cols * FP16_BYTES
+
+    def compression_ratio(self) -> float:
+        return self.nbytes_uncompressed() / max(self.nbytes(), 1)
+
+
+@dataclass
+class CompressedDelta:
+    """A packed model delta plus everything needed to reconstruct/serve it."""
+
+    model_id: str
+    base_model_id: str
+    config: CompressionConfig
+    layers: Dict[str, CompressedLayer]
+    extras: Dict[str, np.ndarray]  # uncompressed tensors (FP16 in spirit)
+    reconstruction_errors: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def delta_state_dict(self) -> Dict[str, np.ndarray]:
+        """Dense delta for every tensor (compressed layers dequantized)."""
+        out = {name: layer.dense() for name, layer in self.layers.items()}
+        out.update({name: arr.astype(np.float32)
+                    for name, arr in self.extras.items()})
+        return out
+
+    def to_state_dict(self, base_state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Reconstruct the (approximate) fine-tuned state dict.
+
+        In delta mode this is ``base + Δ̃``; in direct mode (baselines that
+        compress the raw weights) compressed layers *replace* the base.
+        """
+        out = {}
+        dense = self.delta_state_dict()
+        for name, base_arr in base_state.items():
+            if name not in dense:
+                raise KeyError(f"missing tensor in compressed artifact: {name}")
+            if self.config.delta_mode:
+                out[name] = (base_arr.astype(np.float32) + dense[name])
+            else:
+                out[name] = dense[name]
+        return out
+
+    # ------------------------------------------------------------------ #
+    def nbytes(self) -> int:
+        total = sum(layer.nbytes() for layer in self.layers.values())
+        total += sum(arr.size * FP16_BYTES for arr in self.extras.values())
+        return total
+
+    def nbytes_uncompressed(self) -> int:
+        total = sum(layer.nbytes_uncompressed() for layer in self.layers.values())
+        total += sum(arr.size * FP16_BYTES for arr in self.extras.values())
+        return total
+
+    def compression_ratio(self) -> float:
+        """Full-model FP16 bytes over compressed-artifact bytes (Table 1)."""
+        return self.nbytes_uncompressed() / max(self.nbytes(), 1)
+
+    def linear_compression_ratio(self) -> float:
+        """Ratio over the compressed linear layers only (Fig 5's view)."""
+        num = sum(l.nbytes_uncompressed() for l in self.layers.values())
+        den = sum(l.nbytes() for l in self.layers.values())
+        return num / max(den, 1)
+
+    def mean_reconstruction_error(self) -> float:
+        if not self.reconstruction_errors:
+            return 0.0
+        return float(np.mean(list(self.reconstruction_errors.values())))

@@ -1,0 +1,75 @@
+"""AWQ: activation-aware weight quantization (Lin et al., MLSys '24).
+
+The Table 1 quantization-only baseline.  AWQ observes that a small fraction
+of weight channels matter disproportionately because their *activations* are
+large, and protects them by scaling channels up before quantization (and
+down after dequantization).  The per-channel scale is ``s = s_x^α`` with the
+exponent α grid-searched to minimize the layer reconstruction error.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .configs import CompressionConfig
+from .quant import dequantize, fit_grid, quantize
+from .sparsegpt import OBSResult
+
+__all__ = ["awq_compress"]
+
+
+def awq_compress(
+    weight: np.ndarray,
+    x: Optional[np.ndarray],
+    config: CompressionConfig,
+    n_grid: int = 20,
+) -> OBSResult:
+    """Quantize ``weight`` (rows=out, cols=in) with activation-aware scaling.
+
+    ``x`` is (n_samples, cols); without it the search degenerates to α = 0
+    (plain round-to-nearest).  AWQ does not prune, so the mask is all-True.
+    """
+    rows, cols = weight.shape
+    group_size = min(config.group_size, cols)
+    w32 = weight.astype(np.float32)
+
+    if x is None or x.size == 0:
+        grid = fit_grid(w32, config.bits, group_size, symmetric=config.symmetric)
+        codes = quantize(w32, grid)
+        return OBSResult(dense=dequantize(codes, grid),
+                         mask=np.ones_like(w32, dtype=bool),
+                         codes=codes.astype(np.uint16), grid=grid)
+
+    x32 = x.reshape(-1, cols).astype(np.float32)
+    act_scale = np.mean(np.abs(x32), axis=0) + 1e-8
+
+    best = None
+    best_loss = np.inf
+    best_alpha = 0.0
+    ref = x32 @ w32.T
+    for step in range(n_grid + 1):
+        alpha = step / n_grid
+        s = act_scale ** alpha
+        s = s / np.sqrt(np.max(s) * np.min(s))  # normalize the scale range
+        scaled = w32 * s[None, :]
+        grid = fit_grid(scaled, config.bits, group_size,
+                        symmetric=config.symmetric)
+        codes = quantize(scaled, grid)
+        deq = dequantize(codes, grid) / s[None, :]
+        loss = float(np.mean((ref - x32 @ deq.T) ** 2))
+        if loss < best_loss:
+            best_loss = loss
+            best_alpha = alpha
+            best = (codes, grid, deq, s)
+
+    codes, grid, deq, s = best
+    result = OBSResult(dense=deq.astype(np.float32),
+                       mask=np.ones_like(w32, dtype=bool),
+                       codes=codes.astype(np.uint16), grid=grid,
+                       reconstruction_error=best_loss)
+    # stash the chosen scales so the packed format can invert them at load
+    result.awq_alpha = best_alpha  # type: ignore[attr-defined]
+    result.awq_scales = s  # type: ignore[attr-defined]
+    return result

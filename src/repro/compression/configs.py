@@ -1,0 +1,103 @@
+"""Compression configuration shared by the pipeline and the serving layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["CompressionConfig"]
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """Parameters of the ΔCompress pipeline (paper §4.1, Fig 5).
+
+    Attributes:
+        bits: quantization bit-width for surviving delta values (2 or 4 in
+            the paper; 8/16 supported for ablations, 16 = no quantization).
+        sparsity_n / sparsity_m: N:M structured sparsity — at least
+            ``sparsity_n`` of every ``sparsity_m`` contiguous values are
+            pruned (the paper uses 2:4).  ``sparsity_n = 0`` disables pruning.
+        group_size: quantization group length along the input dimension;
+            each group stores one FP16 scale and one integer zero point.
+        lossless: apply the stage-4 lossless codec to the packed bytes.
+        delta_mode: compress the delta (ΔCompress) instead of the raw
+            fine-tuned weight (the SparseGPT-direct baseline of Table 1).
+        damp_percent: Hessian dampening fraction for the OBS solver.
+        blocksize: OBS column block size.
+        symmetric: symmetric (zero-point-free) quantization grid.
+        algorithm: lossy solver — "obs" (SparseGPT-style, the paper's
+            choice), "awq", or "rtn" (round-to-nearest ablation).
+    """
+
+    bits: int = 4
+    sparsity_n: int = 2
+    sparsity_m: int = 4
+    group_size: int = 32
+    lossless: bool = False
+    delta_mode: bool = True
+    damp_percent: float = 0.01
+    blocksize: int = 128
+    symmetric: bool = False
+    algorithm: str = "obs"
+
+    def __post_init__(self):
+        if self.bits not in (2, 3, 4, 8, 16):
+            raise ValueError(f"unsupported bit width: {self.bits}")
+        if self.algorithm not in ("obs", "awq", "rtn"):
+            raise ValueError(f"unknown algorithm: {self.algorithm!r}")
+        if self.algorithm == "awq" and self.sparsity_n != 0:
+            raise ValueError("AWQ is quantization-only; set sparsity_n=0")
+        if self.sparsity_n < 0 or self.sparsity_m <= 0:
+            raise ValueError("invalid N:M sparsity spec")
+        if self.sparsity_n >= self.sparsity_m and self.sparsity_n != 0:
+            raise ValueError(
+                f"{self.sparsity_n}:{self.sparsity_m} would prune every value")
+        if self.group_size <= 0:
+            raise ValueError("group_size must be positive")
+
+    @property
+    def prunes(self) -> bool:
+        return self.sparsity_n > 0
+
+    @property
+    def quantizes(self) -> bool:
+        return self.bits < 16
+
+    @property
+    def density(self) -> float:
+        """Fraction of values kept after N:M pruning."""
+        if not self.prunes:
+            return 1.0
+        return 1.0 - self.sparsity_n / self.sparsity_m
+
+    def short_name(self) -> str:
+        parts = [f"{self.bits}b"]
+        if self.prunes:
+            parts.append(f"{self.sparsity_n}n{self.sparsity_m}m")
+        parts.append(f"g{self.group_size}")
+        if self.lossless:
+            parts.append("zl")
+        return "_".join(parts)
+
+    @staticmethod
+    def deltazip_4bit(**overrides) -> "CompressionConfig":
+        """The paper's DeltaZip(4bit★) configuration."""
+        return CompressionConfig(bits=4, sparsity_n=2, sparsity_m=4, **overrides)
+
+    @staticmethod
+    def deltazip_2bit(**overrides) -> "CompressionConfig":
+        """The paper's DeltaZip(2bit★) configuration."""
+        return CompressionConfig(bits=2, sparsity_n=2, sparsity_m=4, **overrides)
+
+    @staticmethod
+    def sparsegpt_4bit(**overrides) -> "CompressionConfig":
+        """SparseGPT(4bit★) baseline: same pipeline applied to raw weights."""
+        return CompressionConfig(bits=4, sparsity_n=2, sparsity_m=4,
+                                 delta_mode=False, **overrides)
+
+    @staticmethod
+    def awq_4bit(**overrides) -> "CompressionConfig":
+        """AWQ(4bit) baseline: quantization only, no sparsity, raw weights."""
+        return CompressionConfig(bits=4, sparsity_n=0, sparsity_m=4,
+                                 delta_mode=False, algorithm="awq", **overrides)

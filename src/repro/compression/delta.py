@@ -1,0 +1,70 @@
+"""Delta extraction and reconstruction (paper Fig 5 step 1 / Algorithm 1).
+
+A *delta* is the per-tensor difference between a full-model-tuned checkpoint
+and its base: ``Δ = w_finetuned − w_base``.  Fine-tuning perturbs weights by
+small magnitudes (Fig 3), so the delta's value distribution is far narrower
+than the weight's own — the property every later stage exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["extract_delta", "apply_delta", "delta_statistics"]
+
+
+def extract_delta(
+    finetuned: Dict[str, np.ndarray],
+    base: Dict[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """Per-tensor ``finetuned − base``.  Keys must match exactly."""
+    if set(finetuned) != set(base):
+        missing = set(base) ^ set(finetuned)
+        raise KeyError(f"state dict key mismatch: {sorted(missing)[:5]} ...")
+    delta = {}
+    for name, wf in finetuned.items():
+        wb = base[name]
+        if wf.shape != wb.shape:
+            raise ValueError(
+                f"shape mismatch for {name}: {wf.shape} vs {wb.shape}")
+        delta[name] = (wf.astype(np.float32) - wb.astype(np.float32))
+    return delta
+
+
+def apply_delta(
+    base: Dict[str, np.ndarray],
+    delta: Dict[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """Reconstruct a fine-tuned state dict: ``base + Δ``."""
+    if set(base) != set(delta):
+        missing = set(base) ^ set(delta)
+        raise KeyError(f"state dict key mismatch: {sorted(missing)[:5]} ...")
+    return {name: (base[name].astype(np.float32) + delta[name]).astype(np.float32)
+            for name in base}
+
+
+def delta_statistics(
+    finetuned: Dict[str, np.ndarray],
+    base: Dict[str, np.ndarray],
+) -> Dict[str, Dict[str, float]]:
+    """Per-tensor magnitude statistics used for the Fig 3 reproduction.
+
+    Returns, for each tensor, the max |value| and standard deviation of the
+    base weight, the fine-tuned weight, and the delta.  The paper's claim is
+    ``max|Δ| ≪ max|w|`` and a tighter std.
+    """
+    stats = {}
+    for name, wf in finetuned.items():
+        wb = base[name]
+        d = wf - wb
+        stats[name] = {
+            "base_absmax": float(np.max(np.abs(wb))),
+            "base_std": float(np.std(wb)),
+            "finetuned_absmax": float(np.max(np.abs(wf))),
+            "finetuned_std": float(np.std(wf)),
+            "delta_absmax": float(np.max(np.abs(d))),
+            "delta_std": float(np.std(d)),
+        }
+    return stats

@@ -1,0 +1,145 @@
+"""Bit-packing for quantized codes and 2:4 sparse index encoding.
+
+This reproduces the storage format of paper Fig 5:
+
+* dense path: ``32 // bits`` codes per uint32 word;
+* 2:4 sparse path: only the kept values' codes are stored, plus a 2-bit
+  *position index* per kept value identifying its slot within its group of 4
+  (exactly the metadata layout sparse tensor cores consume).
+
+Byte accounting here is what produces the compression ratios of Fig 5 and
+Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["pack_codes", "unpack_codes", "pack_nm_sparse", "unpack_nm_sparse",
+           "PackedSparseMatrix"]
+
+
+def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Pack an integer array (values < 2^bits) into a flat uint32 array."""
+    if bits not in (2, 3, 4, 8, 16):
+        raise ValueError(f"unsupported bit width {bits}")
+    flat = codes.reshape(-1).astype(np.uint32)
+    if np.any(flat >= (1 << bits)):
+        raise ValueError(f"code out of range for {bits}-bit packing")
+    if bits == 3:
+        # 3-bit codes don't tile uint32 evenly; pack 10 per word (30 bits)
+        per_word = 10
+    else:
+        per_word = 32 // bits
+    n_words = -(-flat.size // per_word)
+    padded = np.zeros(n_words * per_word, dtype=np.uint32)
+    padded[: flat.size] = flat
+    words = np.zeros(n_words, dtype=np.uint32)
+    for slot in range(per_word):
+        words |= padded[slot::per_word] << np.uint32(slot * bits)
+    return words
+
+
+def unpack_codes(words: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_codes`; returns ``count`` codes as uint16."""
+    per_word = 10 if bits == 3 else 32 // bits
+    mask = np.uint32((1 << bits) - 1)
+    out = np.zeros(words.size * per_word, dtype=np.uint32)
+    for slot in range(per_word):
+        out[slot::per_word] = (words >> np.uint32(slot * bits)) & mask
+    return out[:count].astype(np.uint16)
+
+
+@dataclass
+class PackedSparseMatrix:
+    """A 2:4-pruned, quantized matrix in packed storage.
+
+    Attributes:
+        shape: original dense (rows, cols).
+        bits: quantization bit width of the stored values.
+        values: packed codes of the *kept* values, row-major, group order.
+        indices: packed 2-bit within-group positions of kept values.
+        kept_per_group: how many values survive per group (m - n).
+        m: the group length (4 for 2:4).
+    """
+
+    shape: Tuple[int, int]
+    bits: int
+    values: np.ndarray
+    indices: np.ndarray
+    kept_per_group: int
+    m: int
+
+    def nbytes_values(self) -> int:
+        return int(self.values.nbytes)
+
+    def nbytes_indices(self) -> int:
+        return int(self.indices.nbytes)
+
+    def nbytes(self) -> int:
+        return self.nbytes_values() + self.nbytes_indices()
+
+
+def pack_nm_sparse(codes: np.ndarray, mask: np.ndarray, bits: int,
+                   n: int, m: int) -> PackedSparseMatrix:
+    """Pack quantized codes under an N:M mask.
+
+    ``codes`` is the full (rows, cols) integer matrix; only positions where
+    ``mask`` is True are stored.  Every group must keep exactly ``m - n``
+    values — the invariant 2:4 sparse tensor-core formats require.
+    """
+    rows, cols = codes.shape
+    if cols % m != 0:
+        raise ValueError(f"cols ({cols}) must divide by m ({m})")
+    kept_per_group = m - n
+    n_groups = cols // m
+    grouped_codes = codes.reshape(rows, n_groups, m)
+    grouped_mask = mask.reshape(rows, n_groups, m)
+    kept_counts = grouped_mask.sum(axis=-1)
+    if not np.all(kept_counts == kept_per_group):
+        raise ValueError(
+            f"N:M packing requires exactly {kept_per_group} kept values per "
+            f"group of {m}; found groups with "
+            f"{sorted(set(np.unique(kept_counts)) - {kept_per_group})} kept")
+
+    # within each group, order kept positions first (stable)
+    order = np.argsort(~grouped_mask, axis=-1, kind="stable")
+    top = order[..., :kept_per_group]  # positions of stored values
+    stored_codes = np.take_along_axis(grouped_codes, top, axis=-1)
+    positions = top
+
+    return PackedSparseMatrix(
+        shape=(rows, cols),
+        bits=bits,
+        values=pack_codes(stored_codes, bits),
+        indices=pack_codes(positions.astype(np.uint32), 2),
+        kept_per_group=kept_per_group,
+        m=m,
+    )
+
+
+def unpack_nm_sparse(packed: PackedSparseMatrix) -> Tuple[np.ndarray, np.ndarray]:
+    """Recover (codes, mask) from packed storage.
+
+    Padded slots (duplicate positions within a group) resolve to the first
+    stored value; the mask marks only genuinely stored positions.
+    """
+    rows, cols = packed.shape
+    n_groups = cols // packed.m
+    count = rows * n_groups * packed.kept_per_group
+    stored = unpack_codes(packed.values, packed.bits, count)
+    positions = unpack_codes(packed.indices, 2, count)
+    stored = stored.reshape(rows, n_groups, packed.kept_per_group)
+    positions = positions.reshape(rows, n_groups, packed.kept_per_group)
+
+    codes = np.zeros((rows, n_groups, packed.m), dtype=np.uint16)
+    mask = np.zeros((rows, n_groups, packed.m), dtype=bool)
+    # scatter in reverse slot order so slot 0 wins ties (matching pack pad)
+    for slot in range(packed.kept_per_group - 1, -1, -1):
+        np.put_along_axis(codes, positions[..., slot:slot + 1],
+                          stored[..., slot:slot + 1], axis=-1)
+        np.put_along_axis(mask, positions[..., slot:slot + 1], True, axis=-1)
+    return codes.reshape(rows, cols), mask.reshape(rows, cols)

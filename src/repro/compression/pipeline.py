@@ -1,0 +1,233 @@
+"""The ΔCompress pipeline driver (paper §4.1 Fig 5 + §4.2 Algorithm 1).
+
+Layer-by-layer over the transformer blocks:
+
+1. run the (partially reconstructed) model forward on the calibration batch
+   to capture each linear layer's input ``X_n``;
+2. extract the delta ``Δ = w_f − w_b`` (or take ``w_f`` directly for the
+   direct-compression baselines);
+3. solve for the pruned+quantized ``Q ⊙ M`` with the configured algorithm
+   (OBS / AWQ / RTN);
+4. **reconstruct** the served weight ``w̃ = Q ⊙ M + w_b`` in place and
+   recompute the block output as the next block's calibration input — the
+   step that distinguishes ΔCompress from running SparseGPT on the delta
+   naively (without it, small-magnitude deltas drive activations toward
+   zero and calibration collapses in deep layers);
+5. pack the result (values + 2-bit indices + grids) and optionally apply the
+   stage-4 lossless codec.
+
+Memory profile matches the paper's claim: only one block's activations are
+alive at a time.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn.transformer import TransformerModel
+from .artifacts import CompressedDelta, CompressedLayer
+from .awq import awq_compress
+from .configs import CompressionConfig
+from .lossless import LosslessCodec, ZlibCodec, compress_array
+from .packing import pack_codes, pack_nm_sparse
+from .sparsegpt import OBSResult, obs_compress, rtn_compress
+
+__all__ = ["DeltaCompressor", "CompressionReport"]
+
+
+@dataclass
+class CompressionReport:
+    """Timing/quality summary of one compression run."""
+
+    model_id: str
+    config: CompressionConfig
+    seconds: float
+    layer_errors: Dict[str, float]
+    compression_ratio: float
+    linear_compression_ratio: float
+
+
+class DeltaCompressor:
+    """Compresses registered FMT models into :class:`CompressedDelta`s.
+
+    This is the offline component of Fig 4 — it runs once at registration
+    time, never on the serving critical path.
+    """
+
+    def __init__(self, config: CompressionConfig,
+                 codec: Optional[LosslessCodec] = None):
+        self.config = config
+        if config.lossless and codec is None:
+            codec = ZlibCodec()
+        self.codec = codec
+        self.last_report: Optional[CompressionReport] = None
+
+    # ------------------------------------------------------------------ #
+    def compress(
+        self,
+        finetuned: TransformerModel,
+        base_state: Dict[str, np.ndarray],
+        calibration_tokens: Optional[np.ndarray],
+        model_id: str = "finetuned",
+        base_model_id: str = "base",
+    ) -> CompressedDelta:
+        """Run the full pipeline; returns the packed artifact.
+
+        ``calibration_tokens`` is an int array (n_samples, seq_len) — the
+        small calibration set developers supply at registration (§4.2
+        recommends ~256 samples).  ``None`` falls back to calibration-free
+        RTN behaviour inside the solver.
+        """
+        config = self.config
+        started = time.perf_counter()
+        model = self._clone(finetuned)
+        own_names = set(name for name, _ in model.named_parameters())
+        if set(base_state) != own_names:
+            raise KeyError("base state dict does not match the model")
+
+        layers: Dict[str, CompressedLayer] = {}
+        errors: Dict[str, float] = {}
+
+        hidden = None
+        if calibration_tokens is not None:
+            tokens = np.asarray(calibration_tokens, dtype=np.int64)
+            if tokens.ndim == 1:
+                tokens = tokens[None, :]
+            hidden = model.embed_tokens(tokens)
+
+        for block_idx, block in enumerate(model.layers):
+            captured = self._capture_block_inputs(block, hidden)
+            for layer_name, linear in self._block_linears(block_idx, block):
+                w_f = linear.weight.data.astype(np.float32)
+                w_b = base_state[layer_name].astype(np.float32)
+                target = (w_f - w_b) if config.delta_mode else w_f
+                x = captured.get(self._suffix(layer_name))
+                result = self._solve(target, x, config)
+                layers[layer_name] = self._pack(layer_name, result)
+                errors[layer_name] = result.reconstruction_error
+                # Algorithm 1 line 6: reconstruct the served weight in place
+                served = result.dense + w_b if config.delta_mode else result.dense
+                linear.weight.data = served.astype(np.float32)
+            if hidden is not None:
+                # Algorithm 1 line 7: next block's input from reconstructed w
+                hidden = block(hidden)
+
+        extras = self._collect_extras(model, base_state, own_names,
+                                      set(layers), config.delta_mode)
+        artifact = CompressedDelta(
+            model_id=model_id,
+            base_model_id=base_model_id,
+            config=config,
+            layers=layers,
+            extras=extras,
+            reconstruction_errors=errors,
+        )
+        self.last_report = CompressionReport(
+            model_id=model_id,
+            config=config,
+            seconds=time.perf_counter() - started,
+            layer_errors=errors,
+            compression_ratio=artifact.compression_ratio(),
+            linear_compression_ratio=artifact.linear_compression_ratio(),
+        )
+        return artifact
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _clone(model: TransformerModel) -> TransformerModel:
+        clone = TransformerModel(model.config, seed=0)
+        clone.load_state_dict(model.state_dict())
+        return clone
+
+    @staticmethod
+    def _block_linears(block_idx: int, block):
+        """Yield (dotted_name, Linear) for the block's seven projections."""
+        from ..nn.transformer import LINEAR_LAYER_KINDS
+        attn_kinds = {"q_proj", "k_proj", "v_proj", "o_proj"}
+        for kind in LINEAR_LAYER_KINDS:
+            owner_name = "self_attn" if kind in attn_kinds else "mlp"
+            owner = getattr(block, owner_name)
+            yield (f"layers.{block_idx}.{owner_name}.{kind}.weight",
+                   getattr(owner, kind))
+
+    @staticmethod
+    def _suffix(layer_name: str) -> str:
+        """'layers.3.self_attn.q_proj.weight' -> 'self_attn.q_proj.weight'."""
+        return layer_name.split(".", 2)[2]
+
+    def _capture_block_inputs(self, block, hidden) -> Dict[str, np.ndarray]:
+        """Forward the block with input caching on; harvest each linear's X."""
+        if hidden is None:
+            return {}
+        block(hidden, cache=True)
+        captured = {}
+        for name, linear in self._block_linears(0, block):
+            x = linear._cached_input
+            if x is not None:
+                captured[self._suffix(name)] = \
+                    x.reshape(-1, linear.in_features).copy()
+            linear._cached_input = None
+        # clear training ctx left behind by cache=True
+        block.self_attn._ctx = None
+        block.mlp._ctx = None
+        block.input_norm._cached_input = None
+        block.post_norm._cached_input = None
+        return captured
+
+    def _solve(self, target, x, config) -> OBSResult:
+        if config.algorithm == "awq":
+            return awq_compress(target, x, config)
+        if config.algorithm == "rtn":
+            return rtn_compress(target, config)
+        return obs_compress(target, x, config)
+
+    def _pack(self, name: str, result: OBSResult) -> CompressedLayer:
+        config = self.config
+        layer = CompressedLayer(name=name, shape=result.dense.shape,
+                                config=config, grid=result.grid)
+        if not config.quantizes:
+            layer.fp16_values = result.dense.astype(np.float16).astype(np.float32)
+        elif config.prunes:
+            layer.packed_sparse = pack_nm_sparse(
+                result.codes, result.mask, config.bits,
+                config.sparsity_n, config.sparsity_m)
+        else:
+            layer.packed_dense = pack_codes(result.codes, config.bits)
+        scales = getattr(result, "awq_scales", None)
+        if scales is not None:
+            layer.awq_scales = scales.astype(np.float32)
+        if config.lossless and self.codec is not None:
+            payload = (layer.packed_sparse.values if layer.packed_sparse
+                       else layer.packed_dense)
+            blob = compress_array(payload, self.codec)
+            extra = (layer.packed_sparse.nbytes_indices()
+                     if layer.packed_sparse else 0)
+            idx_blob_len = 0
+            if layer.packed_sparse is not None:
+                idx_blob_len = len(compress_array(
+                    layer.packed_sparse.indices, self.codec))
+            layer.lossless_nbytes = len(blob) + idx_blob_len
+        return layer
+
+    @staticmethod
+    def _collect_extras(model, base_state, all_names, compressed_names,
+                        delta_mode):
+        """Uncompressed remainder: embeddings, norms, lm_head.
+
+        Stored as a delta in delta mode (reconstruction adds the base back)
+        and as the raw value otherwise, matching
+        :meth:`CompressedDelta.to_state_dict`.
+        """
+        extras = {}
+        current = model.state_dict()
+        for name in sorted(all_names - compressed_names):
+            value = current[name] - base_state[name] if delta_mode else current[name]
+            extras[name] = value.astype(np.float32)
+        return extras

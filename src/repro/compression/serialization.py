@@ -1,0 +1,139 @@
+"""On-disk format for compressed deltas (the delta zoo's storage layer).
+
+A ``.dzip`` file is a zip archive holding ``metadata.json`` (model ids,
+compression config, per-layer index) plus one ``.npy`` entry per stored
+array.  Packed payloads round-trip bit-exactly; the uncompressed extras are
+stored at FP16 (matching their byte accounting), so they round-trip to FP16
+precision.  This is the persistence layer of the Model Manager's delta zoo
+(paper Fig 4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import zipfile
+from typing import Dict, Optional
+
+import numpy as np
+
+from .artifacts import CompressedDelta, CompressedLayer
+from .configs import CompressionConfig
+from .packing import PackedSparseMatrix
+from .quant import QuantGrid
+
+__all__ = ["save_compressed_delta", "load_compressed_delta"]
+
+_FORMAT_VERSION = 1
+
+
+def _write_array(zf: zipfile.ZipFile, name: str, arr: np.ndarray) -> None:
+    buf = io.BytesIO()
+    np.save(buf, arr)
+    zf.writestr(name + ".npy", buf.getvalue())
+
+
+def _read_array(zf: zipfile.ZipFile, name: str) -> np.ndarray:
+    return np.load(io.BytesIO(zf.read(name + ".npy")))
+
+
+def _layer_meta(layer: CompressedLayer) -> Dict:
+    meta = {
+        "shape": list(layer.shape),
+        "kind": ("fp16" if layer.fp16_values is not None else
+                 "sparse" if layer.packed_sparse is not None else "dense"),
+        "lossless_nbytes": layer.lossless_nbytes,
+        "has_awq_scales": layer.awq_scales is not None,
+        "has_grid": layer.grid is not None,
+    }
+    if layer.packed_sparse is not None:
+        meta["kept_per_group"] = layer.packed_sparse.kept_per_group
+        meta["m"] = layer.packed_sparse.m
+        meta["bits"] = layer.packed_sparse.bits
+    if layer.grid is not None:
+        meta["grid_bits"] = layer.grid.bits
+        meta["grid_group_size"] = layer.grid.group_size
+        meta["grid_symmetric"] = layer.grid.symmetric
+    return meta
+
+
+def save_compressed_delta(artifact: CompressedDelta, path: str) -> None:
+    """Write the artifact to ``path`` (conventionally ``*.dzip``)."""
+    metadata = {
+        "format_version": _FORMAT_VERSION,
+        "model_id": artifact.model_id,
+        "base_model_id": artifact.base_model_id,
+        "config": dataclasses.asdict(artifact.config),
+        "layers": {name: _layer_meta(layer)
+                   for name, layer in artifact.layers.items()},
+        "extras": sorted(artifact.extras),
+        "reconstruction_errors": artifact.reconstruction_errors,
+    }
+    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_STORED) as zf:
+        zf.writestr("metadata.json", json.dumps(metadata, indent=1))
+        for name, layer in artifact.layers.items():
+            prefix = f"layers/{name}"
+            if layer.fp16_values is not None:
+                _write_array(zf, f"{prefix}/fp16",
+                             layer.fp16_values.astype(np.float16))
+            if layer.packed_sparse is not None:
+                _write_array(zf, f"{prefix}/values",
+                             layer.packed_sparse.values)
+                _write_array(zf, f"{prefix}/indices",
+                             layer.packed_sparse.indices)
+            if layer.packed_dense is not None:
+                _write_array(zf, f"{prefix}/dense", layer.packed_dense)
+            if layer.grid is not None:
+                _write_array(zf, f"{prefix}/scale", layer.grid.scale)
+                _write_array(zf, f"{prefix}/zero", layer.grid.zero)
+            if layer.awq_scales is not None:
+                _write_array(zf, f"{prefix}/awq_scales", layer.awq_scales)
+        for name, arr in artifact.extras.items():
+            _write_array(zf, f"extras/{name}", arr.astype(np.float16))
+
+
+def load_compressed_delta(path: str) -> CompressedDelta:
+    """Inverse of :func:`save_compressed_delta`."""
+    with zipfile.ZipFile(path, "r") as zf:
+        metadata = json.loads(zf.read("metadata.json"))
+        if metadata.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported artifact format: "
+                f"{metadata.get('format_version')!r}")
+        config = CompressionConfig(**metadata["config"])
+        layers: Dict[str, CompressedLayer] = {}
+        for name, meta in metadata["layers"].items():
+            prefix = f"layers/{name}"
+            grid: Optional[QuantGrid] = None
+            if meta["has_grid"]:
+                grid = QuantGrid(
+                    bits=meta["grid_bits"],
+                    group_size=meta["grid_group_size"],
+                    scale=_read_array(zf, f"{prefix}/scale"),
+                    zero=_read_array(zf, f"{prefix}/zero"),
+                    symmetric=meta["grid_symmetric"])
+            layer = CompressedLayer(name=name, shape=tuple(meta["shape"]),
+                                    config=config, grid=grid,
+                                    lossless_nbytes=meta["lossless_nbytes"])
+            if meta["kind"] == "fp16":
+                layer.fp16_values = _read_array(
+                    zf, f"{prefix}/fp16").astype(np.float32)
+            elif meta["kind"] == "sparse":
+                layer.packed_sparse = PackedSparseMatrix(
+                    shape=tuple(meta["shape"]), bits=meta["bits"],
+                    values=_read_array(zf, f"{prefix}/values"),
+                    indices=_read_array(zf, f"{prefix}/indices"),
+                    kept_per_group=meta["kept_per_group"], m=meta["m"])
+            else:
+                layer.packed_dense = _read_array(zf, f"{prefix}/dense")
+            if meta["has_awq_scales"]:
+                layer.awq_scales = _read_array(zf, f"{prefix}/awq_scales")
+            layers[name] = layer
+        extras = {name: _read_array(zf, f"extras/{name}").astype(np.float32)
+                  for name in metadata["extras"]}
+    return CompressedDelta(
+        model_id=metadata["model_id"],
+        base_model_id=metadata["base_model_id"],
+        config=config, layers=layers, extras=extras,
+        reconstruction_errors=metadata["reconstruction_errors"])

@@ -1,0 +1,17 @@
+"""Model-quality evaluation: synthetic tasks, fine-tuning, accuracy harness."""
+
+from .finetune import FinetuneResult, make_task_dataset, run_fmt, run_lora
+from .harness import (EvalResult, answer_nll, evaluate_examples,
+                      evaluate_nll, evaluate_task)
+from .pretrain import generic_corpus, pretrain_base_model
+from .tasks import (TASK_REGISTRY, Task, TaskExample, build_training_arrays,
+                    make_task)
+
+__all__ = [
+    "FinetuneResult", "make_task_dataset", "run_fmt", "run_lora",
+    "EvalResult", "answer_nll", "evaluate_examples", "evaluate_nll",
+    "evaluate_task",
+    "generic_corpus", "pretrain_base_model",
+    "TASK_REGISTRY", "Task", "TaskExample", "build_training_arrays",
+    "make_task",
+]

@@ -1,0 +1,95 @@
+"""Fine-tuning experiment drivers: FMT and LoRA from a shared base.
+
+These produce the checkpoints the compression and serving experiments
+consume: ``run_fmt`` is the paradigm DeltaZip serves (all parameters move,
+deltas are small — Fig 3); ``run_lora`` is the PEFT comparison of
+Fig 2 / Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn.lora import LoRAAdapter, LoRAConfig, attach_lora, detach_lora, \
+    merge_lora
+from ..nn.training import TrainingConfig, train_lm
+from ..nn.transformer import TransformerModel
+from .tasks import Task, build_training_arrays
+
+__all__ = ["FinetuneResult", "run_fmt", "run_lora", "make_task_dataset"]
+
+
+@dataclass
+class FinetuneResult:
+    """A fine-tuned model plus its training artifacts."""
+
+    model: TransformerModel
+    loss_history: list
+    calibration_tokens: np.ndarray
+    adapter: Optional[LoRAAdapter] = None
+
+
+def make_task_dataset(task: Task, n_train: int, pad_to: int,
+                      seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    examples = task.examples(n_train, rng)
+    return build_training_arrays(examples, pad_to=pad_to)
+
+
+def _clone(model: TransformerModel) -> TransformerModel:
+    clone = TransformerModel(model.config, seed=0)
+    clone.load_state_dict(model.state_dict())
+    return clone
+
+
+def run_fmt(base: TransformerModel, task: Task, n_train: int = 256,
+            epochs: int = 6, lr: float = 5e-4, seed: int = 0,
+            n_calibration: int = 32) -> FinetuneResult:
+    """Full-model tuning: update every parameter on the task data.
+
+    The returned ``calibration_tokens`` are a subset of the training inputs
+    — exactly what a developer registers with the Delta Compressor (§4.2).
+    """
+    model = _clone(base)
+    pad_to = min(model.config.max_seq, task.seq_len + 12)
+    inputs, targets = make_task_dataset(task, n_train, pad_to, seed=seed)
+    history = train_lm(model, inputs, targets,
+                       TrainingConfig(epochs=epochs, lr=lr, batch_size=16,
+                                      seed=seed))
+    calib = inputs[:n_calibration].copy()
+    return FinetuneResult(model=model, loss_history=history,
+                          calibration_tokens=calib)
+
+
+def run_lora(base: TransformerModel, task: Task, rank: int = 4,
+             alpha: Optional[float] = None, n_train: int = 256,
+             epochs: int = 6, lr: float = 5e-3, seed: int = 0,
+             target_kinds: Tuple[str, ...] = ("q_proj", "v_proj"),
+             merge: bool = True) -> FinetuneResult:
+    """LoRA tuning: freeze the base, train low-rank adapters.
+
+    With ``merge=True`` the returned model has the adapter folded in (the
+    dense-equivalent checkpoint); the extracted adapter is returned either
+    way for the LoRA-serving experiments.
+    """
+    model = _clone(base)
+    config = LoRAConfig(rank=rank,
+                        alpha=alpha if alpha is not None else 2.0 * rank,
+                        target_kinds=target_kinds)
+    attach_lora(model, config, seed=seed)
+    pad_to = min(model.config.max_seq, task.seq_len + 12)
+    inputs, targets = make_task_dataset(task, n_train, pad_to, seed=seed)
+    history = train_lm(model, inputs, targets,
+                       TrainingConfig(epochs=epochs, lr=lr, batch_size=16,
+                                      seed=seed))
+    adapter = detach_lora(model)
+    if merge:
+        merge_lora(model, adapter)
+    else:
+        model = _clone(base)
+    calib = inputs[:32].copy()
+    return FinetuneResult(model=model, loss_history=history,
+                          calibration_tokens=calib, adapter=adapter)

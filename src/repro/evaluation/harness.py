@@ -1,0 +1,80 @@
+"""Accuracy harness: multiple-choice scoring over task examples.
+
+Plays the role of lm-eval-harness in the paper's Table 1/2: each example is
+scored by ranking candidate answers by continuation log-probability under
+the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.generation import sequence_logprob
+from ..nn.transformer import TransformerModel
+from .tasks import Task, TaskExample
+
+__all__ = ["EvalResult", "evaluate_task", "evaluate_examples",
+           "answer_nll", "evaluate_nll"]
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Accuracy of one (model, task) pair."""
+
+    task: str
+    accuracy: float
+    n_examples: int
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.accuracy
+
+
+def evaluate_examples(model: TransformerModel,
+                      examples: Sequence[TaskExample],
+                      task_name: str = "task") -> EvalResult:
+    """Score examples by highest mean continuation log-probability."""
+    if not examples:
+        raise ValueError("no examples to evaluate")
+    correct = 0
+    for ex in examples:
+        scores = []
+        for choice in ex.choices:
+            logp = sequence_logprob(model, ex.prompt, choice)
+            scores.append(logp / len(choice))  # length-normalized
+        if int(np.argmax(scores)) == ex.gold_index:
+            correct += 1
+    return EvalResult(task=task_name, accuracy=correct / len(examples),
+                      n_examples=len(examples))
+
+
+def evaluate_task(model: TransformerModel, task: Task, n_examples: int = 100,
+                  seed: int = 1234) -> EvalResult:
+    """Generate a held-out eval split and score it."""
+    rng = np.random.default_rng(seed)
+    examples = task.examples(n_examples, rng)
+    return evaluate_examples(model, examples, task_name=task.name)
+
+
+def answer_nll(model: TransformerModel,
+               examples: Sequence[TaskExample]) -> float:
+    """Mean per-token negative log-likelihood of the gold answers.
+
+    A continuous quality signal that keeps discriminating where accuracy
+    saturates (the regime Table 1's toy-scale caveat lives in).
+    """
+    if not examples:
+        raise ValueError("no examples to score")
+    values = [-sequence_logprob(model, ex.prompt, ex.answer) / len(ex.answer)
+              for ex in examples]
+    return float(np.mean(values))
+
+
+def evaluate_nll(model: TransformerModel, task: Task, n_examples: int = 100,
+                 seed: int = 1234) -> float:
+    """Held-out-split convenience wrapper around :func:`answer_nll`."""
+    rng = np.random.default_rng(seed)
+    return answer_nll(model, task.examples(n_examples, rng))

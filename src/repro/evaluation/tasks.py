@@ -1,0 +1,205 @@
+"""Synthetic downstream tasks standing in for the paper's evaluation suites.
+
+The paper grades compression quality on natural-instructions tasks (Amazon
+review classification, synthetic palindrome numbers, yes/no QA — Table 1)
+and FMT-vs-LoRA on those plus harder ones (GSM8K math — Table 2).  Each
+:class:`Task` here generates token-level datasets with the same *role*:
+
+* ``review``    — sequence-majority classification (Amazon reviews);
+* ``palindrome``— is the digit string a palindrome? (used verbatim by the
+                  paper as a synthetic task);
+* ``yesno``     — membership QA: does token X occur in the context?;
+* ``nli``       — subsequence entailment: entail / neutral / contradict;
+* ``math``      — modular addition with a multi-token answer, the "hard"
+                  task where low-rank adapters fall behind FMT (Fig 2).
+
+Every task emits prompts that end with a query separator and scores answers
+as multiple-choice over candidate answer tokens via continuation
+log-probability — the lm-eval-harness protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TaskExample", "Task", "TASK_REGISTRY", "make_task",
+           "build_training_arrays"]
+
+# token-space layout (vocab must be >= 64)
+PAD, EOS, SEP, QUERY = 0, 1, 2, 3
+ANSWER_BASE = 4          # answer/label tokens live at 4..15
+DIGIT_BASE = 16          # digit tokens 16..25
+CONTENT_BASE = 26        # generic content tokens start here
+
+
+@dataclass
+class TaskExample:
+    """One graded example: a prompt, the gold answer, and the choices."""
+
+    prompt: List[int]
+    answer: List[int]
+    choices: List[List[int]]
+
+    @property
+    def gold_index(self) -> int:
+        return self.choices.index(self.answer)
+
+
+@dataclass
+class Task:
+    """A synthetic downstream task (see module docstring)."""
+
+    name: str
+    seq_len: int
+    n_classes: int
+    generator: "callable"
+    hard: bool = False  # FMT-vs-LoRA gap expected (Fig 2 / Table 2)
+
+    def examples(self, n: int, rng: np.random.Generator) -> List[TaskExample]:
+        return [self.generator(rng) for _ in range(n)]
+
+
+# --------------------------------------------------------------------------- #
+# generators
+# --------------------------------------------------------------------------- #
+def _label_choices(n_classes: int) -> List[List[int]]:
+    return [[ANSWER_BASE + i] for i in range(n_classes)]
+
+
+def _review_example(rng: np.random.Generator, seq_len: int = 12,
+                    n_classes: int = 2) -> TaskExample:
+    """Majority sentiment: content tokens are drawn from per-class pools."""
+    label = int(rng.integers(n_classes))
+    pools = [np.arange(CONTENT_BASE + c * 8, CONTENT_BASE + c * 8 + 8)
+             for c in range(n_classes)]
+    n_major = seq_len // 2 + 1 + int(rng.integers(seq_len // 4 + 1))
+    n_major = min(n_major, seq_len)
+    tokens = list(rng.choice(pools[label], size=n_major))
+    for _ in range(seq_len - n_major):
+        other = (label + 1 + int(rng.integers(max(n_classes - 1, 1)))) % n_classes
+        tokens.append(int(rng.choice(pools[other])))
+    rng.shuffle(tokens)
+    prompt = [int(t) for t in tokens] + [QUERY]
+    return TaskExample(prompt=prompt, answer=[ANSWER_BASE + label],
+                       choices=_label_choices(n_classes))
+
+
+def _palindrome_example(rng: np.random.Generator, seq_len: int = 8) -> TaskExample:
+    half = [int(rng.integers(DIGIT_BASE, DIGIT_BASE + 10))
+            for _ in range(seq_len // 2)]
+    if rng.random() < 0.5:
+        seq = half + half[::-1]
+        label = 1
+    else:
+        seq = [int(rng.integers(DIGIT_BASE, DIGIT_BASE + 10))
+               for _ in range(seq_len)]
+        label = 1 if seq == seq[::-1] else 0
+    prompt = seq + [QUERY]
+    return TaskExample(prompt=prompt, answer=[ANSWER_BASE + label],
+                       choices=_label_choices(2))
+
+
+def _yesno_example(rng: np.random.Generator, seq_len: int = 6,
+                   pool: int = 10) -> TaskExample:
+    """Membership QA with a strong signal: positive contexts repeat the
+    probe in about half their positions; negatives omit it entirely."""
+    probe = int(rng.integers(CONTENT_BASE, CONTENT_BASE + pool))
+    others = [t for t in range(CONTENT_BASE, CONTENT_BASE + pool)
+              if t != probe]
+    if rng.random() < 0.5:
+        label = 1
+        n_hits = max(2, seq_len // 2)
+        content = [probe] * n_hits + \
+            [int(rng.choice(others)) for _ in range(seq_len - n_hits)]
+        rng.shuffle(content)
+    else:
+        label = 0
+        content = [int(rng.choice(others)) for _ in range(seq_len)]
+    prompt = [probe, SEP] + content + [QUERY]
+    return TaskExample(prompt=prompt, answer=[ANSWER_BASE + label],
+                       choices=_label_choices(2))
+
+
+def _nli_example(rng: np.random.Generator, seq_len: int = 6,
+                 pool: int = 12) -> TaskExample:
+    premise = [int(rng.integers(CONTENT_BASE, CONTENT_BASE + pool))
+               for _ in range(seq_len)]
+    mode = int(rng.integers(3))
+    k = 2
+    if mode == 0:  # entail: hypothesis tokens all appear in the premise
+        idx = np.sort(rng.choice(seq_len, size=k, replace=False))
+        hypothesis = [premise[i] for i in idx]
+    elif mode == 1:  # contradict: disjoint tokens
+        out_pool = [t for t in range(CONTENT_BASE, CONTENT_BASE + pool)
+                    if t not in premise]
+        hypothesis = ([int(rng.choice(out_pool)) for _ in range(k)]
+                      if out_pool else [CONTENT_BASE] * k)
+    else:  # neutral: one in, one out
+        inside = premise[int(rng.integers(seq_len))]
+        out_pool = [t for t in range(CONTENT_BASE, CONTENT_BASE + pool)
+                    if t not in premise]
+        outside = int(rng.choice(out_pool)) if out_pool else inside
+        hypothesis = [inside, outside]
+    label = mode
+    prompt = premise + [SEP] + hypothesis + [QUERY]
+    return TaskExample(prompt=prompt, answer=[ANSWER_BASE + label],
+                       choices=_label_choices(3))
+
+
+def _math_example(rng: np.random.Generator, modulus: int = 16) -> TaskExample:
+    """(a + b) mod 16, answered as two base-4 digit tokens (multi-token)."""
+    a = int(rng.integers(modulus))
+    b = int(rng.integers(modulus))
+    result = (a + b) % modulus
+    def digits(v: int) -> List[int]:
+        return [DIGIT_BASE + (v // 4), DIGIT_BASE + (v % 4)]
+    prompt = [DIGIT_BASE + (a // 4), DIGIT_BASE + (a % 4), SEP,
+              DIGIT_BASE + (b // 4), DIGIT_BASE + (b % 4), QUERY]
+    choices = [digits(v) for v in range(modulus)]
+    return TaskExample(prompt=prompt, answer=digits(result), choices=choices)
+
+
+TASK_REGISTRY: Dict[str, Task] = {
+    "review": Task(name="review", seq_len=13, n_classes=2,
+                   generator=_review_example),
+    "palindrome": Task(name="palindrome", seq_len=9, n_classes=2,
+                       generator=_palindrome_example),
+    "yesno": Task(name="yesno", seq_len=9, n_classes=2,
+                  generator=_yesno_example),
+    "nli": Task(name="nli", seq_len=10, n_classes=3,
+                generator=_nli_example),
+    "math": Task(name="math", seq_len=8, n_classes=16,
+                 generator=_math_example, hard=True),
+}
+
+
+def make_task(name: str) -> Task:
+    if name not in TASK_REGISTRY:
+        raise KeyError(f"unknown task {name!r}; known: {sorted(TASK_REGISTRY)}")
+    return TASK_REGISTRY[name]
+
+
+def build_training_arrays(examples: Sequence[TaskExample],
+                          pad_to: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack (prompt + answer + EOS) into LM training arrays.
+
+    Inputs are right-padded with PAD; targets shift by one and mask the
+    prompt span and padding with -100 so loss covers only answer tokens.
+    """
+    n = len(examples)
+    inputs = np.full((n, pad_to), PAD, dtype=np.int64)
+    targets = np.full((n, pad_to), -100, dtype=np.int64)
+    for i, ex in enumerate(examples):
+        seq = list(ex.prompt) + list(ex.answer) + [EOS]
+        if len(seq) > pad_to:
+            raise ValueError(
+                f"example length {len(seq)} exceeds pad_to {pad_to}")
+        inputs[i, :len(seq)] = seq
+        answer_start = len(ex.prompt)
+        # next-token targets: position j predicts seq[j + 1]
+        for j in range(answer_start - 1, len(seq) - 1):
+            targets[i, j] = seq[j + 1]
+    return inputs, targets

@@ -1,0 +1,78 @@
+"""Multi-GPU node model: tensor-parallel groups and collective costs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .memory import MemoryPool, Tier, TransferModel
+from .specs import GPUSpec, NodeSpec
+
+__all__ = ["SimulatedGPU", "GPUNode", "allreduce_time"]
+
+_NVLINK_LATENCY_S = 5e-6
+_PCIE_P2P_LATENCY_S = 15e-6
+
+
+@dataclass
+class SimulatedGPU:
+    """One device: a memory pool plus its spec."""
+
+    index: int
+    spec: GPUSpec
+    memory: MemoryPool = field(init=False)
+
+    def __post_init__(self):
+        self.memory = MemoryPool(name=f"gpu{self.index}",
+                                 capacity=self.spec.memory_bytes)
+
+
+def allreduce_time(nbytes: float, n_gpus: int, gpu: GPUSpec) -> float:
+    """Ring all-reduce cost across a tensor-parallel group.
+
+    Ring moves ``2 (n-1)/n`` of the buffer per GPU over the peer link; with
+    no NVLink (RTX 3090) traffic crosses PCIe, which is the effect behind
+    Fig 18's platform gap.
+    """
+    if n_gpus <= 1:
+        return 0.0
+    link_gbps = gpu.nvlink_gbps if gpu.nvlink_gbps > 0 else gpu.pcie_gbps
+    latency = _NVLINK_LATENCY_S if gpu.nvlink_gbps > 0 else _PCIE_P2P_LATENCY_S
+    volume = 2.0 * (n_gpus - 1) / n_gpus * nbytes
+    return latency * 2 * (n_gpus - 1) + volume / (link_gbps * 1e9)
+
+
+@dataclass
+class GPUNode:
+    """A server with ``n_gpus`` identical devices and a shared host tier."""
+
+    spec: NodeSpec
+    gpus: List[SimulatedGPU] = field(init=False)
+    host_memory: MemoryPool = field(init=False)
+    transfers: TransferModel = field(init=False)
+
+    def __post_init__(self):
+        self.gpus = [SimulatedGPU(index=i, spec=self.spec.gpu)
+                     for i in range(self.spec.n_gpus)]
+        self.host_memory = MemoryPool(name="host",
+                                      capacity=self.spec.host_memory_bytes)
+        self.transfers = TransferModel(node=self.spec)
+
+    @property
+    def gpu_spec(self) -> GPUSpec:
+        return self.spec.gpu
+
+    def tp_group(self, degree: int) -> List[SimulatedGPU]:
+        """First ``degree`` GPUs as a tensor-parallel serving group."""
+        if degree < 1 or degree > len(self.gpus):
+            raise ValueError(
+                f"tensor-parallel degree {degree} not in [1, {len(self.gpus)}]")
+        return self.gpus[:degree]
+
+    def load_time(self, nbytes: float, src: Tier, dst: Tier,
+                  decompress_gbps=None) -> float:
+        return self.transfers.time(nbytes, src, dst,
+                                   decompress_gbps=decompress_gbps)
+
+    def allreduce(self, nbytes: float, degree: int) -> float:
+        return allreduce_time(nbytes, degree, self.spec.gpu)

@@ -1,0 +1,220 @@
+"""Roofline kernel cost models: dense / quantized / sparse GEMM and SBMM.
+
+Every model returns seconds.  The common shape is
+
+    time = max(flops / effective_compute, bytes / memory_bandwidth) + launch
+
+which captures the two regimes the paper leans on:
+
+* **decode** (tiny input rows): memory-bound — time tracks *weight bytes*,
+  so 4-bit sparse deltas are ~5-10x faster to apply than FP16 weights;
+* **prefill** (large input rows): compute-bound — 2:4 structured sparsity
+  engages the sparse tensor cores for up to 2x over dense peak (Fig 6),
+  while quantization-only kernels dequantize into the *dense* pipeline and
+  plateau at dense peak.
+
+SBMM (§5.2) composes per-delta GEMMs four ways, mirroring Fig 7/17:
+``fp16_forloop``, ``naive_forloop`` (low-precision, one launch per delta),
+``bmm`` (stacked torch.bmm-style), ``sbmm_reorder`` ("Ours": grouped
+requests, still per-delta launches) and ``sbmm`` ("Ours+": one dynamic-
+parallelism launch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .specs import GPUSpec
+
+__all__ = ["GemmShape", "dense_gemm_time", "quantized_gemm_time",
+           "sparse_quantized_gemm_time", "achieved_flops_ratio",
+           "SBMM_IMPLEMENTATIONS", "sbmm_time", "SBMMBreakdown"]
+
+# random-access penalty for gather/scatter of requests that are not grouped
+# by delta: effective HBM bandwidth fraction for the activation traffic ...
+_SCATTERED_BW_FRACTION = 0.25
+# ... plus a fixed per-request gather/scatter cost (uncoalesced row moves)
+_RANDOM_ACCESS_US_PER_REQUEST = 3.0
+# fraction of peak compute reachable by a GEMM with m input rows
+_SMALL_M_KNEE = 64.0
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Problem size ``(m x k) @ (k x n)^T``: m = tokens, k = in, n = out."""
+
+    m: int
+    k: int
+    n: int
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.k * self.n
+
+
+def _compute_efficiency(m: int, base_efficiency: float) -> float:
+    """GEMMs with few rows cannot fill the SMs; ramp toward peak with m."""
+    fill = min(1.0, m / _SMALL_M_KNEE)
+    return base_efficiency * (0.15 + 0.85 * fill)
+
+
+def _weight_bytes(shape: GemmShape, weight_bits: float,
+                  sparse_density: float = 1.0,
+                  index_bits: float = 0.0) -> float:
+    per_value = weight_bits * sparse_density + index_bits * sparse_density
+    return shape.k * shape.n * per_value / 8.0
+
+
+def _activation_bytes(shape: GemmShape, scattered: bool = False) -> float:
+    raw = (shape.m * shape.k + shape.m * shape.n) * 2.0
+    return raw / _SCATTERED_BW_FRACTION if scattered else raw
+
+
+def dense_gemm_time(shape: GemmShape, gpu: GPUSpec,
+                    include_launch: bool = True,
+                    scattered: bool = False) -> float:
+    """FP16 x FP16 GEMM."""
+    eff = _compute_efficiency(shape.m, gpu.mma_efficiency)
+    compute = shape.flops / (gpu.peak_flops * eff)
+    mem = (_weight_bytes(shape, 16.0) + _activation_bytes(shape, scattered)) \
+        / gpu.hbm_bytes_per_s
+    launch = gpu.kernel_launch_us * 1e-6 if include_launch else 0.0
+    return max(compute, mem) + launch
+
+
+def quantized_gemm_time(shape: GemmShape, gpu: GPUSpec, weight_bits: int,
+                        include_launch: bool = True,
+                        scattered: bool = False) -> float:
+    """INTx x FP16 GEMM (dequantize-into-MMA, Marlin-style).
+
+    Weight traffic shrinks with the bit width, but compute still runs on the
+    dense pipeline (dequantization fuses in), so large-m performance matches
+    dense peak.
+    """
+    eff = _compute_efficiency(shape.m, gpu.mma_efficiency)
+    compute = shape.flops / (gpu.peak_flops * eff)
+    mem = (_weight_bytes(shape, float(weight_bits))
+           + _activation_bytes(shape, scattered)) / gpu.hbm_bytes_per_s
+    launch = gpu.kernel_launch_us * 1e-6 if include_launch else 0.0
+    return max(compute, mem) + launch
+
+
+def sparse_quantized_gemm_time(shape: GemmShape, gpu: GPUSpec,
+                               weight_bits: int, density: float = 0.5,
+                               include_launch: bool = True,
+                               scattered: bool = False) -> float:
+    """2:4-sparse INTx x FP16 GEMM (Sparse-Marlin-style).
+
+    Keeps only ``density`` of the weights (plus 2-bit metadata) and executes
+    on sparse tensor cores: ``sparse_speedup`` x dense peak at large m.
+    """
+    eff = _compute_efficiency(shape.m, gpu.mma_efficiency)
+    # dense-equivalent flops executed at the sparse tensor-core peak
+    peak = gpu.peak_flops * gpu.sparse_speedup
+    compute = shape.flops / (peak * eff)
+    mem = (_weight_bytes(shape, float(weight_bits), sparse_density=density,
+                         index_bits=2.0)
+           + _activation_bytes(shape, scattered)) / gpu.hbm_bytes_per_s
+    launch = gpu.kernel_launch_us * 1e-6 if include_launch else 0.0
+    return max(compute, mem) + launch
+
+
+def achieved_flops_ratio(shape: GemmShape, gpu: GPUSpec, kind: str,
+                         weight_bits: int = 16) -> float:
+    """Achieved FLOPs normalized to *dense FP16 peak* (Fig 6's y-axis).
+
+    ``kind``: "fp16", "quant", or "sparse_quant".
+    """
+    if kind == "fp16":
+        t = dense_gemm_time(shape, gpu, include_launch=False)
+    elif kind == "quant":
+        t = quantized_gemm_time(shape, gpu, weight_bits, include_launch=False)
+    elif kind == "sparse_quant":
+        t = sparse_quantized_gemm_time(shape, gpu, weight_bits,
+                                       include_launch=False)
+    else:
+        raise ValueError(f"unknown kind {kind!r}")
+    return (shape.flops / t) / gpu.peak_flops
+
+
+# --------------------------------------------------------------------------- #
+# SBMM: batched multi-delta matmul
+# --------------------------------------------------------------------------- #
+SBMM_IMPLEMENTATIONS = ("fp16_forloop", "fp16_bmm", "naive_forloop",
+                        "sbmm_reorder", "sbmm")
+
+
+@dataclass
+class SBMMBreakdown:
+    """Total and compute-only time of one batched multi-delta matmul."""
+
+    total: float
+    compute: float
+
+    @property
+    def overhead(self) -> float:
+        return self.total - self.compute
+
+
+def sbmm_time(requests_per_delta: Sequence[int], shape_k: int, shape_n: int,
+              gpu: GPUSpec, impl: str = "sbmm", weight_bits: int = 4,
+              density: float = 0.5) -> SBMMBreakdown:
+    """Time to compute ``y_i = x_i @ Δ_{idx_i}`` for a batch (Fig 7/8/17).
+
+    ``requests_per_delta`` lists the number of requests per distinct delta
+    in the batch (zeros allowed and skipped).
+    """
+    counts = [c for c in requests_per_delta if c > 0]
+    if impl not in SBMM_IMPLEMENTATIONS:
+        raise ValueError(f"unknown SBMM impl {impl!r}")
+    if not counts:
+        return SBMMBreakdown(total=0.0, compute=0.0)
+    launch = gpu.kernel_launch_us * 1e-6
+    child_launch = gpu.dynamic_launch_us * 1e-6
+
+    def delta_compute(count: int, scattered: bool) -> float:
+        s = GemmShape(m=count, k=shape_k, n=shape_n)
+        if impl.startswith("fp16"):
+            return dense_gemm_time(s, gpu, include_launch=False,
+                                   scattered=scattered)
+        return sparse_quantized_gemm_time(s, gpu, weight_bits,
+                                          density=density,
+                                          include_launch=False,
+                                          scattered=scattered)
+
+    gather = _RANDOM_ACCESS_US_PER_REQUEST * 1e-6 * sum(counts)
+
+    if impl == "fp16_forloop":
+        compute = sum(delta_compute(c, scattered=True) for c in counts)
+        total = compute + launch * len(counts) + gather
+    elif impl == "fp16_bmm":
+        # stack per-request weight copies, then one batched dense kernel
+        total_reqs = sum(counts)
+        stack_bytes = total_reqs * shape_k * shape_n * 2.0
+        stack_time = stack_bytes / gpu.hbm_bytes_per_s
+        compute = sum(dense_gemm_time(GemmShape(1, shape_k, shape_n), gpu,
+                                      include_launch=False)
+                      for _ in range(total_reqs))
+        total = compute + stack_time + launch
+    elif impl == "naive_forloop":
+        # low-precision kernels, but one launch per delta and ungrouped I/O
+        compute = sum(delta_compute(c, scattered=True) for c in counts)
+        total = compute + launch * len(counts) + gather
+    elif impl == "sbmm_reorder":
+        # requests grouped per delta: contiguous I/O, still serial launches
+        compute = sum(delta_compute(c, scattered=False) for c in counts)
+        total = compute + launch * len(counts)
+    else:  # sbmm ("Ours+"): one host launch; children run concurrently
+        per_delta = [delta_compute(c, scattered=False) for c in counts]
+        compute = sum(per_delta)
+        # children overlap across SMs: serialization is bounded by the
+        # largest delta plus a small per-child scheduling cost
+        overlapped = max(per_delta) + child_launch * len(counts)
+        total = launch + max(overlapped, compute / _sbmm_parallelism(gpu, len(counts)))
+    return SBMMBreakdown(total=total, compute=compute)
+
+
+def _sbmm_parallelism(gpu: GPUSpec, n_deltas: int) -> float:
+    """How many child kernels can genuinely overlap (SM-bound)."""
+    return float(min(n_deltas, 8))

@@ -1,0 +1,111 @@
+"""Memory-hierarchy model: GPU HBM ↔ host DRAM ↔ disk transfers.
+
+The serving engine charges these times when swapping deltas (or whole
+models, for the vLLM-SCB baseline) across tiers — the paper's §5.4
+"hierarchical management strategy".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from .specs import NodeSpec
+
+__all__ = ["Tier", "TransferModel", "MemoryPool", "OutOfMemoryError"]
+
+
+class Tier(str, Enum):
+    GPU = "gpu"
+    CPU = "cpu"
+    DISK = "disk"
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation exceeds a pool's capacity."""
+
+
+@dataclass
+class TransferModel:
+    """Transfer-time calculator between adjacent tiers."""
+
+    node: NodeSpec
+
+    def time(self, nbytes: float, src: Tier, dst: Tier,
+             decompress_gbps: Optional[float] = None) -> float:
+        """Seconds to move ``nbytes`` from ``src`` to ``dst``.
+
+        Disk transfers may pass through a lossless decompression stage
+        (``decompress_gbps``) which pipelines with the read, so the slower
+        of the two dominates.
+        """
+        if src == dst:
+            return 0.0
+        pair = (src, dst)
+        if Tier.DISK in pair:
+            read = nbytes / (self.node.disk_gbps * 1e9)
+            if decompress_gbps is not None and decompress_gbps > 0:
+                read = max(read, nbytes / (decompress_gbps * 1e9))
+            # disk->gpu also crosses PCIe; stages pipeline, slowest wins
+            if Tier.GPU in pair:
+                pcie = nbytes / (self.node.gpu.pcie_gbps * 1e9)
+                read = max(read, pcie)
+            return self.node.disk_latency_s + read
+        # cpu <-> gpu over PCIe
+        return self.node.pcie_latency_s + nbytes / (self.node.gpu.pcie_gbps * 1e9)
+
+
+@dataclass
+class MemoryPool:
+    """Byte-granular allocation tracking for one tier.
+
+    Serving components allocate named objects (model weights, deltas, KV
+    blocks); the pool enforces capacity and answers residency queries.
+    """
+
+    name: str
+    capacity: int
+    _objects: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def used(self) -> int:
+        return sum(self._objects.values())
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def contains(self, key: str) -> bool:
+        return key in self._objects
+
+    def size_of(self, key: str) -> int:
+        return self._objects[key]
+
+    def allocate(self, key: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if key in self._objects:
+            raise KeyError(f"{key!r} already allocated in pool {self.name}")
+        if nbytes > self.free:
+            raise OutOfMemoryError(
+                f"pool {self.name}: need {nbytes}, free {self.free}")
+        self._objects[key] = nbytes
+
+    def release(self, key: str) -> int:
+        if key not in self._objects:
+            raise KeyError(f"{key!r} not allocated in pool {self.name}")
+        return self._objects.pop(key)
+
+    def resize(self, key: str, nbytes: int) -> None:
+        """Grow/shrink an allocation (KV cache growth during decode)."""
+        if key not in self._objects:
+            raise KeyError(f"{key!r} not allocated in pool {self.name}")
+        delta = nbytes - self._objects[key]
+        if delta > self.free:
+            raise OutOfMemoryError(
+                f"pool {self.name}: resize needs {delta} more, free {self.free}")
+        self._objects[key] = nbytes
+
+    def keys(self):
+        return list(self._objects)

@@ -1,0 +1,107 @@
+"""GPU and node specifications for the analytical cost models.
+
+Numbers come from public spec sheets; they parameterize roofline models, so
+what matters downstream is their *relative* magnitudes (compute vs memory
+bandwidth vs interconnect vs storage), which set where the paper's
+crossovers fall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["GPUSpec", "NodeSpec", "GPU_SPECS", "A800", "A100", "RTX3090",
+           "node_from_name"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU model's capability envelope.
+
+    Attributes:
+        name: marketing name.
+        fp16_tflops: dense FP16 tensor-core peak (TFLOPS).
+        sparse_speedup: throughput multiplier of 2:4 sparse tensor cores
+            over dense (2.0 on Ampere-class parts; 1.0 = no support).
+        hbm_gbps: device-memory bandwidth (GB/s).
+        memory_gb: device memory capacity.
+        kernel_launch_us: host-side kernel launch latency (µs).
+        dynamic_launch_us: device-side (dynamic parallelism) child-kernel
+            launch latency — much cheaper than a host launch.
+        pcie_gbps: host link bandwidth (GB/s, unidirectional).
+        nvlink_gbps: peer link bandwidth (GB/s); 0 when absent.
+        mma_efficiency: sustained fraction of peak for large GEMMs.
+    """
+
+    name: str
+    fp16_tflops: float
+    sparse_speedup: float
+    hbm_gbps: float
+    memory_gb: float
+    kernel_launch_us: float = 5.0
+    dynamic_launch_us: float = 1.0
+    pcie_gbps: float = 25.0
+    nvlink_gbps: float = 0.0
+    mma_efficiency: float = 0.8
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.memory_gb * (1 << 30))
+
+    @property
+    def peak_flops(self) -> float:
+        return self.fp16_tflops * 1e12
+
+    @property
+    def hbm_bytes_per_s(self) -> float:
+        return self.hbm_gbps * 1e9
+
+
+A800 = GPUSpec(name="A800-80G", fp16_tflops=312.0, sparse_speedup=2.0,
+               hbm_gbps=2039.0, memory_gb=80.0, nvlink_gbps=400.0)
+A100 = GPUSpec(name="A100-80G", fp16_tflops=312.0, sparse_speedup=2.0,
+               hbm_gbps=2039.0, memory_gb=80.0, nvlink_gbps=600.0)
+RTX3090 = GPUSpec(name="RTX-3090", fp16_tflops=71.0, sparse_speedup=2.0,
+                  hbm_gbps=936.0, memory_gb=24.0, nvlink_gbps=0.0,
+                  pcie_gbps=25.0)
+
+GPU_SPECS: Dict[str, GPUSpec] = {
+    "a800": A800,
+    "a100": A100,
+    "rtx3090": RTX3090,
+}
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A server node: GPUs plus host memory and storage.
+
+    Attributes:
+        gpu: GPU model installed.
+        n_gpus: GPUs per node.
+        host_memory_gb: CPU DRAM capacity.
+        disk_gbps: storage read bandwidth (all-NVMe parallel FS over
+            50 Gbps RoCE in the paper's testbed ≈ 6 GB/s).
+        disk_latency_s: per-object storage access latency.
+        pcie_latency_s: per-transfer host-link latency.
+    """
+
+    gpu: GPUSpec
+    n_gpus: int = 4
+    host_memory_gb: float = 2048.0
+    disk_gbps: float = 6.0
+    disk_latency_s: float = 2e-3
+    pcie_latency_s: float = 20e-6
+
+    @property
+    def host_memory_bytes(self) -> int:
+        return int(self.host_memory_gb * (1 << 30))
+
+
+def node_from_name(gpu_name: str, n_gpus: int = 4, **overrides) -> NodeSpec:
+    """Build a NodeSpec from a GPU registry key (e.g. ``"a800"``)."""
+    key = gpu_name.lower()
+    if key not in GPU_SPECS:
+        raise KeyError(f"unknown GPU {gpu_name!r}; known: {sorted(GPU_SPECS)}")
+    return NodeSpec(gpu=GPU_SPECS[key], n_gpus=n_gpus, **overrides)

@@ -1,0 +1,40 @@
+"""Numpy transformer substrate: the "models" DeltaZip compresses and serves.
+
+Public surface:
+
+* :class:`TransformerConfig` / :class:`TransformerModel` — Llama-style LM.
+* :func:`generate` / :func:`sequence_logprob` — decoding and scoring.
+* :class:`Adam` / :func:`train_lm` — full-model fine-tuning.
+* :func:`attach_lora` / :func:`detach_lora` / :func:`merge_lora` — adapters.
+"""
+
+from . import functional
+from .attention import KVCache, MultiHeadAttention
+from .generation import GenerationResult, generate, generate_batch, sequence_logprob
+from .layers import Embedding, Linear, RMSNorm
+from .lora import (LoRAAdapter, LoRAConfig, LoRALinear, attach_lora,
+                   detach_lora, lora_nbytes, merge_lora)
+from .rosa import (RoSAAdapter, RoSAConfig, RoSALinear, attach_rosa,
+                   detach_rosa, merge_rosa)
+from .tensoring import (Module, Parameter, clone_state_dict, load_state_dict,
+                        save_state_dict, state_dict_nbytes,
+                        state_dicts_allclose)
+from .training import Adam, SGD, TrainingConfig, train_lm
+from .transformer import (LINEAR_LAYER_KINDS, MLP, TransformerBlock,
+                          TransformerConfig, TransformerModel)
+
+__all__ = [
+    "functional",
+    "KVCache", "MultiHeadAttention",
+    "GenerationResult", "generate", "generate_batch", "sequence_logprob",
+    "Embedding", "Linear", "RMSNorm",
+    "LoRAAdapter", "LoRAConfig", "LoRALinear", "attach_lora", "detach_lora",
+    "lora_nbytes", "merge_lora",
+    "RoSAAdapter", "RoSAConfig", "RoSALinear", "attach_rosa", "detach_rosa",
+    "merge_rosa",
+    "Module", "Parameter", "clone_state_dict", "load_state_dict",
+    "save_state_dict", "state_dict_nbytes", "state_dicts_allclose",
+    "Adam", "SGD", "TrainingConfig", "train_lm",
+    "LINEAR_LAYER_KINDS", "MLP", "TransformerBlock", "TransformerConfig",
+    "TransformerModel",
+]

@@ -1,0 +1,217 @@
+"""Multi-head self-attention with RoPE, causal masking, and a KV cache.
+
+Forward supports two modes:
+
+* **full-sequence** (training / prefill): processes ``(batch, seq, dim)`` and
+  optionally caches intermediates for the explicit backward pass;
+* **incremental** (decode): processes one new token per sequence against a
+  :class:`KVCache`, which is the code path the serving engine's cost model
+  mirrors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Linear
+from .tensoring import Module
+
+__all__ = ["KVCache", "MultiHeadAttention"]
+
+
+class KVCache:
+    """Per-layer key/value cache for incremental decoding.
+
+    Preallocates ``(batch, n_heads, max_seq, head_dim)`` buffers and tracks
+    the number of valid positions.
+    """
+
+    def __init__(self, batch: int, n_heads: int, max_seq: int, head_dim: int):
+        self.keys = np.zeros((batch, n_heads, max_seq, head_dim), dtype=np.float32)
+        self.values = np.zeros((batch, n_heads, max_seq, head_dim), dtype=np.float32)
+        self.length = 0
+        self.max_seq = max_seq
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append new positions; ``k``/``v`` are (batch, heads, new, head_dim)."""
+        new = k.shape[2]
+        if self.length + new > self.max_seq:
+            raise ValueError(
+                f"KV cache overflow: {self.length} + {new} > {self.max_seq}"
+            )
+        self.keys[:, :, self.length:self.length + new] = k
+        self.values[:, :, self.length:self.length + new] = v
+        self.length += new
+
+    def view(self) -> tuple:
+        """Return the valid (keys, values) slices."""
+        return (
+            self.keys[:, :, : self.length],
+            self.values[:, :, : self.length],
+        )
+
+
+class MultiHeadAttention(Module):
+    """Llama-style attention: q/k/v/o projections, RoPE, causal softmax.
+
+    Supports grouped-query attention (GQA) via ``n_kv_heads < n_heads``:
+    K/V are projected to ``n_kv_heads`` heads and each serves a contiguous
+    group of ``n_heads // n_kv_heads`` query heads — the Llama-2-70B
+    configuration the paper serves.
+    """
+
+    def __init__(self, dim: int, n_heads: int, max_seq: int,
+                 rng: np.random.Generator, rope_base: float = 10000.0,
+                 n_kv_heads: Optional[int] = None):
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.n_kv_heads = n_kv_heads if n_kv_heads is not None else n_heads
+        if self.n_kv_heads < 1 or n_heads % self.n_kv_heads != 0:
+            raise ValueError(
+                f"n_heads {n_heads} not divisible by n_kv_heads "
+                f"{self.n_kv_heads}")
+        self.head_dim = dim // n_heads
+        self.kv_dim = self.n_kv_heads * self.head_dim
+        self.max_seq = max_seq
+        self.q_proj = Linear(dim, dim, rng)
+        self.k_proj = Linear(dim, self.kv_dim, rng)
+        self.v_proj = Linear(dim, self.kv_dim, rng)
+        self.o_proj = Linear(dim, dim, rng)
+        cos, sin = F.rope_frequencies(self.head_dim, max_seq, base=rope_base)
+        self._rope_cos = cos
+        self._rope_sin = sin
+        self._ctx = None
+
+    @property
+    def group_size(self) -> int:
+        """Query heads per KV head."""
+        return self.n_heads // self.n_kv_heads
+
+    # ------------------------------------------------------------------ #
+    # shape helpers
+    # ------------------------------------------------------------------ #
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _split_kv_heads(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.n_kv_heads,
+                         self.head_dim).transpose(0, 2, 1, 3)
+
+    def _expand_kv(self, x: np.ndarray) -> np.ndarray:
+        """Repeat each KV head across its query-head group."""
+        if self.group_size == 1:
+            return x
+        return np.repeat(x, self.group_size, axis=1)
+
+    def _reduce_kv_grad(self, grad: np.ndarray) -> np.ndarray:
+        """Sum per-query-head grads back onto their shared KV head."""
+        if self.group_size == 1:
+            return grad
+        b, h, t, hd = grad.shape
+        return grad.reshape(b, self.n_kv_heads, self.group_size, t,
+                            hd).sum(axis=2)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        b, h, t, hd = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * hd)
+
+    def _rope(self, x: np.ndarray, offset: int, inverse: bool = False) -> np.ndarray:
+        sin = -self._rope_sin if inverse else self._rope_sin
+        return F.apply_rope(x, self._rope_cos, sin, position_offset=offset)
+
+    # ------------------------------------------------------------------ #
+    # forward
+    # ------------------------------------------------------------------ #
+    def forward(
+        self,
+        x: np.ndarray,
+        kv_cache: Optional[KVCache] = None,
+        cache: bool = False,
+    ) -> np.ndarray:
+        """Attend over ``x`` of shape (batch, seq, dim).
+
+        With a ``kv_cache``, ``x`` holds only the *new* positions and the
+        cache supplies the earlier keys/values (incremental decode / chunked
+        prefill). ``cache=True`` stores intermediates for :meth:`backward`
+        and is only valid without a KV cache.
+        """
+        if cache and kv_cache is not None:
+            raise ValueError("training-mode cache and KV cache are exclusive")
+        offset = kv_cache.length if kv_cache is not None else 0
+        q = self._split_heads(self.q_proj(x, cache=cache))
+        k = self._split_kv_heads(self.k_proj(x, cache=cache))
+        v = self._split_kv_heads(self.v_proj(x, cache=cache))
+        q_rot = self._rope(q, offset)
+        k_rot = self._rope(k, offset)
+
+        if kv_cache is not None:
+            kv_cache.append(k_rot, v)
+            keys, values = kv_cache.view()
+        else:
+            keys, values = k_rot, v
+        keys = self._expand_kv(keys)
+        values = self._expand_kv(values)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q_rot @ keys.transpose(0, 1, 3, 2)) * scale
+        t_new = q_rot.shape[2]
+        t_total = keys.shape[2]
+        if t_new > 1 or kv_cache is None:
+            # mask future positions relative to each query's absolute index
+            q_pos = np.arange(offset, offset + t_new)[:, None]
+            k_pos = np.arange(t_total)[None, :]
+            scores = np.where(k_pos > q_pos, -np.inf, scores)
+        attn = F.softmax(scores, axis=-1)
+        context = attn @ values
+        merged = self._merge_heads(context)
+        out = self.o_proj(merged, cache=cache)
+        if cache:
+            self._ctx = {
+                "q_rot": q_rot, "keys": keys, "values": values,
+                "attn": attn, "scale": scale, "offset": offset,
+            }
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backprop through the full-sequence forward; returns dL/dx."""
+        if self._ctx is None:
+            raise RuntimeError("attention backward called without cached forward")
+        ctx = self._ctx
+        q_rot, keys, values = ctx["q_rot"], ctx["keys"], ctx["values"]
+        attn, scale, offset = ctx["attn"], ctx["scale"], ctx["offset"]
+
+        grad_merged = self.o_proj.backward(grad_out)
+        b, t, _ = grad_merged.shape
+        grad_context = grad_merged.reshape(b, t, self.n_heads, self.head_dim)
+        grad_context = grad_context.transpose(0, 2, 1, 3)
+
+        grad_attn = grad_context @ values.transpose(0, 1, 3, 2)
+        grad_v = attn.transpose(0, 1, 3, 2) @ grad_context
+        # softmax backward
+        inner = np.sum(grad_attn * attn, axis=-1, keepdims=True)
+        grad_scores = attn * (grad_attn - inner)
+        grad_q_rot = (grad_scores @ keys) * scale
+        grad_k_rot = (grad_scores.transpose(0, 1, 3, 2) @ q_rot) * scale
+
+        # GQA: fold per-query-head K/V grads onto their shared KV heads
+        grad_k_rot = self._reduce_kv_grad(grad_k_rot)
+        grad_v = self._reduce_kv_grad(grad_v)
+
+        grad_q = self._rope(grad_q_rot, offset, inverse=True)
+        grad_k = self._rope(grad_k_rot, offset, inverse=True)
+
+        grad_x = self.q_proj.backward(self._merge_heads(grad_q))
+        grad_x = grad_x + self.k_proj.backward(self._merge_heads(grad_k))
+        grad_x = grad_x + self.v_proj.backward(self._merge_heads(grad_v))
+        self._ctx = None
+        return grad_x
+
+    def __call__(self, x, kv_cache=None, cache=False):
+        return self.forward(x, kv_cache=kv_cache, cache=cache)

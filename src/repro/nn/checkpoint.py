@@ -1,0 +1,47 @@
+"""Model checkpoints: config + weights in one archive.
+
+A ``.ckpt`` file is a zip holding ``config.json`` (the TransformerConfig)
+and one ``.npy`` per parameter — the unit the CLI's pretrain/finetune/
+compress workflow passes around.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import zipfile
+
+import numpy as np
+
+from .tensoring import load_state_dict, save_state_dict
+from .transformer import TransformerConfig, TransformerModel
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(model: TransformerModel, path: str) -> None:
+    """Persist config + weights."""
+    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_STORED) as zf:
+        zf.writestr("config.json",
+                    json.dumps(dataclasses.asdict(model.config), indent=1))
+        for name, arr in model.state_dict().items():
+            buf = io.BytesIO()
+            np.save(buf, arr)
+            zf.writestr(f"weights/{name}.npy", buf.getvalue())
+
+
+def load_model(path: str) -> TransformerModel:
+    """Inverse of :func:`save_model`."""
+    with zipfile.ZipFile(path, "r") as zf:
+        config = TransformerConfig(**json.loads(zf.read("config.json")))
+        state = {}
+        for info in zf.infolist():
+            name = info.filename
+            if not (name.startswith("weights/") and name.endswith(".npy")):
+                continue
+            key = name[len("weights/"):-len(".npy")]
+            state[key] = np.load(io.BytesIO(zf.read(name)))
+    model = TransformerModel(config, seed=0)
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,179 @@
+"""Numerical primitives for the numpy transformer substrate.
+
+All functions operate on ``numpy.ndarray`` and are written to be stable in
+float32: softmax subtracts the row max, cross-entropy works in log-space, and
+RMSNorm adds an epsilon under the square root.  Backward helpers are provided
+for the subset of ops used by the fine-tuning loop (``repro.nn.training``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "silu",
+    "silu_backward",
+    "gelu",
+    "rms_norm",
+    "rms_norm_backward",
+    "rope_frequencies",
+    "apply_rope",
+    "cross_entropy",
+    "cross_entropy_backward",
+    "causal_mask",
+    "one_hot",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU (swish) activation: ``x * sigmoid(x)``."""
+    return x / (1.0 + np.exp(-x))
+
+
+def silu_backward(x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    """Gradient of SiLU with respect to its input."""
+    sig = 1.0 / (1.0 + np.exp(-x))
+    return grad_out * (sig * (1.0 + x * (1.0 - sig)))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximation GELU, as used by GPT-style models."""
+    c = np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Root-mean-square layer norm (Llama-style, no mean subtraction)."""
+    variance = np.mean(x * x, axis=-1, keepdims=True)
+    return x / np.sqrt(variance + eps) * weight
+
+
+def rms_norm_backward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    grad_out: np.ndarray,
+    eps: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gradients of RMSNorm w.r.t. input and weight.
+
+    Returns ``(grad_x, grad_weight)``.
+    """
+    d = x.shape[-1]
+    variance = np.mean(x * x, axis=-1, keepdims=True)
+    inv_rms = 1.0 / np.sqrt(variance + eps)
+    x_hat = x * inv_rms
+    grad_weight = np.sum(grad_out * x_hat, axis=tuple(range(x.ndim - 1)))
+    g = grad_out * weight
+    # d/dx of x * inv_rms: inv_rms * (g - x_hat * mean(g * x_hat))
+    dot = np.sum(g * x_hat, axis=-1, keepdims=True) / d
+    grad_x = inv_rms * (g - x_hat * dot)
+    return grad_x, grad_weight
+
+
+def rope_frequencies(head_dim: int, max_seq_len: int, base: float = 10000.0) -> tuple[np.ndarray, np.ndarray]:
+    """Precompute rotary-embedding cos/sin tables.
+
+    Returns ``(cos, sin)`` each of shape ``(max_seq_len, head_dim // 2)``.
+    """
+    if head_dim % 2 != 0:
+        raise ValueError(f"head_dim must be even for RoPE, got {head_dim}")
+    inv_freq = 1.0 / (base ** (np.arange(0, head_dim, 2, dtype=np.float64) / head_dim))
+    positions = np.arange(max_seq_len, dtype=np.float64)
+    angles = np.outer(positions, inv_freq)
+    return np.cos(angles).astype(np.float32), np.sin(angles).astype(np.float32)
+
+
+def apply_rope(
+    x: np.ndarray,
+    cos: np.ndarray,
+    sin: np.ndarray,
+    position_offset: int = 0,
+) -> np.ndarray:
+    """Apply rotary position embeddings.
+
+    ``x`` has shape ``(..., seq_len, head_dim)``; ``cos``/``sin`` are the
+    precomputed tables from :func:`rope_frequencies`.  ``position_offset``
+    supports incremental decoding with a KV cache.
+    """
+    seq_len = x.shape[-2]
+    half = x.shape[-1] // 2
+    c = cos[position_offset:position_offset + seq_len]
+    s = sin[position_offset:position_offset + seq_len]
+    x1 = x[..., :half]
+    x2 = x[..., half:]
+    rotated_1 = x1 * c - x2 * s
+    rotated_2 = x2 * c + x1 * s
+    return np.concatenate([rotated_1, rotated_2], axis=-1)
+
+
+def causal_mask(seq_len: int, dtype=np.float32) -> np.ndarray:
+    """Additive causal mask of shape ``(seq_len, seq_len)``: 0 on/below the
+    diagonal, ``-inf`` above."""
+    mask = np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)
+    out = np.zeros((seq_len, seq_len), dtype=dtype)
+    out[mask] = -np.inf
+    return out
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode an integer array to float32."""
+    flat = indices.reshape(-1)
+    out = np.zeros((flat.size, num_classes), dtype=np.float32)
+    out[np.arange(flat.size), flat] = 1.0
+    return out.reshape(*indices.shape, num_classes)
+
+
+def cross_entropy(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    ignore_index: int = -100,
+) -> float:
+    """Mean cross-entropy over positions whose target is not ``ignore_index``.
+
+    ``logits`` has shape ``(..., vocab)``, ``targets`` the matching integer
+    shape.
+    """
+    log_probs = log_softmax(logits, axis=-1)
+    flat_logp = log_probs.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    valid = flat_targets != ignore_index
+    if not np.any(valid):
+        return 0.0
+    picked = flat_logp[np.nonzero(valid)[0], flat_targets[valid]]
+    return float(-np.mean(picked))
+
+
+def cross_entropy_backward(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    ignore_index: int = -100,
+) -> np.ndarray:
+    """Gradient of mean cross-entropy with respect to the logits."""
+    probs = softmax(logits, axis=-1)
+    flat_probs = probs.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    valid = flat_targets != ignore_index
+    n_valid = int(np.sum(valid))
+    grad = flat_probs.copy()
+    if n_valid == 0:
+        return np.zeros_like(logits)
+    valid_rows = np.nonzero(valid)[0]
+    grad[valid_rows, flat_targets[valid]] -= 1.0
+    grad[~valid] = 0.0
+    grad /= n_valid
+    return grad.reshape(logits.shape)

@@ -1,0 +1,108 @@
+"""Autoregressive decoding: prefill + incremental decode with KV caches.
+
+This is the functional counterpart of the serving engine's two phases
+(§2.1 of the paper): ``prefill`` processes the whole prompt in one forward
+pass, ``decode_step`` produces one token per call.  The batched helpers are
+what the model-quality harness uses to grade downstream tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from . import functional as F
+from .transformer import TransformerModel
+
+__all__ = ["GenerationResult", "generate", "generate_batch", "sequence_logprob"]
+
+
+@dataclass
+class GenerationResult:
+    """Tokens produced for one prompt (prompt excluded)."""
+
+    prompt: List[int]
+    tokens: List[int]
+    finished_by_eos: bool
+
+    @property
+    def full_sequence(self) -> List[int]:
+        return list(self.prompt) + list(self.tokens)
+
+
+def generate(
+    model: TransformerModel,
+    prompt: List[int],
+    max_new_tokens: int = 32,
+    temperature: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    eos_token: Optional[int] = None,
+) -> GenerationResult:
+    """Greedy (``temperature == 0``) or sampled decoding for one prompt."""
+    if eos_token is None:
+        eos_token = model.config.eos_token
+    if temperature > 0 and rng is None:
+        rng = np.random.default_rng(0)
+
+    caches = model.new_kv_caches(batch=1)
+    tokens = np.asarray(prompt, dtype=np.int64)[None, :]
+    logits = model(tokens, kv_caches=caches)
+    out: List[int] = []
+    finished = False
+    next_logits = logits[0, -1]
+    budget = min(max_new_tokens, model.config.max_seq - len(prompt))
+    for _ in range(budget):
+        if temperature > 0:
+            probs = F.softmax(next_logits / temperature)
+            token = int(rng.choice(len(probs), p=probs))
+        else:
+            token = int(np.argmax(next_logits))
+        out.append(token)
+        if token == eos_token:
+            finished = True
+            break
+        step = np.asarray([[token]], dtype=np.int64)
+        logits = model(step, kv_caches=caches)
+        next_logits = logits[0, -1]
+    return GenerationResult(prompt=list(prompt), tokens=out, finished_by_eos=finished)
+
+
+def generate_batch(
+    model: TransformerModel,
+    prompts: List[List[int]],
+    max_new_tokens: int = 32,
+    temperature: float = 0.0,
+    seed: int = 0,
+) -> List[GenerationResult]:
+    """Decode several prompts (loop of single-sequence decodes).
+
+    Functional batching is not needed for quality evaluation; the *serving*
+    layer models batched execution analytically.
+    """
+    rng = np.random.default_rng(seed)
+    return [
+        generate(model, prompt, max_new_tokens=max_new_tokens,
+                 temperature=temperature, rng=rng)
+        for prompt in prompts
+    ]
+
+
+def sequence_logprob(model: TransformerModel, prompt: List[int],
+                     continuation: List[int]) -> float:
+    """Sum of log-probabilities of ``continuation`` given ``prompt``.
+
+    The lm-eval-harness-style scoring primitive: multiple-choice tasks pick
+    the answer with the highest continuation log-probability.
+    """
+    if not continuation:
+        raise ValueError("continuation must be non-empty")
+    full = np.asarray(prompt + continuation, dtype=np.int64)[None, :]
+    logits = model(full[:, :-1])
+    logp = F.log_softmax(logits, axis=-1)[0]
+    total = 0.0
+    start = len(prompt) - 1
+    for offset, token in enumerate(continuation):
+        total += float(logp[start + offset, token])
+    return total

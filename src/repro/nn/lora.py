@@ -1,0 +1,179 @@
+"""LoRA: low-rank adapters attached to the substrate's linear layers.
+
+LoRA replaces the update of a frozen weight ``W`` with ``W + (alpha/r) B A``
+where ``A`` is (r, in) and ``B`` is (out, r).  The adapters here serve two
+roles in the reproduction:
+
+* **quality comparison** (Fig 2, Table 2): LoRA fine-tuning vs FMT accuracy;
+* **serving** (Figs 14/15): the Punica-style LoRA engine batches adapter
+  matmuls the same way DeltaZip batches delta matmuls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .layers import Linear
+from .tensoring import Module, Parameter
+from .transformer import TransformerModel
+
+__all__ = ["LoRAConfig", "LoRALinear", "LoRAAdapter", "attach_lora",
+           "detach_lora", "merge_lora", "lora_nbytes"]
+
+
+@dataclass(frozen=True)
+class LoRAConfig:
+    """Adapter shape; ``target_kinds`` selects which projections get adapters
+    (default: attention q/v, the original LoRA paper's recipe)."""
+
+    rank: int = 8
+    alpha: float = 16.0
+    target_kinds: Tuple[str, ...] = ("q_proj", "v_proj")
+
+    @property
+    def scaling(self) -> float:
+        return self.alpha / self.rank
+
+
+class LoRALinear(Module):
+    """A frozen Linear wrapped with trainable low-rank matrices A and B."""
+
+    def __init__(self, base: Linear, config: LoRAConfig, rng: np.random.Generator):
+        self.base = base
+        self.base.weight.trainable = False
+        self.config = config
+        r = config.rank
+        # A ~ N(0, 1/r), B = 0 => adapter starts as the identity update
+        self.lora_a = Parameter(
+            rng.normal(0.0, 1.0 / np.sqrt(r),
+                       size=(r, base.in_features)).astype(np.float32))
+        self.lora_b = Parameter(np.zeros((base.out_features, r), dtype=np.float32))
+        self._cached_input = None
+        self._cached_ax = None
+
+    def forward(self, x: np.ndarray, cache: bool = False) -> np.ndarray:
+        ax = x @ self.lora_a.data.T
+        if cache:
+            self._cached_input = x
+            self._cached_ax = ax
+        return self.base.forward(x, cache=cache) + \
+            self.config.scaling * (ax @ self.lora_b.data.T)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x, ax = self._cached_input, self._cached_ax
+        if x is None:
+            raise RuntimeError("LoRALinear.backward without cached forward")
+        s = self.config.scaling
+        in_f = self.base.in_features
+        r = self.config.rank
+        flat_g = grad_out.reshape(-1, self.base.out_features)
+        flat_ax = ax.reshape(-1, r)
+        flat_x = x.reshape(-1, in_f)
+        self.lora_b.accumulate_grad(s * (flat_g.T @ flat_ax))
+        grad_ax = s * (grad_out @ self.lora_b.data)
+        self.lora_a.accumulate_grad(grad_ax.reshape(-1, r).T @ flat_x)
+        grad_x_base = self.base.backward(grad_out)  # base frozen but dL/dx needed
+        grad_x = grad_x_base + grad_ax @ self.lora_a.data
+        self._cached_input = None
+        self._cached_ax = None
+        return grad_x
+
+    def delta_weight(self) -> np.ndarray:
+        """The dense equivalent of this adapter: ``scaling * B @ A``."""
+        return self.config.scaling * (self.lora_b.data @ self.lora_a.data)
+
+    def __call__(self, x, cache=False):
+        return self.forward(x, cache=cache)
+
+
+@dataclass
+class LoRAAdapter:
+    """Extracted adapter weights keyed by the wrapped layer's dotted name."""
+
+    config: LoRAConfig
+    matrices: Dict[str, Tuple[np.ndarray, np.ndarray]]  # name -> (A, B)
+
+    def nbytes(self, bytes_per_value: int = 2) -> int:
+        """Serialized size at FP16 (the format LoRA systems swap)."""
+        total = 0
+        for a, b in self.matrices.values():
+            total += (a.size + b.size) * bytes_per_value
+        return total
+
+
+def _iter_target_linears(model: TransformerModel,
+                         target_kinds: Tuple[str, ...]):
+    attn_kinds = {"q_proj", "k_proj", "v_proj", "o_proj"}
+    for i, block in enumerate(model.layers):
+        for kind in target_kinds:
+            owner_name = "self_attn" if kind in attn_kinds else "mlp"
+            owner = getattr(block, owner_name)
+            yield f"layers.{i}.{owner_name}.{kind}", owner, kind
+
+
+def attach_lora(model: TransformerModel, config: LoRAConfig,
+                seed: int = 0) -> List[str]:
+    """Wrap the configured projections with LoRALinear in-place.
+
+    Freezes every non-adapter parameter so the optimizer only updates A/B.
+    Returns the dotted names of the wrapped layers.
+    """
+    for param in model.parameters():
+        param.trainable = False
+    rng = np.random.default_rng(seed)
+    wrapped = []
+    for name, owner, kind in _iter_target_linears(model, config.target_kinds):
+        layer = getattr(owner, kind)
+        if isinstance(layer, LoRALinear):
+            raise ValueError(f"{name} already has a LoRA adapter attached")
+        setattr(owner, kind, LoRALinear(layer, config, rng))
+        wrapped.append(name)
+    return wrapped
+
+
+def detach_lora(model: TransformerModel) -> LoRAAdapter:
+    """Remove adapters, restore plain Linears, return the extracted adapter."""
+    matrices: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    config = None
+    for i, block in enumerate(model.layers):
+        for owner_name in ("self_attn", "mlp"):
+            owner = getattr(block, owner_name)
+            for kind, layer in list(vars(owner).items()):
+                if isinstance(layer, LoRALinear):
+                    config = layer.config
+                    matrices[f"layers.{i}.{owner_name}.{kind}"] = (
+                        layer.lora_a.data.copy(), layer.lora_b.data.copy())
+                    layer.base.weight.trainable = True
+                    setattr(owner, kind, layer.base)
+    for param in model.parameters():
+        param.trainable = True
+    if config is None:
+        raise ValueError("no LoRA adapters attached to this model")
+    return LoRAAdapter(config=config, matrices=matrices)
+
+
+def merge_lora(model: TransformerModel, adapter: LoRAAdapter) -> None:
+    """Fold adapter deltas into the base weights (``W += s * B A``)."""
+    for name, (a, b) in adapter.matrices.items():
+        layer = model.get_linear(name + ".weight")
+        layer.weight.data = layer.weight.data + \
+            adapter.config.scaling * (b @ a).astype(np.float32)
+
+
+def lora_nbytes(model_dim: int, n_layers: int, config: LoRAConfig,
+                mlp_hidden: int = 0) -> int:
+    """Analytic adapter size for the serving cost model (FP16 bytes)."""
+    attn_kinds = {"q_proj", "k_proj", "v_proj", "o_proj"}
+    total = 0
+    for kind in config.target_kinds:
+        if kind in attn_kinds:
+            fan_in, fan_out = model_dim, model_dim
+        elif kind == "down_proj":
+            fan_in, fan_out = mlp_hidden, model_dim
+        else:  # gate/up
+            fan_in, fan_out = model_dim, mlp_hidden
+        total += config.rank * (fan_in + fan_out)
+    return total * n_layers * 2

@@ -1,0 +1,200 @@
+"""RoSA: robust adaptation — low-rank *plus* sparse adapters (§8).
+
+The paper's discussion singles out emerging PEFT methods that LoRA-only
+serving systems cannot host: RoSA (Nikdan et al., 2024) trains a low-rank
+pair ``B A`` *and* a sparse matrix ``S`` per projection, so the effective
+update is full-rank-capable.  DeltaZip serves these naturally — the merged
+``scaling · B A + S`` is just another (very sparse) delta for the
+decoupled path.
+
+This module implements the adapter: attach (with a fixed sparse support
+chosen by base-weight magnitude), train (explicit backward like the rest
+of the substrate), detach, and conversion to a dense delta per layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .layers import Linear
+from .tensoring import Module, Parameter
+from .transformer import TransformerModel
+
+__all__ = ["RoSAConfig", "RoSALinear", "RoSAAdapter", "attach_rosa",
+           "detach_rosa", "merge_rosa"]
+
+
+@dataclass(frozen=True)
+class RoSAConfig:
+    """Adapter shape: LoRA rank plus a sparse budget.
+
+    ``sparse_density`` is the fraction of each wrapped weight matrix whose
+    entries get an individually-trainable sparse correction.
+    """
+
+    rank: int = 4
+    alpha: float = 8.0
+    sparse_density: float = 0.01
+    target_kinds: Tuple[str, ...] = ("q_proj", "v_proj")
+
+    @property
+    def scaling(self) -> float:
+        return self.alpha / self.rank
+
+    def __post_init__(self):
+        if not 0.0 < self.sparse_density <= 1.0:
+            raise ValueError("sparse_density must be in (0, 1]")
+        if self.rank < 1:
+            raise ValueError("rank must be >= 1")
+
+
+class RoSALinear(Module):
+    """Frozen Linear + trainable low-rank pair + trainable sparse values."""
+
+    def __init__(self, base: Linear, config: RoSAConfig,
+                 rng: np.random.Generator):
+        self.base = base
+        self.base.weight.trainable = False
+        self.config = config
+        r = config.rank
+        out_f, in_f = base.out_features, base.in_features
+        self.lora_a = Parameter(
+            rng.normal(0.0, 1.0 / np.sqrt(r), size=(r, in_f))
+            .astype(np.float32))
+        self.lora_b = Parameter(np.zeros((out_f, r), dtype=np.float32))
+        # sparse support: the largest-magnitude base entries (a practical
+        # stand-in for RoSA's gradient-based support selection)
+        k = max(1, int(config.sparse_density * out_f * in_f))
+        flat = np.abs(base.weight.data).reshape(-1)
+        threshold = np.partition(flat, -k)[-k]
+        self.sparse_mask = np.abs(base.weight.data) >= threshold
+        self.sparse_values = Parameter(
+            np.zeros((out_f, in_f), dtype=np.float32))
+        self._cached_input = None
+        self._cached_ax = None
+
+    def forward(self, x: np.ndarray, cache: bool = False) -> np.ndarray:
+        ax = x @ self.lora_a.data.T
+        if cache:
+            self._cached_input = x
+            self._cached_ax = ax
+        sparse = self.sparse_values.data * self.sparse_mask
+        return (self.base.forward(x, cache=cache)
+                + self.config.scaling * (ax @ self.lora_b.data.T)
+                + x @ sparse.T)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x, ax = self._cached_input, self._cached_ax
+        if x is None:
+            raise RuntimeError("RoSALinear.backward without cached forward")
+        s = self.config.scaling
+        out_f, in_f = self.base.out_features, self.base.in_features
+        r = self.config.rank
+        flat_g = grad_out.reshape(-1, out_f)
+        flat_x = x.reshape(-1, in_f)
+        flat_ax = ax.reshape(-1, r)
+
+        self.lora_b.accumulate_grad(s * (flat_g.T @ flat_ax))
+        grad_ax = s * (grad_out @ self.lora_b.data)
+        self.lora_a.accumulate_grad(grad_ax.reshape(-1, r).T @ flat_x)
+        self.sparse_values.accumulate_grad(
+            (flat_g.T @ flat_x) * self.sparse_mask)
+
+        grad_x = self.base.backward(grad_out)
+        grad_x = grad_x + grad_ax @ self.lora_a.data
+        grad_x = grad_x + grad_out @ (self.sparse_values.data
+                                      * self.sparse_mask)
+        self._cached_input = None
+        self._cached_ax = None
+        return grad_x
+
+    def delta_weight(self) -> np.ndarray:
+        """Dense equivalent update: ``scaling·B A + S``."""
+        return (self.config.scaling * (self.lora_b.data @ self.lora_a.data)
+                + self.sparse_values.data * self.sparse_mask)
+
+    def __call__(self, x, cache=False):
+        return self.forward(x, cache=cache)
+
+
+@dataclass
+class RoSAAdapter:
+    """Extracted adapter: per-layer (A, B, sparse values, mask)."""
+
+    config: RoSAConfig
+    matrices: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+
+    def nbytes(self, bytes_per_value: int = 2) -> int:
+        """FP16 values + 4-byte indices per stored sparse entry."""
+        total = 0
+        for a, b, values, mask in self.matrices.values():
+            total += (a.size + b.size) * bytes_per_value
+            nnz = int(mask.sum())
+            total += nnz * (bytes_per_value + 4)
+        return total
+
+    def delta_state_dict(self) -> Dict[str, np.ndarray]:
+        """Dense per-layer deltas — servable through the delta path."""
+        out = {}
+        for name, (a, b, values, mask) in self.matrices.items():
+            out[name + ".weight"] = (self.config.scaling * (b @ a)
+                                     + values * mask).astype(np.float32)
+        return out
+
+
+def _iter_targets(model: TransformerModel, kinds: Tuple[str, ...]):
+    attn = {"q_proj", "k_proj", "v_proj", "o_proj"}
+    for i, block in enumerate(model.layers):
+        for kind in kinds:
+            owner_name = "self_attn" if kind in attn else "mlp"
+            owner = getattr(block, owner_name)
+            yield f"layers.{i}.{owner_name}.{kind}", owner, kind
+
+
+def attach_rosa(model: TransformerModel, config: RoSAConfig,
+                seed: int = 0) -> List[str]:
+    """Wrap target projections with RoSALinear; freeze everything else."""
+    for param in model.parameters():
+        param.trainable = False
+    rng = np.random.default_rng(seed)
+    wrapped = []
+    for name, owner, kind in _iter_targets(model, config.target_kinds):
+        layer = getattr(owner, kind)
+        if isinstance(layer, RoSALinear):
+            raise ValueError(f"{name} already has a RoSA adapter")
+        setattr(owner, kind, RoSALinear(layer, config, rng))
+        wrapped.append(name)
+    return wrapped
+
+
+def detach_rosa(model: TransformerModel) -> RoSAAdapter:
+    """Remove adapters, restore plain Linears, return the adapter."""
+    matrices = {}
+    config = None
+    for i, block in enumerate(model.layers):
+        for owner_name in ("self_attn", "mlp"):
+            owner = getattr(block, owner_name)
+            for kind, layer in list(vars(owner).items()):
+                if isinstance(layer, RoSALinear):
+                    config = layer.config
+                    matrices[f"layers.{i}.{owner_name}.{kind}"] = (
+                        layer.lora_a.data.copy(), layer.lora_b.data.copy(),
+                        layer.sparse_values.data.copy(),
+                        layer.sparse_mask.copy())
+                    layer.base.weight.trainable = True
+                    setattr(owner, kind, layer.base)
+    for param in model.parameters():
+        param.trainable = True
+    if config is None:
+        raise ValueError("no RoSA adapters attached to this model")
+    return RoSAAdapter(config=config, matrices=matrices)
+
+
+def merge_rosa(model: TransformerModel, adapter: RoSAAdapter) -> None:
+    """Fold the adapter into the dense weights."""
+    for name, delta in adapter.delta_state_dict().items():
+        layer = model.get_linear(name)
+        layer.weight.data = layer.weight.data + delta

@@ -1,0 +1,180 @@
+"""Parameter containers, initialization, and checkpoint (de)serialization.
+
+The substrate deliberately avoids autograd frameworks: a model is a nested
+structure of named float32 arrays (a *state dict*), and layers implement
+explicit ``forward``/``backward``.  This file provides:
+
+* :class:`Parameter` — an array plus its gradient accumulator.
+* :class:`Module` — minimal base class with named-parameter traversal.
+* state-dict helpers used by the compression pipeline, which treats a model
+  as a flat ``{name: ndarray}`` mapping exactly like a HF checkpoint.
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "init_normal",
+    "init_uniform_he",
+    "state_dict_nbytes",
+    "save_state_dict",
+    "load_state_dict",
+    "clone_state_dict",
+    "state_dicts_allclose",
+]
+
+
+class Parameter:
+    """A trainable tensor with a gradient slot.
+
+    Attributes:
+        data: the parameter value (float32 ndarray).
+        grad: accumulated gradient, same shape as ``data`` (or None).
+        trainable: if False the optimizer skips this parameter (used to
+            freeze base weights during LoRA fine-tuning).
+    """
+
+    __slots__ = ("data", "grad", "trainable")
+
+    def __init__(self, data: np.ndarray, trainable: bool = True):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = None
+        self.trainable = trainable
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the gradient slot (allocating it lazily)."""
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.data.shape}, trainable={self.trainable})"
+
+
+class Module:
+    """Minimal module base: children discovered via instance attributes.
+
+    Subclasses register :class:`Parameter` attributes and sub-``Module``
+    attributes; :meth:`named_parameters` walks them depth-first with
+    dotted names, mirroring the familiar ``module.weight`` convention.
+    """
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}.{name}" if prefix else name
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(full)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full}.{i}")
+                    elif isinstance(item, Parameter):
+                        yield f"{full}.{i}", item
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of all parameters as a flat ``{name: ndarray}`` mapping."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values in-place from a flat mapping."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if name in state:
+                value = np.asarray(state[name], dtype=np.float32)
+                if value.shape != param.data.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: "
+                        f"expected {param.data.shape}, got {value.shape}"
+                    )
+                param.data = value.copy()
+
+
+def init_normal(rng: np.random.Generator, shape: tuple, std: float = 0.02) -> np.ndarray:
+    """Gaussian init, the GPT-style default."""
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def init_uniform_he(rng: np.random.Generator, shape: tuple) -> np.ndarray:
+    """He-uniform init keyed on the fan-in (last dimension)."""
+    fan_in = shape[-1]
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def state_dict_nbytes(state: Dict[str, np.ndarray]) -> int:
+    """Total bytes of a state dict at its stored dtype."""
+    return sum(int(arr.nbytes) for arr in state.values())
+
+
+def clone_state_dict(state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    return {name: arr.copy() for name, arr in state.items()}
+
+
+def state_dicts_allclose(
+    a: Dict[str, np.ndarray],
+    b: Dict[str, np.ndarray],
+    atol: float = 1e-6,
+) -> bool:
+    if set(a) != set(b):
+        return False
+    return all(np.allclose(a[k], b[k], atol=atol) for k in a)
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Persist a state dict as an npz-style zip archive."""
+    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_STORED) as zf:
+        for name, arr in state.items():
+            buf = io.BytesIO()
+            np.save(buf, arr)
+            zf.writestr(name + ".npy", buf.getvalue())
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`save_state_dict`."""
+    state: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path, "r") as zf:
+        for info in zf.infolist():
+            name = info.filename
+            if not name.endswith(".npy"):
+                continue
+            buf = io.BytesIO(zf.read(name))
+            state[name[: -len(".npy")]] = np.load(buf)
+    return state

@@ -1,0 +1,159 @@
+"""Optimizers and the full-model fine-tuning (FMT) loop.
+
+FMT is the paradigm DeltaZip serves: every parameter is updated, producing a
+checkpoint whose *delta* against the base is small-magnitude (Fig 3) and
+therefore highly compressible.  The same loop doubles as the pre-training
+driver for the tiny base models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tensoring import Module, Parameter
+from .transformer import TransformerModel
+
+__all__ = ["Adam", "SGD", "TrainingConfig", "train_lm", "iterate_minibatches"]
+
+
+class SGD:
+    """Plain SGD with optional gradient clipping."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-2,
+                 clip_norm: Optional[float] = 1.0):
+        self.params = [p for p in params if p.trainable]
+        self.lr = lr
+        self.clip_norm = clip_norm
+
+    def step(self) -> None:
+        scale = _clip_scale(self.params, self.clip_norm)
+        for p in self.params:
+            if p.grad is None:
+                continue
+            p.data -= self.lr * scale * p.grad
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam with bias correction; state keyed by parameter identity."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas: Tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0, clip_norm: Optional[float] = 1.0):
+        self.params = [p for p in params if p.trainable]
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.clip_norm = clip_norm
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        scale = _clip_scale(self.params, self.clip_norm)
+        bc1 = 1.0 - self.beta1**self.t
+        bc2 = 1.0 - self.beta2**self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = scale * p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+def _clip_scale(params: Sequence[Parameter], clip_norm: Optional[float]) -> float:
+    if clip_norm is None:
+        return 1.0
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.sum(p.grad.astype(np.float64) ** 2))
+    norm = np.sqrt(total)
+    if norm <= clip_norm or norm == 0.0:
+        return 1.0
+    return float(clip_norm / norm)
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters for :func:`train_lm`."""
+
+    epochs: int = 5
+    batch_size: int = 16
+    lr: float = 1e-3
+    weight_decay: float = 0.0
+    clip_norm: Optional[float] = 1.0
+    seed: int = 0
+    log_every: int = 0  # 0 disables logging
+    optimizer: str = "adam"  # "adam" | "sgd"
+
+
+def iterate_minibatches(
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator,
+) -> Iterable[Tuple[np.ndarray, np.ndarray]]:
+    """Shuffle then yield (inputs, targets) minibatches."""
+    n = inputs.shape[0]
+    order = rng.permutation(n)
+    for start in range(0, n, batch_size):
+        idx = order[start:start + batch_size]
+        yield inputs[idx], targets[idx]
+
+
+def train_lm(
+    model: TransformerModel,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    config: TrainingConfig,
+    callback: Optional[Callable[[int, float], None]] = None,
+) -> List[float]:
+    """Train a language model on (inputs, targets) token arrays.
+
+    ``inputs``/``targets`` are int arrays of shape (n_examples, seq_len);
+    positions with target ``-100`` are ignored by the loss (prompt masking).
+    Returns the mean loss per epoch.
+    """
+    rng = np.random.default_rng(config.seed)
+    if config.optimizer == "adam":
+        opt = Adam(model.parameters(), lr=config.lr,
+                   weight_decay=config.weight_decay, clip_norm=config.clip_norm)
+    elif config.optimizer == "sgd":
+        opt = SGD(model.parameters(), lr=config.lr, clip_norm=config.clip_norm)
+    else:
+        raise ValueError(f"unknown optimizer {config.optimizer!r}")
+
+    history: List[float] = []
+    for epoch in range(config.epochs):
+        losses = []
+        for x, y in iterate_minibatches(inputs, targets, config.batch_size, rng):
+            opt.zero_grad()
+            loss = model.loss(x, y, cache=True)
+            model.loss_backward()
+            opt.step()
+            losses.append(loss)
+        mean_loss = float(np.mean(losses)) if losses else 0.0
+        history.append(mean_loss)
+        if callback is not None:
+            callback(epoch, mean_loss)
+        if config.log_every and (epoch + 1) % config.log_every == 0:
+            print(f"[train] epoch {epoch + 1}/{config.epochs} loss={mean_loss:.4f}")
+    return history

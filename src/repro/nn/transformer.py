@@ -1,0 +1,217 @@
+"""Llama-style decoder-only transformer built on the explicit-grad layers.
+
+The architecture follows Llama-2: RMSNorm pre-norm, RoPE attention, SwiGLU
+MLP, tied-free LM head.  A :class:`TransformerConfig` names the handful of
+size presets the experiments use (stand-ins for the paper's 7B/13B/70B
+checkpoints at CPU-trainable scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from . import functional as F
+from .attention import KVCache, MultiHeadAttention
+from .layers import Embedding, Linear, RMSNorm
+from .tensoring import Module
+
+__all__ = ["TransformerConfig", "MLP", "TransformerBlock", "TransformerModel",
+           "LINEAR_LAYER_KINDS"]
+
+# the per-block linear layers DeltaZip serves in low precision (paper §5.1)
+LINEAR_LAYER_KINDS = ("q_proj", "k_proj", "v_proj", "o_proj",
+                      "gate_proj", "up_proj", "down_proj")
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Model shape. ``name`` identifies the preset in experiment output."""
+
+    name: str = "tiny"
+    vocab_size: int = 128
+    dim: int = 64
+    n_layers: int = 2
+    n_heads: int = 4
+    mlp_hidden: int = 128
+    max_seq: int = 128
+    rope_base: float = 10000.0
+    eos_token: int = 1
+    pad_token: int = 0
+    n_kv_heads: Optional[int] = None  # < n_heads enables GQA (Llama-70B)
+
+    @property
+    def kv_heads(self) -> int:
+        return self.n_kv_heads if self.n_kv_heads is not None else self.n_heads
+
+    @staticmethod
+    def tiny(vocab_size: int = 128, max_seq: int = 128) -> "TransformerConfig":
+        return TransformerConfig(name="tiny", vocab_size=vocab_size, dim=64,
+                                 n_layers=2, n_heads=4, mlp_hidden=128,
+                                 max_seq=max_seq)
+
+    @staticmethod
+    def small(vocab_size: int = 128, max_seq: int = 128) -> "TransformerConfig":
+        return TransformerConfig(name="small", vocab_size=vocab_size, dim=96,
+                                 n_layers=3, n_heads=6, mlp_hidden=192,
+                                 max_seq=max_seq)
+
+    @staticmethod
+    def medium(vocab_size: int = 256, max_seq: int = 256) -> "TransformerConfig":
+        return TransformerConfig(name="medium", vocab_size=vocab_size, dim=128,
+                                 n_layers=4, n_heads=8, mlp_hidden=256,
+                                 max_seq=max_seq)
+
+    @staticmethod
+    def tiny_gqa(vocab_size: int = 128, max_seq: int = 128) -> "TransformerConfig":
+        """Grouped-query variant (2 query heads per KV head, 70B-style)."""
+        return TransformerConfig(name="tiny-gqa", vocab_size=vocab_size,
+                                 dim=64, n_layers=2, n_heads=4,
+                                 n_kv_heads=2, mlp_hidden=128,
+                                 max_seq=max_seq)
+
+
+class MLP(Module):
+    """SwiGLU MLP: ``down(silu(gate(x)) * up(x))``."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator):
+        self.gate_proj = Linear(dim, hidden, rng)
+        self.up_proj = Linear(dim, hidden, rng)
+        self.down_proj = Linear(hidden, dim, rng)
+        self._ctx = None
+
+    def forward(self, x: np.ndarray, cache: bool = False) -> np.ndarray:
+        gate = self.gate_proj(x, cache=cache)
+        up = self.up_proj(x, cache=cache)
+        act = F.silu(gate)
+        hidden = act * up
+        if cache:
+            self._ctx = {"gate": gate, "up": up, "act": act}
+        return self.down_proj(hidden, cache=cache)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._ctx is None:
+            raise RuntimeError("MLP backward called without cached forward")
+        ctx = self._ctx
+        grad_hidden = self.down_proj.backward(grad_out)
+        grad_act = grad_hidden * ctx["up"]
+        grad_up = grad_hidden * ctx["act"]
+        grad_gate = F.silu_backward(ctx["gate"], grad_act)
+        grad_x = self.gate_proj.backward(grad_gate)
+        grad_x = grad_x + self.up_proj.backward(grad_up)
+        self._ctx = None
+        return grad_x
+
+    def __call__(self, x, cache=False):
+        return self.forward(x, cache=cache)
+
+
+class TransformerBlock(Module):
+    """Pre-norm decoder block: attention + MLP with residuals."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        self.input_norm = RMSNorm(config.dim)
+        self.self_attn = MultiHeadAttention(
+            config.dim, config.n_heads, config.max_seq, rng,
+            rope_base=config.rope_base, n_kv_heads=config.n_kv_heads)
+        self.post_norm = RMSNorm(config.dim)
+        self.mlp = MLP(config.dim, config.mlp_hidden, rng)
+
+    def forward(self, x: np.ndarray, kv_cache: Optional[KVCache] = None,
+                cache: bool = False) -> np.ndarray:
+        h = x + self.self_attn(self.input_norm(x, cache=cache),
+                               kv_cache=kv_cache, cache=cache)
+        return h + self.mlp(self.post_norm(h, cache=cache), cache=cache)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_h = grad_out + self.post_norm.backward(self.mlp.backward(grad_out))
+        grad_x = grad_h + self.input_norm.backward(self.self_attn.backward(grad_h))
+        return grad_x
+
+    def __call__(self, x, kv_cache=None, cache=False):
+        return self.forward(x, kv_cache=kv_cache, cache=cache)
+
+
+class TransformerModel(Module):
+    """Decoder-only LM.  ``forward`` returns logits of shape (B, T, vocab)."""
+
+    def __init__(self, config: TransformerConfig, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.embed_tokens = Embedding(config.vocab_size, config.dim, rng)
+        self.layers = [TransformerBlock(config, rng) for _ in range(config.n_layers)]
+        self.final_norm = RMSNorm(config.dim)
+        self.lm_head = Linear(config.dim, config.vocab_size, rng)
+
+    # -------------------------------------------------------------- #
+    def new_kv_caches(self, batch: int) -> List[KVCache]:
+        c = self.config
+        head_dim = c.dim // c.n_heads
+        return [KVCache(batch, c.kv_heads, c.max_seq, head_dim)
+                for _ in range(c.n_layers)]
+
+    def forward(self, tokens: np.ndarray,
+                kv_caches: Optional[List[KVCache]] = None,
+                cache: bool = False) -> np.ndarray:
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        h = self.embed_tokens(tokens, cache=cache)
+        for i, block in enumerate(self.layers):
+            kv = kv_caches[i] if kv_caches is not None else None
+            h = block(h, kv_cache=kv, cache=cache)
+        h = self.final_norm(h, cache=cache)
+        return self.lm_head(h, cache=cache)
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        """Backprop from dL/dlogits into all parameter gradients."""
+        grad_h = self.lm_head.backward(grad_logits)
+        grad_h = self.final_norm.backward(grad_h)
+        for block in reversed(self.layers):
+            grad_h = block.backward(grad_h)
+        self.embed_tokens.backward(grad_h)
+
+    def loss(self, tokens: np.ndarray, targets: np.ndarray,
+             cache: bool = False) -> float:
+        logits = self.forward(tokens, cache=cache)
+        self._last_logits = logits
+        self._last_targets = targets
+        return F.cross_entropy(logits, targets)
+
+    def loss_backward(self) -> None:
+        grad = F.cross_entropy_backward(self._last_logits, self._last_targets)
+        self.backward(grad)
+
+    def __call__(self, tokens, kv_caches=None, cache=False):
+        return self.forward(tokens, kv_caches=kv_caches, cache=cache)
+
+    # -------------------------------------------------------------- #
+    # Views used by the compression pipeline
+    # -------------------------------------------------------------- #
+    def linear_layer_names(self) -> List[str]:
+        """Dotted names of every compressible linear weight, in layer order.
+
+        Mirrors the paper's choice (§5.1): all q/k/v/o and MLP projections;
+        embeddings and norms stay FP16 (this is also why Gemma-style models
+        with large embeddings see lower end-to-end ratios — Table 1).
+        """
+        attn_kinds = {"q_proj", "k_proj", "v_proj", "o_proj"}
+        names = []
+        for i in range(len(self.layers)):
+            for kind in LINEAR_LAYER_KINDS:
+                owner = "self_attn" if kind in attn_kinds else "mlp"
+                names.append(f"layers.{i}.{owner}.{kind}.weight")
+        return names
+
+    def get_linear(self, name: str) -> Linear:
+        """Resolve a dotted linear-weight name to its Linear module."""
+        parts = name.split(".")
+        if parts[-1] == "weight":
+            parts = parts[:-1]
+        obj = self
+        for part in parts:
+            obj = obj[int(part)] if part.isdigit() else getattr(obj, part)
+        if not isinstance(obj, Linear):
+            raise TypeError(f"{name} does not resolve to a Linear (got {type(obj)})")
+        return obj

@@ -1,0 +1,38 @@
+"""DeltaZip serving engine, baselines, and serving metrics (paper §5-6)."""
+
+from .baselines import DedicatedEngine, VLLMSCBEngine
+from .costs import BatchComposition, IterationCostModel
+from .economics import (DeploymentCost, GPU_HOURLY_USD, compare_deployments,
+                        deployment_cost)
+from .engine import DeltaZipEngine, EngineConfig, TimelineEvent
+from .metrics import EngineStats, ServingResult, slo_attainment, summarize
+from .model_manager import ArtifactKind, ModelManager, RegisteredModel
+from .packed_compute import PackedDeltaLinear, packed_matmul
+from .router import BaseModelGroup, MultiBaseRouter
+from .models import (LLAMA_13B, LLAMA_70B, LLAMA_7B, MODEL_SPECS,
+                     PYTHIA_2_8B, ServedModelSpec)
+from .request import RequestRecord, RequestState, ServingRequest
+from .runner import DecoupledModelRunner
+from .sbmm import group_requests_by_delta, sbmm_forward, sbmm_reference
+from .scheduler import (ContinuousBatchScheduler, SchedulerConfig,
+                        SchedulingDecision)
+from .tuning import ProfilePoint, pick_optimal_n, profile_concurrent_deltas
+
+__all__ = [
+    "DedicatedEngine", "VLLMSCBEngine",
+    "BatchComposition", "IterationCostModel",
+    "DeploymentCost", "GPU_HOURLY_USD", "compare_deployments",
+    "deployment_cost",
+    "DeltaZipEngine", "EngineConfig", "TimelineEvent",
+    "EngineStats", "ServingResult", "slo_attainment", "summarize",
+    "PackedDeltaLinear", "packed_matmul",
+    "BaseModelGroup", "MultiBaseRouter",
+    "ArtifactKind", "ModelManager", "RegisteredModel",
+    "LLAMA_13B", "LLAMA_70B", "LLAMA_7B", "MODEL_SPECS", "PYTHIA_2_8B",
+    "ServedModelSpec",
+    "RequestRecord", "RequestState", "ServingRequest",
+    "DecoupledModelRunner",
+    "group_requests_by_delta", "sbmm_forward", "sbmm_reference",
+    "ContinuousBatchScheduler", "SchedulerConfig", "SchedulingDecision",
+    "ProfilePoint", "pick_optimal_n", "profile_concurrent_deltas",
+]

@@ -1,0 +1,256 @@
+"""Baseline engines (§6.1): vLLM-SCB and per-variant dedicated serving.
+
+``VLLMSCBEngine`` is the paper's constructed baseline: vLLM extended with
+**S**\\ wapping of whole FP16 models, **C**\\ ontinuous batching (looping over
+the models resident in GPU memory — no cross-model batching), and
+**B**\\ atching of same-model requests.  It treats every fine-tuned variant
+as an independent full model, so GPU memory fits only a couple of variants
+and a queue-head miss forces a multi-second full-model swap on the critical
+path — the two pathologies Fig 16 visualizes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..hardware.cluster import GPUNode
+from ..hardware.memory import Tier
+from ..workload.spec import Trace
+from .costs import IterationCostModel
+from .engine import (EngineConfig, TimelineEvent, _FULL_MODEL_LOADER_FACTOR,
+                     _WORKSPACE_FRACTION)
+from .metrics import ServingResult
+from .model_manager import ModelManager
+from .request import RequestState, ServingRequest
+
+__all__ = ["VLLMSCBEngine", "DedicatedEngine"]
+
+_KV_RESERVE_FRACTION = 0.3  # SCB reserves a fixed KV share like vLLM
+
+
+class VLLMSCBEngine:
+    """Swap + continuous batching + same-model batching over full models."""
+
+    name = "vllm-scb"
+
+    def __init__(self, manager: ModelManager, node: GPUNode,
+                 engine_config: EngineConfig = EngineConfig(),
+                 max_batch_requests: int = 32,
+                 loader_factor: float = _FULL_MODEL_LOADER_FACTOR,
+                 preload: bool = False):
+        self.manager = manager
+        self.node = node
+        self.config = engine_config
+        self.max_batch_requests = max_batch_requests
+        self.loader_factor = loader_factor
+        self.preload = preload  # dedicated deployments start warm
+        self.cost = IterationCostModel(
+            spec=manager.spec, gpu=node.gpu_spec,
+            tp_degree=engine_config.tp_degree)
+
+    # ------------------------------------------------------------------ #
+    def run(self, trace: Trace, collect_timeline: bool = False) -> ServingResult:
+        cfg = self.config
+        spec = self.manager.spec
+        group_capacity = self.node.gpu_spec.memory_bytes * cfg.tp_degree
+        usable = group_capacity * (1.0 - _WORKSPACE_FRACTION)
+        weight_budget = usable * (1.0 - _KV_RESERVE_FRACTION)
+        kv_budget_tokens = int(usable * _KV_RESERVE_FRACTION
+                               // spec.kv_bytes_per_token())
+        model_bytes = spec.fp16_nbytes
+        max_resident = max(1, int(weight_budget // model_bytes))
+
+        requests = [ServingRequest(trace=t) for t in trace]
+        pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        queue: List[ServingRequest] = []
+        running: List[ServingRequest] = []
+        finished: List[ServingRequest] = []
+        timeline: List[TimelineEvent] = []
+        resident: "OrderedDict[str, bool]" = OrderedDict()
+        in_cpu: Set[str] = set()
+        if self.preload:
+            # warm start: pre-stage the first models the trace will ask for
+            for req in pending:
+                if len(resident) >= max_resident:
+                    break
+                if req.model_id not in resident:
+                    resident[req.model_id] = True
+                    in_cpu.add(req.model_id)
+
+        clock = 0.0
+        next_arrival = 0
+        n_total = len(requests)
+
+        while len(finished) < n_total and clock < cfg.max_sim_seconds:
+            while next_arrival < n_total and \
+                    pending[next_arrival].arrival_s <= clock:
+                queue.append(pending[next_arrival])
+                next_arrival += 1
+            if not running and not queue:
+                if next_arrival >= n_total:
+                    break
+                clock = max(clock, pending[next_arrival].arrival_s)
+                continue
+
+            # swap for the queue head if its model is missing (weights are
+            # read-only: eviction just frees the slot, the load pays the
+            # standard checkpoint-loader cost)
+            load_time = 0.0
+            if queue:
+                head_model = queue[0].model_id
+                if head_model not in resident:
+                    active = {r.model_id for r in running}
+                    while len(resident) >= max_resident:
+                        if self._evict_lru(resident, active) is None:
+                            break
+                    if len(resident) < max_resident:
+                        src = Tier.CPU if head_model in in_cpu else Tier.DISK
+                        load_time += self.loader_factor * self.node.load_time(
+                            model_bytes, src, Tier.GPU)
+                        resident[head_model] = True
+                        in_cpu.add(head_model)
+
+            # admit queued requests whose model is resident (FCFS), within
+            # the KV reserve
+            capacity = self.max_batch_requests - len(running)
+            kv_in_use = sum(r.context_length for r in running)
+            admitted: List[ServingRequest] = []
+            still: List[ServingRequest] = []
+            for req in queue:
+                need = req.trace.prompt_tokens + 1
+                if capacity > 0 and req.model_id in resident \
+                        and kv_in_use + need <= kv_budget_tokens:
+                    admitted.append(req)
+                    capacity -= 1
+                    kv_in_use += need
+                else:
+                    still.append(req)
+            queue = still
+            for model_id in {r.model_id for r in running + admitted}:
+                if model_id in resident:
+                    resident.move_to_end(model_id)
+
+            admitted_ids = {r.request_id for r in admitted}
+            for req in admitted:
+                req.state = RequestState.RUNNING
+                if req.first_scheduled_s is None:
+                    req.first_scheduled_s = clock
+                    req.queue_wait_s = clock - req.arrival_s
+                req.loading_s += load_time
+
+            rows: Dict[str, int] = {}
+            prefill: Dict[str, int] = {}
+            context = 0
+            for req in running:
+                rows[req.model_id] = rows.get(req.model_id, 0) + 1
+                context += req.context_length
+            for req in admitted:
+                prefill[req.model_id] = prefill.get(req.model_id, 0) \
+                    + req.trace.prompt_tokens
+            iter_time = self.cost.fullmodel_iteration_time(
+                rows, context, prefill)
+            if iter_time == 0.0 and load_time == 0.0:
+                # nothing runnable: fast-forward to the next arrival
+                if next_arrival < n_total:
+                    clock = max(clock, pending[next_arrival].arrival_s)
+                    continue
+                break
+            clock += iter_time + load_time
+
+            for req in admitted:
+                req.prefilled = True
+                req.generated_tokens += 1
+                req.first_token_s = clock
+                req.inference_s += iter_time
+                running.append(req)
+            for req in running:
+                if req.request_id in admitted_ids:
+                    continue
+                req.generated_tokens += 1
+                req.inference_s += iter_time
+
+            newly_done = [r for r in running if r.done]
+            for req in newly_done:
+                req.state = RequestState.FINISHED
+                req.finish_s = clock
+                finished.append(req)
+                if collect_timeline:
+                    timeline.append(TimelineEvent(
+                        request_id=req.request_id, model_id=req.model_id,
+                        arrival_s=req.arrival_s,
+                        queue_until_s=req.first_scheduled_s,
+                        loading_until_s=req.first_scheduled_s + req.loading_s,
+                        finish_s=req.finish_s))
+            running = [r for r in running if not r.done]
+
+        records = [r.record() for r in finished]
+        makespan = max((r.finish_s for r in records), default=clock) - \
+            min((r.arrival_s for r in records), default=0.0)
+        result = ServingResult(
+            engine=self.name, records=records, makespan_s=max(makespan, 1e-9),
+            config={"tp_degree": cfg.tp_degree,
+                    "max_resident_models": max_resident,
+                    "max_batch_requests": self.max_batch_requests})
+        if collect_timeline:
+            result.config["timeline"] = timeline
+        return result
+
+    @staticmethod
+    def _evict_lru(resident: "OrderedDict[str, bool]",
+                   active: Set[str]) -> Optional[str]:
+        for model_id in resident:
+            if model_id not in active:
+                resident.pop(model_id)
+                return model_id
+        return None
+
+
+class DedicatedEngine:
+    """Upper-bound reference: every variant owns its own TP group.
+
+    No swapping, no cross-variant queueing — just per-variant continuous
+    batching.  Used to contextualize cost/latency trade-offs (§8 notes
+    DeltaZip targets the regime where dedicating GPUs is too expensive).
+    """
+
+    name = "dedicated"
+
+    def __init__(self, manager: ModelManager, node: GPUNode,
+                 engine_config: EngineConfig = EngineConfig(),
+                 max_batch_requests: int = 32):
+        self.manager = manager
+        self.node = node
+        self.config = engine_config
+        self.max_batch_requests = max_batch_requests
+        self.cost = IterationCostModel(
+            spec=manager.spec, gpu=node.gpu_spec,
+            tp_degree=engine_config.tp_degree)
+
+    def run(self, trace: Trace, collect_timeline: bool = False) -> ServingResult:
+        all_records = []
+        last_finish = 0.0
+        first_arrival = min((r.arrival_s for r in trace), default=0.0)
+        for model_id in trace.model_ids:
+            sub_requests = [r for r in trace if r.model_id == model_id]
+            if not sub_requests:
+                continue
+            sub = Trace(requests=list(sub_requests), model_ids=[model_id],
+                        duration_s=trace.duration_s)
+            result = self._run_single(sub)
+            all_records.extend(result.records)
+            if result.records:
+                last_finish = max(last_finish,
+                                  max(r.finish_s for r in result.records))
+        makespan = max(last_finish - first_arrival, 1e-9)
+        return ServingResult(engine=self.name, records=all_records,
+                             makespan_s=makespan,
+                             config={"tp_degree": self.config.tp_degree})
+
+    def _run_single(self, trace: Trace) -> ServingResult:
+        engine = VLLMSCBEngine(self.manager, self.node, self.config,
+                               self.max_batch_requests, preload=False)
+        # dedicated groups keep their one model resident from the start
+        engine.preload = True
+        return engine.run(trace)

@@ -1,0 +1,205 @@
+"""Iteration cost model: batch composition → seconds (decoupled serving).
+
+Implements the timing consequences of §5.1-§5.3:
+
+* the **base** pass runs one dense FP16 GEMM per linear over the *whole*
+  batch (all variants of the same base batch together);
+* the **delta** pass runs SBMM — low-precision sparse grouped matmuls —
+  in parallel with the base pass (per-layer time is the max of the two,
+  the decoupling of Eq. 2);
+* tensor parallelism splits every GEMM's output dimension ``1/tp`` and adds
+  two ring all-reduces of the activations per layer (Fig 9);
+* attention adds KV-cache traffic, which is what makes decode memory-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..hardware.cluster import allreduce_time
+from ..hardware.kernels import (GemmShape, dense_gemm_time,
+                                quantized_gemm_time, sbmm_time,
+                                sparse_quantized_gemm_time)
+from ..hardware.specs import GPUSpec
+from .models import FP16, ServedModelSpec
+
+__all__ = ["IterationCostModel", "BatchComposition"]
+
+# fixed per-iteration software overhead (scheduler, python, launch queue)
+_ITERATION_OVERHEAD_S = 2e-3
+# LoRA adapters multiply two rank-r matrices per projection
+_LORA_KERNEL_EFFICIENCY = 0.5
+
+
+@dataclass
+class BatchComposition:
+    """What one engine iteration executes.
+
+    ``decode_per_delta`` maps variant-id -> number of decoding requests this
+    iteration; ``prefill_tokens_per_delta`` maps variant-id -> total prompt
+    tokens entering prefill; ``context_tokens`` is the sum of context
+    lengths across decoding requests (KV traffic).
+    """
+
+    decode_per_delta: Dict[str, int]
+    prefill_tokens_per_delta: Dict[str, int]
+    context_tokens: int = 0
+
+    @property
+    def decode_requests(self) -> int:
+        return sum(self.decode_per_delta.values())
+
+    @property
+    def prefill_tokens(self) -> int:
+        return sum(self.prefill_tokens_per_delta.values())
+
+    @property
+    def empty(self) -> bool:
+        return self.decode_requests == 0 and self.prefill_tokens == 0
+
+
+class IterationCostModel:
+    """Times one continuous-batching iteration for a given engine flavour."""
+
+    def __init__(self, spec: ServedModelSpec, gpu: GPUSpec,
+                 tp_degree: int = 1, delta_bits: int = 4,
+                 delta_density: float = 0.5, lora_rank: int = 0,
+                 sbmm_impl: str = "sbmm"):
+        if tp_degree < 1:
+            raise ValueError("tp_degree must be >= 1")
+        self.spec = spec
+        self.gpu = gpu
+        self.tp = tp_degree
+        self.delta_bits = delta_bits
+        self.delta_density = delta_density
+        self.lora_rank = lora_rank
+        self.sbmm_impl = sbmm_impl
+
+    # ------------------------------------------------------------------ #
+    # building blocks
+    # ------------------------------------------------------------------ #
+    def _base_pass(self, m: int) -> float:
+        """Dense FP16 pass over ``m`` token-rows (whole shared-base batch)."""
+        if m == 0:
+            return 0.0
+        total = 0.0
+        for k, n in self.spec.layer_gemm_shapes():
+            total += dense_gemm_time(GemmShape(m, k, n // self.tp), self.gpu)
+        return total * self.spec.n_layers + self._lm_head(m)
+
+    def _lm_head(self, m: int) -> float:
+        return dense_gemm_time(
+            GemmShape(m, self.spec.dim, self.spec.vocab_size // self.tp),
+            self.gpu)
+
+    def _delta_pass(self, rows_per_delta: Sequence[int]) -> float:
+        """SBMM pass: grouped sparse low-precision matmuls per linear."""
+        counts = [c for c in rows_per_delta if c > 0]
+        if not counts:
+            return 0.0
+        total = 0.0
+        for k, n in self.spec.layer_gemm_shapes():
+            total += sbmm_time(counts, k, n // self.tp, self.gpu,
+                               impl=self.sbmm_impl, weight_bits=self.delta_bits,
+                               density=self.delta_density).total
+        return total * self.spec.n_layers
+
+    def _lora_pass(self, rows_per_adapter: Sequence[int]) -> float:
+        """Punica-style batched adapter matmuls.
+
+        Each projection applies two rank-r GEMMs (shrink then expand), but
+        Punica's SGMV kernel fuses them into one launch — so the second
+        GEMM contributes compute only.
+        """
+        counts = [c for c in rows_per_adapter if c > 0]
+        if not counts or self.lora_rank <= 0:
+            return 0.0
+        r = self.lora_rank
+        total = 0.0
+        for k, n in self.spec.layer_gemm_shapes():
+            down = sbmm_time(counts, k, r, self.gpu, impl="sbmm",
+                             weight_bits=16, density=1.0)
+            up = sbmm_time(counts, r, n // self.tp, self.gpu, impl="sbmm",
+                           weight_bits=16, density=1.0)
+            total += (down.total + up.compute) / _LORA_KERNEL_EFFICIENCY * 0.5
+        return total * self.spec.n_layers
+
+    def _attention(self, context_tokens: int, new_tokens: int) -> float:
+        """KV-cache read/write traffic (memory-bound decode attention)."""
+        kv_read = context_tokens * self.spec.kv_bytes_per_token() / self.tp
+        kv_write = new_tokens * self.spec.kv_bytes_per_token() / self.tp
+        return (kv_read + kv_write) / self.gpu.hbm_bytes_per_s
+
+    def _allreduce(self, m: int) -> float:
+        if self.tp == 1 or m == 0:
+            return 0.0
+        per_layer = 2 * allreduce_time(m * self.spec.dim * FP16, self.tp,
+                                       self.gpu)
+        return per_layer * self.spec.n_layers
+
+    # ------------------------------------------------------------------ #
+    # public entry points
+    # ------------------------------------------------------------------ #
+    def iteration_time(self, batch: BatchComposition,
+                       variant_kind: str = "delta") -> float:
+        """Seconds for one iteration of the decoupled engine.
+
+        ``variant_kind``: "delta" (compressed FMT), "lora", or "none"
+        (requests all target the base model).
+        """
+        if batch.empty:
+            return 0.0
+        m_decode = batch.decode_requests
+        m_prefill = batch.prefill_tokens
+        m_total = m_decode + m_prefill
+
+        base = self._base_pass(m_total)
+        rows = []
+        for delta_id in set(batch.decode_per_delta) | \
+                set(batch.prefill_tokens_per_delta):
+            rows.append(batch.decode_per_delta.get(delta_id, 0)
+                        + batch.prefill_tokens_per_delta.get(delta_id, 0))
+        if variant_kind == "delta":
+            variant = self._delta_pass(rows)
+        elif variant_kind == "lora":
+            variant = self._lora_pass(rows)
+        elif variant_kind == "none":
+            variant = 0.0
+        else:
+            raise ValueError(f"unknown variant kind {variant_kind!r}")
+
+        # decoupled: base GEMM and variant matmuls execute in parallel
+        linear = max(base, variant)
+        attn = self._attention(batch.context_tokens, m_total)
+        return linear + attn + self._allreduce(m_total) + _ITERATION_OVERHEAD_S
+
+    def fullmodel_iteration_time(
+        self,
+        rows_per_model: Dict[str, int],
+        context_tokens: int,
+        prefill_tokens_per_model: Optional[Dict[str, int]] = None,
+    ) -> float:
+        """vLLM-SCB baseline: loop over resident models, dense pass each.
+
+        Batches within a model, but each model's pass is a separate series
+        of dense kernels (no cross-model batching).
+        """
+        prefill = prefill_tokens_per_model or {}
+        models = set(rows_per_model) | set(prefill)
+        if not models:
+            return 0.0
+        total = 0.0
+        any_rows = False
+        for model_id in models:
+            m = rows_per_model.get(model_id, 0) + prefill.get(model_id, 0)
+            if m == 0:
+                continue
+            any_rows = True
+            total += self._base_pass(m)
+            total += self._allreduce(m)
+        if not any_rows:
+            return 0.0
+        new_tokens = sum(rows_per_model.values()) + sum(prefill.values())
+        total += self._attention(context_tokens, new_tokens)
+        return total + _ITERATION_OVERHEAD_S

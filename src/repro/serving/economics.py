@@ -1,0 +1,79 @@
+"""Serving economics: the cost side of the paper's conclusion.
+
+§8/§9: *"Compared to dedicated instances for each model, DeltaZip may be
+less performant, but it is more cost-effective... one practical use case is
+to pack less-popular models on a limited pool of GPUs."*  This module puts
+numbers on that trade-off: GPU-hour pricing per platform, cost of a serving
+deployment over a trace, and the cost/latency frontier between dedicated
+per-variant GPU groups and a shared DeltaZip pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..hardware.specs import GPUSpec
+from .metrics import ServingResult
+
+__all__ = ["GPU_HOURLY_USD", "DeploymentCost", "deployment_cost",
+           "compare_deployments"]
+
+# on-demand cloud list prices (USD / GPU / hour), indicative
+GPU_HOURLY_USD: Dict[str, float] = {
+    "A800-80G": 2.2,
+    "A100-80G": 2.4,
+    "RTX-3090": 0.45,
+}
+
+
+@dataclass(frozen=True)
+class DeploymentCost:
+    """Cost summary of one serving run."""
+
+    system: str
+    n_gpus: int
+    gpu_hours: float
+    total_usd: float
+    usd_per_1k_requests: float
+    mean_e2e_s: float
+
+    def row(self) -> str:
+        return (f"{self.system:12s} {self.n_gpus:5d} GPUs  "
+                f"{self.gpu_hours:7.2f} GPU-h  ${self.total_usd:8.2f}  "
+                f"${self.usd_per_1k_requests:8.2f}/1k req  "
+                f"e2e {self.mean_e2e_s:7.2f}s")
+
+
+def deployment_cost(result: ServingResult, gpu: GPUSpec, n_gpus: int,
+                    system: Optional[str] = None,
+                    wall_seconds: Optional[float] = None) -> DeploymentCost:
+    """Price a serving run: GPUs are billed for the whole makespan.
+
+    ``wall_seconds`` overrides the billed duration (e.g. a fixed
+    provisioning window rather than the measured makespan).
+    """
+    if gpu.name not in GPU_HOURLY_USD:
+        raise KeyError(f"no price for GPU {gpu.name!r}")
+    hourly = GPU_HOURLY_USD[gpu.name]
+    seconds = wall_seconds if wall_seconds is not None else result.makespan_s
+    gpu_hours = n_gpus * seconds / 3600.0
+    total = gpu_hours * hourly
+    per_1k = total / max(result.n_requests, 1) * 1000.0
+    return DeploymentCost(system=system or result.engine, n_gpus=n_gpus,
+                          gpu_hours=gpu_hours, total_usd=total,
+                          usd_per_1k_requests=per_1k,
+                          mean_e2e_s=result.mean_e2e_latency_s())
+
+
+def compare_deployments(shared: DeploymentCost,
+                        dedicated: DeploymentCost) -> Dict[str, float]:
+    """Headline comparison: cost saving vs latency penalty."""
+    return {
+        "cost_saving_factor":
+            dedicated.usd_per_1k_requests / max(shared.usd_per_1k_requests,
+                                                1e-9),
+        "latency_penalty_factor":
+            shared.mean_e2e_s / max(dedicated.mean_e2e_s, 1e-9),
+        "gpu_reduction_factor": dedicated.n_gpus / max(shared.n_gpus, 1),
+    }

@@ -1,0 +1,352 @@
+"""The DeltaZip serving engine: decoupled base+delta continuous batching.
+
+A discrete-event simulation whose *decisions* (admission, batching, swap,
+preemption) execute for real against the scheduler and memory pools, while
+*durations* come from :class:`IterationCostModel` and the transfer model.
+The same engine serves compressed FMT deltas (``variant_kind="delta"``) and
+LoRA adapters (``variant_kind="lora"``), mirroring how DeltaZip extends the
+Punica/S-LoRA design to deltas.
+
+Timeline semantics per iteration:
+
+1. arrivals up to the clock join the FCFS queue (and start their async
+   disk→CPU delta prefetch, §3.2's "frontend fetches the requested deltas
+   into CPU main memory");
+2. the scheduler admits requests under the (K, N) limits;
+3. newly selected deltas are swapped onto the GPU (CPU→GPU on the critical
+   path; LRU eviction of idle deltas);
+4. one fused step runs: prefill for newly admitted requests plus one decode
+   token for every running request; the clock advances by the modeled time;
+5. finished requests retire; their skip-the-line children get preempted and
+   requeued at their original position.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..hardware.cluster import GPUNode
+from ..hardware.memory import Tier
+from ..workload.spec import Trace
+from .costs import BatchComposition, IterationCostModel
+from .metrics import EngineStats, ServingResult
+from .model_manager import ArtifactKind, ModelManager
+from .models import FP16, ServedModelSpec
+from .request import RequestState, ServingRequest
+from .scheduler import ContinuousBatchScheduler, SchedulerConfig
+
+__all__ = ["EngineConfig", "DeltaZipEngine", "TimelineEvent"]
+
+_WORKSPACE_FRACTION = 0.08   # activations, CUDA context, fragmentation
+_PREEMPT_SWAP_S = 5e-3       # KV swap-out/in cost per preemption
+# standard checkpoint loaders (deserialize + per-tensor copies) move whole
+# FP16 models far below raw link bandwidth; compressed deltas use the packed
+# raw-buffer path and do not pay this
+_FULL_MODEL_LOADER_FACTOR = 4.0
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-level knobs (scheduler limits live in SchedulerConfig).
+
+    ``preempt_mode`` explores §5.4's open question: "swap" parks a
+    preempted request's KV state in CPU memory and resumes by decoding
+    (paying a fixed swap cost per preemption); "recompute" discards the KV
+    state for free but must re-prefill the full context at resume time.
+    """
+
+    tp_degree: int = 4
+    variant_kind: str = "delta"      # "delta" | "lora" | "none"
+    delta_bits: int = 4
+    delta_density: float = 0.5
+    lora_rank: int = 16
+    sbmm_impl: str = "sbmm"
+    lossless_decompress_gbps: Optional[float] = None
+    preempt_mode: str = "swap"       # "swap" | "recompute"
+    max_sim_seconds: float = 36000.0
+
+    def __post_init__(self):
+        if self.preempt_mode not in ("swap", "recompute"):
+            raise ValueError(f"unknown preempt_mode {self.preempt_mode!r}")
+        if self.variant_kind not in ("delta", "lora", "none"):
+            raise ValueError(f"unknown variant_kind {self.variant_kind!r}")
+
+
+@dataclass
+class TimelineEvent:
+    """Per-request phase spans for the Fig 16 breakdown."""
+
+    request_id: int
+    model_id: str
+    arrival_s: float
+    queue_until_s: float
+    loading_until_s: float
+    finish_s: float
+
+
+class DeltaZipEngine:
+    """Multi-variant serving with compressed deltas (or LoRA adapters)."""
+
+    name = "deltazip"
+
+    def __init__(self, manager: ModelManager, node: GPUNode,
+                 scheduler_config: SchedulerConfig,
+                 engine_config: EngineConfig = EngineConfig()):
+        self.manager = manager
+        self.node = node
+        self.scheduler_config = scheduler_config
+        self.config = engine_config
+        self.cost = IterationCostModel(
+            spec=manager.spec, gpu=node.gpu_spec,
+            tp_degree=engine_config.tp_degree,
+            delta_bits=engine_config.delta_bits,
+            delta_density=engine_config.delta_density,
+            lora_rank=engine_config.lora_rank,
+            sbmm_impl=engine_config.sbmm_impl)
+
+    # ------------------------------------------------------------------ #
+    def run(self, trace: Trace, collect_timeline: bool = False) -> ServingResult:
+        cfg = self.config
+        spec = self.manager.spec
+        scheduler = ContinuousBatchScheduler(self.scheduler_config)
+
+        # per-TP-group GPU memory budget: each GPU holds 1/tp of weights and
+        # KV, so the group budget is one GPU's capacity scaled by tp.  Base
+        # weights, resident deltas, and the KV cache share it (§5.4's
+        # memory-pressure trade-off behind Fig 10).
+        group_capacity = self.node.gpu_spec.memory_bytes * cfg.tp_degree
+        usable = group_capacity * (1.0 - _WORKSPACE_FRACTION)
+        base_bytes = spec.fp16_nbytes
+        if base_bytes >= usable:
+            raise ValueError("base model does not fit in the TP group")
+        kv_per_token = spec.kv_bytes_per_token()
+
+        requests = [ServingRequest(trace=t) for t in trace]
+        pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        cpu_ready_s: Dict[str, float] = {}       # async disk->cpu prefetch
+        resident: "OrderedDict[str, int]" = OrderedDict()  # LRU: id -> bytes
+        resident_bytes = 0
+        running: List[ServingRequest] = []
+        finished: List[ServingRequest] = []
+        timeline: List[TimelineEvent] = []
+        stats = EngineStats()
+
+        clock = 0.0
+        next_arrival = 0
+        n_total = len(requests)
+
+        while len(finished) < n_total and clock < cfg.max_sim_seconds:
+            # 1. admit arrivals; kick off disk->cpu prefetches
+            while next_arrival < n_total and \
+                    pending[next_arrival].arrival_s <= clock:
+                req = pending[next_arrival]
+                scheduler.add(req)
+                self._start_prefetch(req.model_id, req.arrival_s, cpu_ready_s)
+                next_arrival += 1
+
+            if not running and len(scheduler) == 0:
+                if next_arrival >= n_total:
+                    break
+                clock = max(clock, pending[next_arrival].arrival_s)
+                continue
+
+            # 2. schedule
+            decision = scheduler.schedule(running, list(resident))
+            admitted = decision.admitted
+
+            # 3. swap newly selected deltas onto the GPU; deltas compete
+            # with the KV cache for the group budget
+            kv_tokens_running = sum(r.context_length for r in running)
+            load_time = 0.0
+            for delta_id in decision.new_deltas:
+                entry = self.manager.get(delta_id)
+                nbytes = entry.nbytes
+                kv_bytes = kv_tokens_running * kv_per_token
+                active = {r.model_id for r in running} | \
+                    {r.model_id for r in admitted}
+                while base_bytes + resident_bytes + nbytes + kv_bytes \
+                        > usable and resident:
+                    evicted = self._evict_lru(resident, active)
+                    if evicted is None:
+                        break
+                    resident_bytes -= evicted
+                    stats.evictions += 1
+                if base_bytes + resident_bytes + nbytes + kv_bytes > usable:
+                    # cannot fit: drop the admissions for this delta
+                    dropped = [r for r in admitted if r.model_id == delta_id]
+                    for r in dropped:
+                        scheduler.reinsert(r)
+                        r.skipped_line = False
+                        stats.blocked_admissions += 1
+                    admitted = [r for r in admitted if r.model_id != delta_id]
+                    continue
+                load_time += self._swap_in_time(delta_id, nbytes, clock,
+                                                cpu_ready_s)
+                stats.swap_ins += 1
+                resident[delta_id] = nbytes
+                resident_bytes += nbytes
+            for r_id in {r.model_id for r in running + admitted}:
+                if r_id in resident:
+                    resident.move_to_end(r_id)
+
+            # 3b. KV-capacity admission control: every admitted request must
+            # fit its full context into the remaining budget
+            kv_budget_tokens = max(
+                0, int((usable - base_bytes - resident_bytes) // kv_per_token))
+            kv_in_use = kv_tokens_running
+            kept: List[ServingRequest] = []
+            for req in admitted:
+                need = req.context_length if req.generated_tokens > 0 \
+                    else req.trace.prompt_tokens + 1
+                if kv_in_use + need <= kv_budget_tokens:
+                    kept.append(req)
+                    kv_in_use += need
+                else:
+                    scheduler.reinsert(req)
+                    req.skipped_line = False
+                    stats.blocked_admissions += 1
+            admitted = kept
+
+            # 4. execute one fused prefill+decode iteration
+            admitted_ids = {r.request_id for r in admitted}
+            for req in admitted:
+                req.state = RequestState.RUNNING
+                if req.first_scheduled_s is None:
+                    req.first_scheduled_s = clock
+                    req.queue_wait_s = clock - req.arrival_s
+                req.loading_s += load_time
+            batch = self._compose(running, admitted)
+            if batch.empty:
+                # every admission was blocked (memory) and nothing is
+                # running: jump to the next arrival or give up
+                if load_time > 0:
+                    clock += load_time
+                elif next_arrival < n_total:
+                    clock = max(clock + 1e-3,
+                                pending[next_arrival].arrival_s)
+                else:
+                    break
+                continue
+            iter_time = self.cost.iteration_time(batch, cfg.variant_kind)
+            clock += iter_time + load_time
+            stats.iterations += 1
+            stats.total_load_s += load_time
+            stats.batched_requests += len(running) + len(admitted)
+            stats.batched_deltas += len(
+                set(batch.decode_per_delta) |
+                set(batch.prefill_tokens_per_delta))
+
+            for req in admitted:
+                req.prefilled = True
+                req.generated_tokens += 1
+                if req.first_token_s is None:
+                    req.first_token_s = clock
+                req.inference_s += iter_time
+                running.append(req)
+            for req in running:
+                if req.request_id in admitted_ids:
+                    continue
+                req.generated_tokens += 1
+                req.inference_s += iter_time
+
+            # 5. retire finished; preempt orphaned line-skippers
+            newly_done = [r for r in running if r.done]
+            for req in newly_done:
+                req.state = RequestState.FINISHED
+                req.finish_s = clock
+                finished.append(req)
+            running = [r for r in running if not r.done]
+            preempt_time = 0.0
+            for parent in newly_done:
+                for child in scheduler.children_to_preempt(parent, running):
+                    running.remove(child)
+                    child.preemptions += 1
+                    stats.preemptions += 1
+                    if cfg.preempt_mode == "swap":
+                        preempt_time += _PREEMPT_SWAP_S
+                    else:
+                        child.needs_recompute = True
+                    scheduler.reinsert(child)
+            clock += preempt_time
+
+            if collect_timeline:
+                for req in newly_done:
+                    timeline.append(TimelineEvent(
+                        request_id=req.request_id, model_id=req.model_id,
+                        arrival_s=req.arrival_s,
+                        queue_until_s=req.first_scheduled_s,
+                        loading_until_s=req.first_scheduled_s + req.loading_s,
+                        finish_s=req.finish_s))
+
+        records = [r.record() for r in finished]
+        makespan = max((r.finish_s for r in records), default=clock) - \
+            min((r.arrival_s for r in records), default=0.0)
+        result = ServingResult(
+            engine=self.name, records=records, makespan_s=max(makespan, 1e-9),
+            stats=stats,
+            config={"tp_degree": cfg.tp_degree,
+                    "variant_kind": cfg.variant_kind,
+                    "max_concurrent_deltas":
+                        self.scheduler_config.max_concurrent_deltas,
+                    "max_batch_requests":
+                        self.scheduler_config.max_batch_requests,
+                    "preemption": self.scheduler_config.preemption})
+        if collect_timeline:
+            result.config["timeline"] = timeline
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _start_prefetch(self, model_id: str, now_s: float,
+                        cpu_ready_s: Dict[str, float]) -> None:
+        if model_id in cpu_ready_s:
+            return
+        entry = self.manager.get(model_id)
+        decompress = self.config.lossless_decompress_gbps
+        fetch = self.node.load_time(entry.nbytes, Tier.DISK, Tier.CPU,
+                                    decompress_gbps=decompress)
+        cpu_ready_s[model_id] = now_s + fetch
+
+    def _swap_in_time(self, model_id: str, nbytes: int, now_s: float,
+                      cpu_ready_s: Dict[str, float]) -> float:
+        """CPU→GPU transfer, waiting out the async disk fetch if needed."""
+        wait = max(0.0, cpu_ready_s.get(model_id, now_s) - now_s)
+        pcie = self.node.load_time(nbytes, Tier.CPU, Tier.GPU)
+        return wait + pcie
+
+    @staticmethod
+    def _evict_lru(resident: "OrderedDict[str, int]",
+                   active: Set[str]) -> Optional[int]:
+        for model_id in resident:
+            if model_id not in active:
+                return resident.pop(model_id)
+        return None
+
+    def _compose(self, running: List[ServingRequest],
+                 admitted: List[ServingRequest]) -> BatchComposition:
+        decode: Dict[str, int] = {}
+        prefill: Dict[str, int] = {}
+        context = 0
+        admitted_ids = {r.request_id for r in admitted}
+        for req in running:
+            if req.request_id in admitted_ids:
+                continue
+            decode[req.model_id] = decode.get(req.model_id, 0) + 1
+            context += req.context_length
+        for req in admitted:
+            if req.generated_tokens == 0:
+                prefill[req.model_id] = prefill.get(req.model_id, 0) \
+                    + req.trace.prompt_tokens
+            elif req.needs_recompute:
+                # recompute resume: re-prefill the whole context
+                prefill[req.model_id] = prefill.get(req.model_id, 0) \
+                    + req.context_length
+                req.needs_recompute = False
+            else:
+                # swap resume: decoding continues from the parked KV state
+                decode[req.model_id] = decode.get(req.model_id, 0) + 1
+                context += req.context_length
+        return BatchComposition(decode_per_delta=decode,
+                                prefill_tokens_per_delta=prefill,
+                                context_tokens=context)

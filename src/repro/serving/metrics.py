@@ -1,0 +1,127 @@
+"""Serving metrics: throughput, latency, TTFT, SLO attainment (§6.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .request import RequestRecord
+
+__all__ = ["EngineStats", "ServingResult", "slo_attainment", "summarize"]
+
+
+@dataclass
+class EngineStats:
+    """Per-run engine telemetry (iteration-level counters)."""
+
+    iterations: int = 0
+    total_load_s: float = 0.0
+    swap_ins: int = 0
+    evictions: int = 0
+    preemptions: int = 0
+    batched_requests: int = 0       # sum of batch sizes over iterations
+    batched_deltas: int = 0         # sum of distinct variants per iteration
+    blocked_admissions: int = 0     # KV/memory admission rejections
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.iterations if self.iterations \
+            else 0.0
+
+    @property
+    def mean_deltas_per_batch(self) -> float:
+        return self.batched_deltas / self.iterations if self.iterations \
+            else 0.0
+
+
+@dataclass
+class ServingResult:
+    """Output of one engine run over a trace."""
+
+    engine: str
+    records: List[RequestRecord]
+    makespan_s: float
+    config: Dict[str, object] = field(default_factory=dict)
+    stats: Optional["EngineStats"] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_requests(self) -> int:
+        return len(self.records)
+
+    def throughput_rps(self) -> float:
+        """Completed requests per second of makespan."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return len(self.records) / self.makespan_s
+
+    def throughput_within(self, horizon_s: float) -> float:
+        """Requests completed by ``horizon_s``, per second (Fig 11's metric).
+
+        A saturated engine keeps serving long after the trace window ends;
+        the paper's throughput credits only work finished inside the
+        measurement window, which is what separates the systems at high
+        load.
+        """
+        if horizon_s <= 0:
+            return 0.0
+        done = sum(1 for r in self.records if r.finish_s <= horizon_s)
+        return done / horizon_s
+
+    def token_throughput(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return sum(r.output_tokens for r in self.records) / self.makespan_s
+
+    def mean_e2e_latency_s(self) -> float:
+        return float(np.mean([r.e2e_latency_s for r in self.records])) \
+            if self.records else 0.0
+
+    def mean_ttft_s(self) -> float:
+        return float(np.mean([r.ttft_s for r in self.records])) \
+            if self.records else 0.0
+
+    def percentile_e2e_s(self, q: float) -> float:
+        return float(np.percentile([r.e2e_latency_s for r in self.records], q)) \
+            if self.records else 0.0
+
+    def percentile_ttft_s(self, q: float) -> float:
+        return float(np.percentile([r.ttft_s for r in self.records], q)) \
+            if self.records else 0.0
+
+    def mean_time_per_token_s(self) -> float:
+        return float(np.mean([r.time_per_token_s for r in self.records])) \
+            if self.records else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return summarize(self)
+
+
+def slo_attainment(records: Sequence[RequestRecord], slo_s: float,
+                   metric: str = "e2e") -> float:
+    """Fraction of requests meeting an SLO threshold (Fig 13/19)."""
+    if not records:
+        return 0.0
+    if metric == "e2e":
+        values = [r.e2e_latency_s for r in records]
+    elif metric == "ttft":
+        values = [r.ttft_s for r in records]
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+    return float(np.mean([v <= slo_s for v in values]))
+
+
+def summarize(result: ServingResult) -> Dict[str, float]:
+    return {
+        "n_requests": float(result.n_requests),
+        "throughput_rps": result.throughput_rps(),
+        "token_throughput": result.token_throughput(),
+        "mean_e2e_s": result.mean_e2e_latency_s(),
+        "p90_e2e_s": result.percentile_e2e_s(90),
+        "mean_ttft_s": result.mean_ttft_s(),
+        "p90_ttft_s": result.percentile_ttft_s(90),
+        "mean_time_per_token_s": result.mean_time_per_token_s(),
+        "makespan_s": result.makespan_s,
+    }

@@ -1,0 +1,124 @@
+"""Served-model shape specs: the sizes the serving cost model reasons about.
+
+The serving experiments run at the paper's scales (Llama-2 7B/13B/70B) —
+no tensors of that size are ever materialized; these specs only feed the
+analytical kernel and transfer models.  ``from_transformer_config`` bridges
+the functional tiny models into the same machinery for integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ServedModelSpec", "LLAMA_7B", "LLAMA_13B", "LLAMA_70B",
+           "PYTHIA_2_8B", "MODEL_SPECS"]
+
+FP16 = 2  # bytes per served parameter
+
+
+@dataclass(frozen=True)
+class ServedModelSpec:
+    """Transformer shape + derived byte/flop quantities.
+
+    Attributes mirror Llama-family configs; ``n_kv_heads < n_heads`` models
+    grouped-query attention (the 70B case).
+    """
+
+    name: str
+    n_layers: int
+    dim: int
+    mlp_hidden: int
+    vocab_size: int
+    n_heads: int
+    n_kv_heads: Optional[int] = None
+
+    @property
+    def kv_heads(self) -> int:
+        return self.n_kv_heads if self.n_kv_heads is not None else self.n_heads
+
+    @property
+    def head_dim(self) -> int:
+        return self.dim // self.n_heads
+
+    # ------------------------------------------------------------------ #
+    # parameter counts / bytes
+    # ------------------------------------------------------------------ #
+    @property
+    def linear_params_per_layer(self) -> int:
+        """The seven projections ΔCompress packs and SBMM serves."""
+        kv_dim = self.kv_heads * self.head_dim
+        attn = self.dim * self.dim * 2 + self.dim * kv_dim * 2  # q,o + k,v
+        mlp = 3 * self.dim * self.mlp_hidden
+        return attn + mlp
+
+    @property
+    def linear_params(self) -> int:
+        return self.linear_params_per_layer * self.n_layers
+
+    @property
+    def extra_params(self) -> int:
+        """Embeddings + LM head + norms (uncompressed in the artifact)."""
+        embed = self.vocab_size * self.dim * 2
+        norms = self.dim * (2 * self.n_layers + 1)
+        return embed + norms
+
+    @property
+    def total_params(self) -> int:
+        return self.linear_params + self.extra_params
+
+    @property
+    def fp16_nbytes(self) -> int:
+        return self.total_params * FP16
+
+    def delta_nbytes(self, compression_ratio: float) -> int:
+        """Compressed delta size for a given end-to-end ratio."""
+        if compression_ratio <= 0:
+            raise ValueError("compression ratio must be positive")
+        return int(self.fp16_nbytes / compression_ratio)
+
+    def kv_bytes_per_token(self) -> int:
+        """FP16 K+V bytes appended per generated/prefilled token."""
+        return 2 * self.n_layers * self.kv_heads * self.head_dim * FP16
+
+    # ------------------------------------------------------------------ #
+    # per-layer GEMM shapes, for the iteration cost model
+    # ------------------------------------------------------------------ #
+    def layer_gemm_shapes(self):
+        """(k, n) of each linear in one block (q, k, v, o, gate, up, down)."""
+        kv_dim = self.kv_heads * self.head_dim
+        return [
+            (self.dim, self.dim),        # q_proj
+            (self.dim, kv_dim),          # k_proj
+            (self.dim, kv_dim),          # v_proj
+            (self.dim, self.dim),        # o_proj
+            (self.dim, self.mlp_hidden),  # gate_proj
+            (self.dim, self.mlp_hidden),  # up_proj
+            (self.mlp_hidden, self.dim),  # down_proj
+        ]
+
+    @staticmethod
+    def from_transformer_config(config) -> "ServedModelSpec":
+        """Bridge a :class:`repro.nn.TransformerConfig` into serving."""
+        return ServedModelSpec(
+            name=config.name, n_layers=config.n_layers, dim=config.dim,
+            mlp_hidden=config.mlp_hidden, vocab_size=config.vocab_size,
+            n_heads=config.n_heads)
+
+
+LLAMA_7B = ServedModelSpec(name="llama-7b", n_layers=32, dim=4096,
+                           mlp_hidden=11008, vocab_size=32000, n_heads=32)
+LLAMA_13B = ServedModelSpec(name="llama-13b", n_layers=40, dim=5120,
+                            mlp_hidden=13824, vocab_size=32000, n_heads=40)
+LLAMA_70B = ServedModelSpec(name="llama-70b", n_layers=80, dim=8192,
+                            mlp_hidden=28672, vocab_size=32000, n_heads=64,
+                            n_kv_heads=8)
+PYTHIA_2_8B = ServedModelSpec(name="pythia-2.8b", n_layers=32, dim=2560,
+                              mlp_hidden=10240, vocab_size=50304, n_heads=32)
+
+MODEL_SPECS = {
+    "llama-7b": LLAMA_7B,
+    "llama-13b": LLAMA_13B,
+    "llama-70b": LLAMA_70B,
+    "pythia-2.8b": PYTHIA_2_8B,
+}

@@ -1,0 +1,120 @@
+"""Compute directly on packed deltas — the fused-dequantization path.
+
+The CUDA SBMM kernel never materializes a dense FP16 delta: it streams
+packed 4/2-bit values + 2-bit sparse indices from HBM and dequantizes
+inside the matmul (§5.2, "fuses dequantization for each delta").  This
+module is the numpy analogue: :func:`packed_matmul` computes ``x @ Δᵀ``
+from a :class:`CompressedLayer`'s packed storage, processing one
+quantization group of columns at a time so peak memory stays at
+``rows x group_size`` instead of the full dense matrix.
+
+Used by :class:`PackedDeltaLinear`, a drop-in serving-side operator, and
+tested for exact agreement with the dense reconstruction path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..compression.artifacts import CompressedLayer
+from ..compression.packing import unpack_codes
+
+__all__ = ["packed_matmul", "PackedDeltaLinear"]
+
+
+def _group_dequant(codes: np.ndarray, layer: CompressedLayer,
+                   g_idx: int) -> np.ndarray:
+    """Dequantize one column-group of codes with its (row, group) grid."""
+    grid = layer.grid
+    scale = grid.scale[:, g_idx][:, None]
+    zero = grid.zero[:, g_idx][:, None]
+    return (codes.astype(np.float32) - zero) * scale
+
+
+def packed_matmul(x: np.ndarray, layer: CompressedLayer) -> np.ndarray:
+    """``x @ Δᵀ`` streamed group-by-group from packed storage.
+
+    ``x`` is (batch, in_features); returns (batch, out_features).  FP16
+    layers fall back to a plain matmul.
+    """
+    rows, cols = layer.shape
+    if x.ndim != 2 or x.shape[1] != cols:
+        raise ValueError(f"x must be (batch, {cols}), got {x.shape}")
+    if layer.fp16_values is not None:
+        return (x @ layer.fp16_values.T).astype(np.float32)
+
+    config = layer.config
+    out = np.zeros((x.shape[0], rows), dtype=np.float32)
+
+    if layer.packed_sparse is not None:
+        packed = layer.packed_sparse
+        n_groups4 = cols // packed.m
+        count = rows * n_groups4 * packed.kept_per_group
+        stored = unpack_codes(packed.values, packed.bits, count) \
+            .reshape(rows, n_groups4, packed.kept_per_group)
+        positions = unpack_codes(packed.indices, 2, count) \
+            .reshape(rows, n_groups4, packed.kept_per_group)
+        group_size = layer.grid.group_size
+        if group_size % packed.m != 0:
+            raise ValueError(
+                "quantization group size must be a multiple of the "
+                "sparsity group for packed compute")
+        row_idx = np.arange(rows)[:, None, None]
+        for start in range(0, cols, group_size):
+            end = min(start + group_size, cols)
+            g_idx = start // group_size
+            g4_lo, g4_hi = start // packed.m, end // packed.m
+            # expand this column-group's sparse block to dense codes
+            offsets = (np.arange(g4_hi - g4_lo) * packed.m)[None, :, None]
+            local = positions[:, g4_lo:g4_hi].astype(np.int64) + offsets
+            block = np.zeros((rows, end - start), dtype=np.uint16)
+            mask = np.zeros((rows, end - start), dtype=bool)
+            block[row_idx, local] = stored[:, g4_lo:g4_hi]
+            mask[row_idx, local] = True
+            dq = _group_dequant(block, layer, g_idx)
+            dq[~mask] = 0.0
+            out += x[:, start:end] @ dq.T
+        if layer.awq_scales is not None:
+            raise ValueError("sparse layers do not carry AWQ scales")
+        return out
+
+    # dense quantized path
+    codes = unpack_codes(layer.packed_dense, config.bits,
+                         rows * cols).reshape(rows, cols)
+    group_size = layer.grid.group_size
+    for start in range(0, cols, group_size):
+        end = min(start + group_size, cols)
+        g_idx = start // group_size
+        dq = _group_dequant(codes[:, start:end], layer, g_idx)
+        if layer.awq_scales is not None:
+            dq = dq / layer.awq_scales[start:end][None, :]
+        out += x[:, start:end] @ dq.T
+    return out
+
+
+class PackedDeltaLinear:
+    """Serving-side linear: base weight + packed delta, fused at apply time.
+
+    ``forward`` computes ``x @ (W_base + Δ)ᵀ`` without ever materializing
+    the dense delta, mirroring how the real kernel holds only packed bytes
+    in GPU memory (the property that lets N deltas collocate, §5.1).
+    """
+
+    def __init__(self, base_weight: np.ndarray,
+                 delta: Optional[CompressedLayer] = None):
+        self.base_weight = base_weight.astype(np.float32)
+        if delta is not None and delta.shape != base_weight.shape:
+            raise ValueError(
+                f"delta shape {delta.shape} != base {base_weight.shape}")
+        self.delta = delta
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = x @ self.base_weight.T
+        if self.delta is not None:
+            y = y + packed_matmul(x, self.delta)
+        return y.astype(np.float32)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)

@@ -1,0 +1,112 @@
+"""Serving-side request lifecycle and per-request timing records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..workload.spec import TraceRequest
+
+__all__ = ["RequestState", "ServingRequest", "RequestRecord"]
+
+
+class RequestState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"      # prefilled, decoding
+    PREEMPTED = "preempted"  # skip-the-line request bumped by parent finish
+    FINISHED = "finished"
+
+
+@dataclass
+class ServingRequest:
+    """Mutable serving state wrapped around an immutable trace request."""
+
+    trace: TraceRequest
+    state: RequestState = RequestState.QUEUED
+    generated_tokens: int = 0
+    prefilled: bool = False
+    first_scheduled_s: Optional[float] = None
+    first_token_s: Optional[float] = None
+    finish_s: Optional[float] = None
+    queue_wait_s: float = 0.0
+    loading_s: float = 0.0
+    inference_s: float = 0.0
+    skipped_line: bool = False
+    parent_id: Optional[int] = None  # head-of-queue request we drafted behind
+    preemptions: int = 0
+    needs_recompute: bool = False    # KV discarded at preemption; re-prefill
+
+    @property
+    def request_id(self) -> int:
+        return self.trace.request_id
+
+    @property
+    def model_id(self) -> str:
+        return self.trace.model_id
+
+    @property
+    def arrival_s(self) -> float:
+        return self.trace.arrival_s
+
+    @property
+    def remaining_tokens(self) -> int:
+        return self.trace.output_tokens - self.generated_tokens
+
+    @property
+    def done(self) -> bool:
+        return self.generated_tokens >= self.trace.output_tokens
+
+    @property
+    def context_length(self) -> int:
+        return self.trace.prompt_tokens + self.generated_tokens
+
+    def record(self) -> "RequestRecord":
+        if self.finish_s is None:
+            raise ValueError(f"request {self.request_id} not finished")
+        return RequestRecord(
+            request_id=self.request_id,
+            model_id=self.model_id,
+            arrival_s=self.arrival_s,
+            first_token_s=self.first_token_s,
+            finish_s=self.finish_s,
+            prompt_tokens=self.trace.prompt_tokens,
+            output_tokens=self.trace.output_tokens,
+            queue_wait_s=self.queue_wait_s,
+            loading_s=self.loading_s,
+            inference_s=self.inference_s,
+            skipped_line=self.skipped_line,
+            preemptions=self.preemptions,
+        )
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Immutable per-request result row (the unit of every Fig 11-19 metric)."""
+
+    request_id: int
+    model_id: str
+    arrival_s: float
+    first_token_s: Optional[float]
+    finish_s: float
+    prompt_tokens: int
+    output_tokens: int
+    queue_wait_s: float
+    loading_s: float
+    inference_s: float
+    skipped_line: bool
+    preemptions: int
+
+    @property
+    def e2e_latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> float:
+        if self.first_token_s is None:
+            return self.e2e_latency_s
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def time_per_token_s(self) -> float:
+        return self.e2e_latency_s / max(self.output_tokens, 1)

@@ -1,0 +1,73 @@
+"""Functional SBMM: Selective Batched Matrix Multiplication (§5.2).
+
+The numpy realization of the kernel's *semantics*: given per-request inputs
+``x_i`` and a delta index per request, compute ``y_i = x_i @ Δ_{idx_i}^T``.
+The serving engine prices this with :func:`repro.hardware.kernels.sbmm_time`;
+this module computes real outputs so correctness (request reordering,
+grouping, output scatter) is testable, and provides the request-grouping
+pass the job scheduler applies before launch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["group_requests_by_delta", "sbmm_forward", "sbmm_reference"]
+
+
+def group_requests_by_delta(indices: Sequence[int]) -> Tuple[np.ndarray, Dict[int, np.ndarray]]:
+    """Reorder request positions so same-delta requests are contiguous.
+
+    Returns ``(order, groups)`` where ``order`` is a permutation of request
+    positions (stable within a delta, deltas in first-appearance order) and
+    ``groups`` maps delta index -> positions (in original numbering).
+    This is the scheduler-side reordering of §5.2 that removes random
+    memory access.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    groups: Dict[int, List[int]] = {}
+    for pos, delta in enumerate(idx):
+        groups.setdefault(int(delta), []).append(pos)
+    order = np.concatenate([np.asarray(v, dtype=np.int64)
+                            for v in groups.values()]) if groups.values() else \
+        np.zeros(0, dtype=np.int64)
+    return order, {k: np.asarray(v, dtype=np.int64) for k, v in groups.items()}
+
+
+def sbmm_forward(x: np.ndarray, deltas: Sequence[np.ndarray],
+                 indices: Sequence[int]) -> np.ndarray:
+    """Grouped multi-delta matmul: ``y[i] = x[i] @ deltas[indices[i]].T``.
+
+    ``x`` is (B, k); each delta is (n, k) (Linear layout).  Requests are
+    grouped per delta so each distinct delta is multiplied once against a
+    contiguous sub-batch — the kernel's execution strategy.
+    """
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError(f"x must be (batch, k), got {x.shape}")
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.shape[0] != x.shape[0]:
+        raise ValueError("one delta index per request required")
+    if idx.size and (idx.min() < 0 or idx.max() >= len(deltas)):
+        raise IndexError("delta index out of range")
+    n_out = deltas[0].shape[0] if deltas else 0
+    y = np.zeros((x.shape[0], n_out), dtype=np.float32)
+    _, groups = group_requests_by_delta(idx)
+    for delta_idx, positions in groups.items():
+        w = deltas[delta_idx]
+        if w.shape[0] != n_out:
+            raise ValueError("all deltas must share the output dimension")
+        y[positions] = x[positions] @ w.T
+    return y
+
+
+def sbmm_reference(x: np.ndarray, deltas: Sequence[np.ndarray],
+                   indices: Sequence[int]) -> np.ndarray:
+    """Per-request loop oracle for testing the grouped implementation."""
+    x = np.asarray(x)
+    idx = np.asarray(indices, dtype=np.int64)
+    outs = [x[i:i + 1] @ deltas[int(idx[i])].T for i in range(x.shape[0])]
+    return np.concatenate(outs, axis=0).astype(np.float32) if outs else \
+        np.zeros((0, 0), dtype=np.float32)

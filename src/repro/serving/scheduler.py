@@ -1,0 +1,180 @@
+"""Continuous-batching scheduler with skip-the-line and preemption (§5.4).
+
+Per iteration the scheduler admits up to ``max_batch_requests`` requests
+FCFS, spanning at most ``max_concurrent_deltas`` distinct variants.  Once a
+variant is selected, *later* requests for it may jump over earlier-queued
+requests of unselected variants ("skip-the-line") — that is what builds
+batches despite sporadic per-variant traffic.  Each skipping request records
+its *parent* (the earliest admitted request of the same variant); when the
+parent finishes, its children are preempted and reinserted at their original
+queue position, bounding starvation of the passed-over variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, List, Optional, Sequence, Set
+
+from .request import RequestState, ServingRequest
+
+__all__ = ["SchedulerConfig", "SchedulingDecision", "ContinuousBatchScheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of §5.4: K (batch), N (concurrent deltas), preemption policy.
+
+    ``preempt_min_remaining`` implements the paper's §8 refinement: a
+    skip-the-line request within that many tokens of finishing is *not*
+    preempted when its parent completes (preempting nearly-done work only
+    creates more starvation).  The engine supplies the remaining-token
+    estimate — an oracle here, an output-length predictor in a real
+    deployment.
+
+    ``model_priorities`` implements §8's "prioritize models based on their
+    constraints": per-variant integer priorities (higher = served first);
+    admission considers the queue in (priority, arrival) order instead of
+    pure FCFS.  Variants without an entry default to priority 0.
+    """
+
+    max_batch_requests: int = 32
+    max_concurrent_deltas: int = 8
+    preemption: bool = True
+    preempt_min_remaining: int = 0
+    model_priorities: Optional[Mapping[str, int]] = None
+
+    def __post_init__(self):
+        if self.max_batch_requests < 1:
+            raise ValueError("max_batch_requests must be >= 1")
+        if self.max_concurrent_deltas < 1:
+            raise ValueError("max_concurrent_deltas must be >= 1")
+        if self.preempt_min_remaining < 0:
+            raise ValueError("preempt_min_remaining must be >= 0")
+
+    def priority_of(self, model_id: str) -> int:
+        if self.model_priorities is None:
+            return 0
+        return self.model_priorities.get(model_id, 0)
+
+
+@dataclass
+class SchedulingDecision:
+    """What to admit this iteration."""
+
+    admitted: List[ServingRequest] = field(default_factory=list)
+    selected_deltas: Set[str] = field(default_factory=set)
+    new_deltas: List[str] = field(default_factory=list)  # need loading
+
+
+class ContinuousBatchScheduler:
+    """FCFS queue + per-iteration admission under (K, N) limits."""
+
+    def __init__(self, config: SchedulerConfig):
+        self.config = config
+        self._queue: List[ServingRequest] = []
+
+    # ------------------------------------------------------------------ #
+    # queue maintenance
+    # ------------------------------------------------------------------ #
+    def add(self, request: ServingRequest) -> None:
+        request.state = RequestState.QUEUED
+        self._queue.append(request)
+        self._queue.sort(key=lambda r: r.request_id)
+
+    def reinsert(self, request: ServingRequest) -> None:
+        """Return a preempted request to its original FCFS position."""
+        request.state = RequestState.PREEMPTED
+        request.parent_id = None
+        self._queue.append(request)
+        self._queue.sort(key=lambda r: r.request_id)
+
+    @property
+    def queued(self) -> List[ServingRequest]:
+        return list(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def schedule(self, running: Sequence[ServingRequest],
+                 resident_deltas: Sequence[str]) -> SchedulingDecision:
+        """Admit queued requests alongside the already-running batch.
+
+        ``running`` requests keep their slots; their variants count toward
+        N.  ``resident_deltas`` is used only to report which selected
+        variants still need loading.
+        """
+        cfg = self.config
+        decision = SchedulingDecision()
+        active_deltas: Set[str] = {r.model_id for r in running}
+        decision.selected_deltas = set(active_deltas)
+        capacity = cfg.max_batch_requests - len(running)
+        if capacity <= 0:
+            return decision
+
+        # earliest in-flight/admitted request per variant, for parent links
+        parent_of: Dict[str, ServingRequest] = {}
+        for req in running:
+            cur = parent_of.get(req.model_id)
+            if cur is None or req.request_id < cur.request_id:
+                parent_of[req.model_id] = req
+
+        # admission order: FCFS, or (priority desc, arrival) when the
+        # operator configured per-model priorities (§8)
+        if self.config.model_priorities is None:
+            order = self._queue
+        else:
+            order = sorted(self._queue,
+                           key=lambda r: (-self.config.priority_of(r.model_id),
+                                          r.request_id))
+
+        blocked_seen = False
+        still_queued: List[ServingRequest] = []
+        for req in order:
+            if capacity <= 0:
+                still_queued.append(req)
+                continue
+            delta = req.model_id
+            selectable = (delta in decision.selected_deltas
+                          or len(decision.selected_deltas)
+                          < cfg.max_concurrent_deltas)
+            if not selectable:
+                blocked_seen = True
+                still_queued.append(req)
+                continue
+            # admit
+            decision.selected_deltas.add(delta)
+            decision.admitted.append(req)
+            capacity -= 1
+            if blocked_seen:
+                req.skipped_line = True
+                parent = parent_of.get(delta)
+                if parent is not None and cfg.preemption:
+                    req.parent_id = parent.request_id
+            if delta not in parent_of:
+                parent_of[delta] = req
+        still_queued.sort(key=lambda r: r.request_id)
+        self._queue = still_queued
+
+        resident = set(resident_deltas)
+        decision.new_deltas = sorted(
+            d for d in decision.selected_deltas if d not in resident)
+        return decision
+
+    # ------------------------------------------------------------------ #
+    # preemption
+    # ------------------------------------------------------------------ #
+    def children_to_preempt(self, finished: ServingRequest,
+                            running: Sequence[ServingRequest]) -> List[ServingRequest]:
+        """Running skip-the-line requests whose parent just finished.
+
+        Children predicted to finish within ``preempt_min_remaining``
+        tokens are spared (§8's output-length-prediction refinement).
+        """
+        if not self.config.preemption:
+            return []
+        return [r for r in running
+                if r.parent_id == finished.request_id and not r.done
+                and r.remaining_tokens > self.config.preempt_min_remaining]

@@ -1,0 +1,62 @@
+"""Offline profiling to pick N, the number of concurrent deltas (§5.4, Fig 10).
+
+Runs a short profiling trace through the engine for each candidate N and
+returns the mean-time-per-token curve; the operator deploys the argmin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..hardware.cluster import GPUNode
+from ..workload.generators import trace_from_distribution
+from ..workload.spec import Trace
+from .engine import DeltaZipEngine, EngineConfig
+from .model_manager import ModelManager
+from .scheduler import SchedulerConfig
+
+__all__ = ["ProfilePoint", "profile_concurrent_deltas", "pick_optimal_n"]
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """One (N, performance) sample of the Fig 10 sweep."""
+
+    n_deltas: int
+    mean_time_per_token_s: float
+    mean_e2e_s: float
+    throughput_rps: float
+
+
+def profile_concurrent_deltas(
+    manager: ModelManager,
+    node: GPUNode,
+    trace: Trace,
+    candidate_n: Sequence[int],
+    engine_config: EngineConfig = EngineConfig(),
+    max_batch_requests: int = 32,
+) -> List[ProfilePoint]:
+    """Run the profiling trace once per candidate N."""
+    points = []
+    for n in candidate_n:
+        engine = DeltaZipEngine(
+            manager, node,
+            SchedulerConfig(max_batch_requests=max_batch_requests,
+                            max_concurrent_deltas=n),
+            engine_config)
+        result = engine.run(trace)
+        points.append(ProfilePoint(
+            n_deltas=n,
+            mean_time_per_token_s=result.mean_time_per_token_s(),
+            mean_e2e_s=result.mean_e2e_latency_s(),
+            throughput_rps=result.throughput_rps()))
+    return points
+
+
+def pick_optimal_n(points: Sequence[ProfilePoint]) -> int:
+    """Argmin of mean time per token — the paper's selection rule."""
+    if not points:
+        raise ValueError("no profile points")
+    best = min(points, key=lambda p: p.mean_time_per_token_s)
+    return best.n_deltas

@@ -1,0 +1,47 @@
+"""Arrival processes: Poisson (the paper's default) and bursty variants."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["poisson_arrivals", "gamma_burst_arrivals"]
+
+
+def poisson_arrivals(rate: float, duration_s: float,
+                     rng: np.random.Generator) -> List[float]:
+    """Arrival timestamps of a homogeneous Poisson process.
+
+    ``rate`` is the system-wide requests/second (the paper applies λ to the
+    whole system, not per model).
+    """
+    if rate <= 0:
+        return []
+    times = []
+    t = rng.exponential(1.0 / rate)
+    while t < duration_s:
+        times.append(float(t))
+        t += rng.exponential(1.0 / rate)
+    return times
+
+
+def gamma_burst_arrivals(rate: float, duration_s: float,
+                         rng: np.random.Generator,
+                         cv: float = 4.0) -> List[float]:
+    """Bursty arrivals via gamma-distributed inter-arrival gaps.
+
+    ``cv`` is the coefficient of variation; cv=1 degenerates to Poisson,
+    larger values produce the clumped traffic characteristic of the Azure
+    serverless trace.
+    """
+    if rate <= 0:
+        return []
+    shape = 1.0 / (cv * cv)
+    scale = 1.0 / (rate * shape)
+    times = []
+    t = float(rng.gamma(shape, scale))
+    while t < duration_s:
+        times.append(t)
+        t += float(rng.gamma(shape, scale))
+    return times

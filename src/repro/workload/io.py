@@ -1,0 +1,49 @@
+"""Trace (de)serialization: one JSON object per line, like the paper's
+artifact workload files (``azure.ar=0.5.jsonl``)."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .spec import Trace, TraceRequest
+
+__all__ = ["save_trace", "load_trace"]
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    with open(path, "w") as f:
+        header = {"model_ids": trace.model_ids,
+                  "duration_s": trace.duration_s}
+        f.write(json.dumps({"__header__": header}) + "\n")
+        for req in trace:
+            f.write(json.dumps({
+                "request_id": req.request_id,
+                "model_id": req.model_id,
+                "arrival_s": req.arrival_s,
+                "prompt_tokens": req.prompt_tokens,
+                "output_tokens": req.output_tokens,
+            }) + "\n")
+
+
+def load_trace(path: str) -> Trace:
+    requests: List[TraceRequest] = []
+    model_ids: List[str] = []
+    duration = 0.0
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if "__header__" in obj:
+                model_ids = obj["__header__"]["model_ids"]
+                duration = obj["__header__"]["duration_s"]
+                continue
+            requests.append(TraceRequest(**obj))
+    if not model_ids:
+        model_ids = sorted({r.model_id for r in requests})
+    if duration == 0.0 and requests:
+        duration = max(r.arrival_s for r in requests)
+    return Trace(requests=requests, model_ids=model_ids,
+                 duration_s=duration)

@@ -1,0 +1,88 @@
+"""Fig-1 style multi-model invocation trace (LMSys Chatbot-Arena proxy).
+
+Figure 1 plots invocation counts per 5-minute window for 20 models over a
+week: some variants are persistently dense (wizardlm-13b), others sporadic
+(alpaca-13b), and activity waxes/wanes over days.  This generator produces a
+trace with those characteristics: per-model base rates spanning orders of
+magnitude, a diurnal modulation, and on/off activity episodes for the
+sporadic tail.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .spec import LengthSampler, Trace, TraceRequest
+
+__all__ = ["ARENA_MODEL_NAMES", "arena_trace"]
+
+# the 20 model names from Fig 1, for familiar output
+ARENA_MODEL_NAMES = [
+    "wizardlm-13b", "vicuna-7b", "vicuna-13b", "stablelm-7b", "palm-2",
+    "oasst-12b", "mpt-7b-chat", "llama-13b", "koala-13b", "guanaco-33b",
+    "gpt4all-13b", "gpt-4", "gpt-3.5-turbo", "fastchat-t5-3b",
+    "dolly-v2-12b", "claude-v1", "claude-instant-v1", "chatglm-6b",
+    "alpaca-13b", "RWKV-4-14B",
+]
+
+
+def arena_trace(
+    n_models: int = 20,
+    duration_s: float = 7 * 24 * 3600.0,
+    mean_rate: float = 0.02,
+    seed: int = 0,
+    sporadic_fraction: float = 0.4,
+    length_sampler: Optional[LengthSampler] = None,
+) -> Trace:
+    """Generate a week-long arena-style trace.
+
+    ``mean_rate`` is the system-wide average requests/second.  A
+    ``sporadic_fraction`` of models follow an on/off episode process (long
+    quiet stretches, Fig 1's yellow areas); the rest are continuously active
+    with diurnal modulation.
+    """
+    rng = np.random.default_rng(seed)
+    names = (ARENA_MODEL_NAMES[:n_models] if n_models <= len(ARENA_MODEL_NAMES)
+             else [f"model-{i:02d}" for i in range(n_models)])
+    sampler = length_sampler or LengthSampler()
+
+    raw = rng.lognormal(0.0, 1.4, size=n_models)
+    rates = raw / raw.sum() * mean_rate
+    sporadic = rng.random(n_models) < sporadic_fraction
+
+    requests: List[TraceRequest] = []
+    rid = 0
+    day = 24 * 3600.0
+    for idx, (name, base_rate) in enumerate(zip(names, rates)):
+        t = 0.0
+        on = not sporadic[idx] or rng.random() < 0.5
+        episode_end = t + float(rng.exponential(day / 2))
+        while t < duration_s:
+            # thinning: diurnal factor in [0.3, 1.7]
+            diurnal = 1.0 + 0.7 * np.sin(2 * np.pi * t / day + idx)
+            eff_rate = base_rate * max(diurnal, 0.05)
+            if sporadic[idx] and not on:
+                eff_rate = base_rate * 0.01
+            if eff_rate <= 0:
+                t += 60.0
+                continue
+            t += float(rng.exponential(1.0 / eff_rate))
+            if sporadic[idx] and t > episode_end:
+                on = not on
+                episode_end = t + float(
+                    rng.exponential(day / (1.0 if on else 2.0)))
+            if t >= duration_s:
+                break
+            prompt, output = sampler.sample(rng)
+            requests.append(TraceRequest(request_id=rid, model_id=name,
+                                         arrival_s=t, prompt_tokens=prompt,
+                                         output_tokens=output))
+            rid += 1
+
+    trace = Trace(requests=requests, model_ids=list(names),
+                  duration_s=duration_s)
+    for i, req in enumerate(trace.requests):
+        req.request_id = i
+    return trace

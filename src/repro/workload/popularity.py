@@ -1,0 +1,42 @@
+"""Model-popularity distributions (paper §6.1: uniform, Zipf-α, Azure)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["uniform_popularity", "zipf_popularity", "sample_models",
+           "make_model_ids"]
+
+
+def make_model_ids(n_models: int, prefix: str = "variant") -> List[str]:
+    """Stable variant names: variant-00 .. variant-NN."""
+    width = max(2, len(str(n_models - 1)))
+    return [f"{prefix}-{i:0{width}d}" for i in range(n_models)]
+
+
+def uniform_popularity(n_models: int) -> np.ndarray:
+    """All variants equally likely."""
+    if n_models <= 0:
+        raise ValueError("need at least one model")
+    return np.full(n_models, 1.0 / n_models)
+
+
+def zipf_popularity(n_models: int, alpha: float = 1.5) -> np.ndarray:
+    """Zipf-α: popularity of the i-th model ∝ 1 / i^α (paper's skewed case)."""
+    if n_models <= 0:
+        raise ValueError("need at least one model")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    weights = 1.0 / np.power(np.arange(1, n_models + 1, dtype=np.float64), alpha)
+    return weights / weights.sum()
+
+
+def sample_models(popularity: Sequence[float], n_samples: int,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Draw model indices i.i.d. from a popularity vector."""
+    p = np.asarray(popularity, dtype=np.float64)
+    if not np.isclose(p.sum(), 1.0):
+        raise ValueError(f"popularity must sum to 1, got {p.sum():.6f}")
+    return rng.choice(len(p), size=n_samples, p=p)

@@ -1,0 +1,88 @@
+"""Trace dataclasses shared by generators and serving engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["TraceRequest", "Trace", "LengthSampler"]
+
+
+@dataclass
+class TraceRequest:
+    """One inference request in a workload trace.
+
+    ``model_id`` names a fine-tuned variant (or the base model); prompt and
+    output lengths are in tokens, sampled to match LMSys chat statistics.
+    """
+
+    request_id: int
+    model_id: str
+    arrival_s: float
+    prompt_tokens: int
+    output_tokens: int
+
+
+@dataclass
+class Trace:
+    """A time-ordered request sequence over a set of model variants."""
+
+    requests: List[TraceRequest]
+    model_ids: List[str]
+    duration_s: float
+
+    def __post_init__(self):
+        self.requests.sort(key=lambda r: (r.arrival_s, r.request_id))
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    def per_model_counts(self) -> Dict[str, int]:
+        counts = {m: 0 for m in self.model_ids}
+        for req in self.requests:
+            counts[req.model_id] = counts.get(req.model_id, 0) + 1
+        return counts
+
+    def arrival_rate(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return len(self.requests) / self.duration_s
+
+    def windowed_counts(self, window_s: float) -> Dict[str, np.ndarray]:
+        """Per-model invocation counts per time window (Fig 1's view)."""
+        n_windows = max(1, int(np.ceil(self.duration_s / window_s)))
+        out = {m: np.zeros(n_windows, dtype=np.int64) for m in self.model_ids}
+        for req in self.requests:
+            idx = min(int(req.arrival_s // window_s), n_windows - 1)
+            out[req.model_id][idx] += 1
+        return out
+
+
+@dataclass
+class LengthSampler:
+    """Samples (prompt, output) token lengths.
+
+    Defaults approximate the LMSys Chatbot-Arena conversations the paper
+    replays: log-normal prompt lengths (median ≈ 50 tokens, long tail) and
+    geometric-ish output lengths (mean ≈ 200 tokens), both clipped.
+    """
+
+    prompt_log_mean: float = 3.9
+    prompt_log_sigma: float = 0.9
+    output_mean: float = 200.0
+    min_tokens: int = 4
+    max_prompt: int = 1024
+    max_output: int = 512
+
+    def sample(self, rng: np.random.Generator) -> tuple:
+        prompt = int(np.clip(rng.lognormal(self.prompt_log_mean,
+                                           self.prompt_log_sigma),
+                             self.min_tokens, self.max_prompt))
+        output = int(np.clip(rng.geometric(1.0 / self.output_mean),
+                             self.min_tokens, self.max_output))
+        return prompt, output

@@ -1,0 +1,101 @@
+"""CLI workflow, model checkpoints, and trace serialization."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.nn import TransformerConfig, TransformerModel
+from repro.nn.checkpoint import load_model, save_model
+from repro.workload import synthetic_trace
+from repro.workload.io import load_trace, save_trace
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path, rng):
+        model = TransformerModel(TransformerConfig.small(), seed=3)
+        path = str(tmp_path / "m.ckpt")
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.config == model.config
+        toks = rng.integers(0, 128, size=(1, 8))
+        np.testing.assert_allclose(model(toks), loaded(toks), atol=1e-6)
+
+    def test_gqa_config_preserved(self, tmp_path):
+        model = TransformerModel(TransformerConfig.tiny_gqa(), seed=0)
+        path = str(tmp_path / "g.ckpt")
+        save_model(model, path)
+        assert load_model(path).config.n_kv_heads == 2
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        trace = synthetic_trace(4, rate=2.0, duration_s=30.0, seed=5)
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.model_ids == trace.model_ids
+        assert loaded.duration_s == trace.duration_s
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace, loaded):
+            assert (a.request_id, a.model_id, a.arrival_s,
+                    a.prompt_tokens, a.output_tokens) == \
+                (b.request_id, b.model_id, b.arrival_s,
+                 b.prompt_tokens, b.output_tokens)
+
+    def test_headerless_file(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w") as f:
+            f.write('{"request_id": 0, "model_id": "m0", "arrival_s": 1.0, '
+                    '"prompt_tokens": 8, "output_tokens": 4}\n')
+        trace = load_trace(path)
+        assert trace.model_ids == ["m0"]
+        assert trace.duration_s == 1.0
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["trace", "--out", "x.jsonl"])
+        assert args.command == "trace"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["unknown"])
+
+    def test_trace_and_simulate(self, tmp_path):
+        trace_path = str(tmp_path / "t.jsonl")
+        assert main(["trace", "--distribution", "uniform", "--models", "4",
+                     "--rate", "1.0", "--duration", "20",
+                     "--out", trace_path]) == 0
+        assert os.path.exists(trace_path)
+        assert main(["simulate", "--trace", trace_path,
+                     "--model", "llama-7b", "--gpus", "1", "--tp", "1",
+                     "--systems", "deltazip", "--verbose"]) == 0
+
+    def test_pretrain_finetune_compress_evaluate(self, tmp_path):
+        base = str(tmp_path / "base.ckpt")
+        ft = str(tmp_path / "ft.ckpt")
+        calib = str(tmp_path / "calib.npy")
+        dzip = str(tmp_path / "ft.dzip")
+        assert main(["pretrain", "--size", "tiny", "--sequences", "96",
+                     "--epochs", "3", "--out", base]) == 0
+        assert main(["finetune", "--base", base, "--task", "review",
+                     "--samples", "96", "--epochs", "3",
+                     "--calibration-out", calib, "--out", ft]) == 0
+        assert main(["compress", "--base", base, "--finetuned", ft,
+                     "--preset", "deltazip-2bit", "--calibration", calib,
+                     "--out", dzip]) == 0
+        assert main(["evaluate", "--model", base, "--delta", dzip,
+                     "--task", "review", "--examples", "20"]) == 0
+        assert main(["evaluate", "--model", ft, "--task", "review",
+                     "--examples", "20"]) == 0
+
+    def test_lora_finetune_path(self, tmp_path):
+        base = str(tmp_path / "base.ckpt")
+        out = str(tmp_path / "lora.ckpt")
+        assert main(["pretrain", "--size", "tiny", "--sequences", "64",
+                     "--epochs", "2", "--out", base]) == 0
+        assert main(["finetune", "--base", base, "--task", "review",
+                     "--method", "lora", "--samples", "64", "--epochs", "2",
+                     "--out", out]) == 0
+        assert os.path.exists(out)

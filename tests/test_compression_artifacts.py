@@ -1,0 +1,98 @@
+"""CompressedLayer/CompressedDelta storage semantics and lossless codec."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (CompressionConfig, LosslessCodec, ZlibCodec,
+                               compress_array, decompress_array)
+from repro.compression.artifacts import FP16_BYTES, CompressedLayer
+from repro.compression.packing import pack_codes, pack_nm_sparse
+from repro.compression.quant import QuantGrid, fit_grid, quantize
+from repro.compression.sparsity import nm_mask
+
+
+def _sparse_layer(rng, rows=4, cols=16, bits=4):
+    w = rng.normal(0, 0.05, size=(rows, cols)).astype(np.float32)
+    mask = nm_mask(w, 2, 4)
+    grid = fit_grid(w, bits, cols, mask=mask)
+    codes = quantize(w, grid)
+    codes[~mask] = 0
+    packed = pack_nm_sparse(codes, mask, bits, 2, 4)
+    config = CompressionConfig(bits=bits, sparsity_n=2, sparsity_m=4,
+                               group_size=cols)
+    return CompressedLayer(name="w", shape=(rows, cols), config=config,
+                           packed_sparse=packed, grid=grid), w, mask
+
+
+class TestCompressedLayer:
+    def test_dense_zeros_at_pruned(self, rng):
+        layer, w, mask = _sparse_layer(rng)
+        dense = layer.dense()
+        assert np.all(dense[~mask] == 0.0)
+        # kept positions reconstruct within one grid step
+        step = layer.grid.scale.max()
+        assert np.max(np.abs(dense[mask] - w[mask])) <= step + 1e-6
+
+    def test_nbytes_breakdown_sums(self, rng):
+        layer, _, _ = _sparse_layer(rng)
+        b = layer.nbytes_breakdown()
+        assert layer.nbytes() == b["values"] + b["indices"] + b["metadata"]
+        assert layer.nbytes_uncompressed() == 4 * 16 * FP16_BYTES
+        assert layer.compression_ratio() > 1.0
+
+    def test_fp16_path(self, rng):
+        w = rng.normal(size=(3, 8)).astype(np.float32)
+        config = CompressionConfig(bits=16, sparsity_n=0)
+        layer = CompressedLayer(name="w", shape=w.shape, config=config,
+                                fp16_values=w)
+        np.testing.assert_allclose(layer.dense(), w, atol=1e-6)
+        assert layer.nbytes() == w.size * FP16_BYTES
+
+    def test_dense_quant_only_path(self, rng):
+        w = rng.normal(0, 0.05, size=(4, 16)).astype(np.float32)
+        grid = fit_grid(w, 4, 16)
+        codes = quantize(w, grid)
+        config = CompressionConfig(bits=4, sparsity_n=0, group_size=16)
+        layer = CompressedLayer(name="w", shape=w.shape, config=config,
+                                packed_dense=pack_codes(codes, 4), grid=grid)
+        dense = layer.dense()
+        assert np.max(np.abs(dense - w)) <= grid.scale.max() + 1e-6
+
+    def test_awq_descale_applied(self, rng):
+        w = rng.normal(0, 0.05, size=(4, 16)).astype(np.float32)
+        scales = rng.uniform(0.5, 2.0, size=16).astype(np.float32)
+        scaled = w * scales[None, :]
+        grid = fit_grid(scaled, 8, 16)
+        codes = quantize(scaled, grid)
+        config = CompressionConfig(bits=8, sparsity_n=0, group_size=16,
+                                   delta_mode=False, algorithm="awq")
+        layer = CompressedLayer(name="w", shape=w.shape, config=config,
+                                packed_dense=pack_codes(codes, 8), grid=grid,
+                                awq_scales=scales)
+        np.testing.assert_allclose(layer.dense(), w, atol=0.01)
+
+
+class TestLosslessCodec:
+    def test_identity_codec(self):
+        codec = LosslessCodec()
+        data = b"hello world" * 10
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_zlib_roundtrip(self, rng):
+        codec = ZlibCodec(level=6)
+        arr = rng.integers(0, 4, size=256).astype(np.uint8)  # compressible
+        blob = compress_array(arr, codec)
+        assert len(blob) < arr.nbytes
+        back = decompress_array(blob, codec, np.uint8, arr.shape)
+        np.testing.assert_array_equal(arr, back)
+
+    def test_zlib_on_float_matrix(self, rng):
+        codec = ZlibCodec()
+        arr = rng.normal(size=(32, 32)).astype(np.float32)
+        back = decompress_array(compress_array(arr, codec), codec,
+                                np.float32, arr.shape)
+        np.testing.assert_array_equal(arr, back)
+
+    def test_decompress_throughput_attribute(self):
+        assert ZlibCodec().decompress_gbps == 50.0
+        assert LosslessCodec().decompress_gbps == float("inf")

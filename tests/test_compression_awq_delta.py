@@ -1,0 +1,100 @@
+"""AWQ baseline and delta extraction/reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.awq import awq_compress
+from repro.compression.configs import CompressionConfig
+from repro.compression.delta import (apply_delta, delta_statistics,
+                                     extract_delta)
+from repro.compression.sparsegpt import rtn_compress
+
+
+class TestAWQ:
+    def _skewed_problem(self, rng, rows=16, cols=32):
+        """A few input channels carry 10x larger activations."""
+        w = rng.normal(0, 0.05, size=(rows, cols)).astype(np.float32)
+        x = rng.normal(size=(512, cols)).astype(np.float32)
+        x[:, :4] *= 10.0
+        return w, x
+
+    def test_improves_over_rtn_on_skewed_activations(self, rng):
+        w, x = self._skewed_problem(rng)
+        config = CompressionConfig(bits=2, sparsity_n=0, algorithm="awq",
+                                   delta_mode=False, group_size=32)
+        awq = awq_compress(w, x, config)
+        rtn = rtn_compress(w, config)
+        ref = x @ w.T
+        err_awq = np.mean((ref - x @ awq.dense.T) ** 2)
+        err_rtn = np.mean((ref - x @ rtn.dense.T) ** 2)
+        assert err_awq <= err_rtn
+
+    def test_mask_all_true(self, rng):
+        w, x = self._skewed_problem(rng)
+        res = awq_compress(w, x, CompressionConfig.awq_4bit())
+        assert res.mask.all()
+
+    def test_no_activation_fallback(self, rng):
+        w = rng.normal(size=(4, 16)).astype(np.float32)
+        res = awq_compress(w, None, CompressionConfig.awq_4bit(group_size=16))
+        assert res.dense.shape == w.shape
+
+    def test_alpha_recorded(self, rng):
+        w, x = self._skewed_problem(rng)
+        res = awq_compress(w, x, CompressionConfig.awq_4bit())
+        assert 0.0 <= res.awq_alpha <= 1.0
+        assert res.awq_scales.shape == (w.shape[1],)
+
+    def test_awq_config_rejects_sparsity(self):
+        with pytest.raises(ValueError):
+            CompressionConfig(algorithm="awq", sparsity_n=2)
+
+
+class TestDelta:
+    def test_extract_apply_roundtrip(self, rng):
+        base = {"a": rng.normal(size=(3, 3)).astype(np.float32),
+                "b": rng.normal(size=5).astype(np.float32)}
+        ft = {k: v + rng.normal(0, 0.01, size=v.shape).astype(np.float32)
+              for k, v in base.items()}
+        delta = extract_delta(ft, base)
+        back = apply_delta(base, delta)
+        for k in base:
+            np.testing.assert_allclose(back[k], ft[k], atol=1e-6)
+
+    def test_key_mismatch_rejected(self, rng):
+        base = {"a": np.zeros(2, dtype=np.float32)}
+        with pytest.raises(KeyError):
+            extract_delta({"b": np.zeros(2, dtype=np.float32)}, base)
+        with pytest.raises(KeyError):
+            apply_delta(base, {"b": np.zeros(2, dtype=np.float32)})
+
+    def test_shape_mismatch_rejected(self):
+        base = {"a": np.zeros(2, dtype=np.float32)}
+        ft = {"a": np.zeros(3, dtype=np.float32)}
+        with pytest.raises(ValueError):
+            extract_delta(ft, base)
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, r, c):
+        rng = np.random.default_rng(r * 10 + c)
+        base = {"w": rng.normal(size=(r, c)).astype(np.float32)}
+        ft = {"w": rng.normal(size=(r, c)).astype(np.float32)}
+        back = apply_delta(base, extract_delta(ft, base))
+        np.testing.assert_allclose(back["w"], ft["w"], atol=1e-5)
+
+    def test_statistics_on_trained_models(self, base_model, finetuned):
+        """Fig 3's claim on real checkpoints: deltas are much smaller in
+        magnitude than the weights themselves."""
+        stats = delta_statistics(finetuned.model.state_dict(),
+                                 base_model.state_dict())
+        linear_names = [n for n in stats if "proj" in n]
+        assert linear_names
+        smaller = sum(stats[n]["delta_absmax"] < stats[n]["base_absmax"]
+                      for n in linear_names)
+        assert smaller >= 0.8 * len(linear_names)
+        smaller_std = sum(stats[n]["delta_std"] < stats[n]["base_std"]
+                          for n in linear_names)
+        assert smaller_std >= 0.8 * len(linear_names)

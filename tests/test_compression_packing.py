@@ -1,0 +1,101 @@
+"""Bit-packing and 2:4 sparse encoding: round-trips and byte accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.packing import (pack_codes, pack_nm_sparse,
+                                       unpack_codes, unpack_nm_sparse)
+from repro.compression.sparsity import nm_mask
+
+
+class TestPackCodes:
+    @pytest.mark.parametrize("bits", [2, 3, 4, 8, 16])
+    def test_roundtrip(self, bits, rng):
+        codes = rng.integers(0, 1 << bits, size=137).astype(np.uint32)
+        words = pack_codes(codes, bits)
+        out = unpack_codes(words, bits, 137)
+        np.testing.assert_array_equal(out, codes)
+
+    def test_word_count_4bit(self):
+        codes = np.zeros(16, dtype=np.uint32)
+        assert pack_codes(codes, 4).size == 2  # 8 codes per word
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([4]), 2)
+
+    def test_unsupported_bits_rejected(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.zeros(4, dtype=np.uint32), 5)
+
+    @given(st.integers(1, 200), st.sampled_from([2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_any_length(self, n, bits):
+        rng = np.random.default_rng(n)
+        codes = rng.integers(0, 1 << bits, size=n).astype(np.uint32)
+        out = unpack_codes(pack_codes(codes, bits), bits, n)
+        np.testing.assert_array_equal(out, codes)
+
+
+class TestPackNMSparse:
+    def _make(self, rng, rows=4, cols=16, bits=4):
+        w = rng.normal(size=(rows, cols)).astype(np.float32)
+        mask = nm_mask(w, 2, 4)
+        codes = rng.integers(0, 1 << bits, size=(rows, cols)).astype(np.uint16)
+        codes[~mask] = 0
+        return codes, mask
+
+    def test_roundtrip_codes_and_mask(self, rng):
+        codes, mask = self._make(rng)
+        packed = pack_nm_sparse(codes, mask, 4, 2, 4)
+        out_codes, out_mask = unpack_nm_sparse(packed)
+        np.testing.assert_array_equal(out_mask, mask)
+        np.testing.assert_array_equal(out_codes[mask], codes[mask])
+        assert np.all(out_codes[~mask] == 0)
+
+    def test_wrong_kept_count_rejected(self, rng):
+        codes = np.zeros((1, 4), dtype=np.uint16)
+        mask = np.array([[True, True, True, False]])  # 3 kept, need 2
+        with pytest.raises(ValueError):
+            pack_nm_sparse(codes, mask, 4, 2, 4)
+
+    def test_indivisible_cols_rejected(self):
+        with pytest.raises(ValueError):
+            pack_nm_sparse(np.zeros((1, 6), dtype=np.uint16),
+                           np.ones((1, 6), dtype=bool), 4, 2, 4)
+
+    def test_byte_accounting_fig5(self):
+        """Fig 5's 64-value span: 2:4 + 4-bit -> values 16B, indices 4B."""
+        rng = np.random.default_rng(0)
+        codes, mask = self._make(rng, rows=1, cols=64, bits=4)
+        packed = pack_nm_sparse(codes, mask, 4, 2, 4)
+        assert packed.nbytes_values() == 32 * 4 // 8   # 32 kept at 4 bits
+        assert packed.nbytes_indices() == 32 * 2 // 8  # 2-bit positions
+        # FP16 span = 128 B; packed = 24 B -> Fig 5's 5.33x annotation
+        assert 128 / packed.nbytes() == pytest.approx(64 / 12, rel=0.01)
+
+    @given(st.integers(1, 6), st.integers(1, 10), st.sampled_from([2, 4]))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, rows, groups, bits):
+        rng = np.random.default_rng(rows * 100 + groups)
+        cols = groups * 4
+        w = rng.normal(size=(rows, cols)).astype(np.float32)
+        mask = nm_mask(w, 2, 4)
+        codes = rng.integers(0, 1 << bits, size=(rows, cols)).astype(np.uint16)
+        codes[~mask] = 0
+        packed = pack_nm_sparse(codes, mask, bits, 2, 4)
+        out_codes, out_mask = unpack_nm_sparse(packed)
+        np.testing.assert_array_equal(out_mask, mask)
+        np.testing.assert_array_equal(out_codes, codes)
+
+    def test_1_of_4_pattern(self, rng):
+        w = rng.normal(size=(2, 8)).astype(np.float32)
+        mask = nm_mask(w, 1, 4)
+        codes = rng.integers(0, 16, size=(2, 8)).astype(np.uint16)
+        codes[~mask] = 0
+        packed = pack_nm_sparse(codes, mask, 4, 1, 4)
+        out_codes, out_mask = unpack_nm_sparse(packed)
+        np.testing.assert_array_equal(out_mask, mask)
+        np.testing.assert_array_equal(out_codes, codes)

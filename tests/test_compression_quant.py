@@ -1,0 +1,125 @@
+"""Quantization grids: round-trips, error bounds, masks (incl. hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression.quant import (QuantGrid, dequantize, fit_grid,
+                                     quantization_mse, quantize,
+                                     quantize_dequantize)
+
+finite_matrix = arrays(
+    dtype=np.float32, shape=st.tuples(st.integers(1, 8), st.integers(1, 48)),
+    elements=st.floats(-10, 10, width=32, allow_subnormal=False))
+
+
+class TestFitGrid:
+    def test_shapes(self, rng):
+        w = rng.normal(size=(4, 64)).astype(np.float32)
+        grid = fit_grid(w, bits=4, group_size=16)
+        assert grid.scale.shape == (4, 4)
+        assert grid.zero.shape == (4, 4)
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            fit_grid(rng.normal(size=(2, 2, 2)).astype(np.float32), 4, 2)
+
+    def test_asymmetric_covers_zero(self, rng):
+        """0.0 must round-trip with at most half-scale error (needed so
+        pruned positions dequantize near zero)."""
+        w = rng.uniform(1.0, 2.0, size=(2, 8)).astype(np.float32)  # all > 0
+        grid = fit_grid(w, bits=4, group_size=8)
+        zeros = dequantize(quantize(np.zeros_like(w), grid), grid)
+        assert np.all(np.abs(zeros) <= grid.scale.max() / 2 + 1e-6)
+
+    def test_constant_matrix_scale_positive(self):
+        w = np.zeros((2, 8), dtype=np.float32)
+        grid = fit_grid(w, bits=4, group_size=4)
+        assert np.all(grid.scale > 0)
+
+    def test_mask_excludes_outliers_from_grid(self):
+        """With the outlier masked out, survivors quantize much better."""
+        w = np.full((1, 8), 0.01, dtype=np.float32)
+        w[0, 0] = 100.0
+        mask = np.ones_like(w, dtype=bool)
+        mask[0, 0] = False
+        grid_all = fit_grid(w, bits=4, group_size=8)
+        grid_masked = fit_grid(w, bits=4, group_size=8, mask=mask)
+        assert grid_masked.scale.max() < grid_all.scale.max() / 10
+
+    def test_metadata_bytes(self):
+        grid = QuantGrid(bits=4, group_size=8,
+                         scale=np.ones((4, 2), dtype=np.float32),
+                         zero=np.zeros((4, 2), dtype=np.float32))
+        # 8 groups x (2B scale + 1B zero)
+        assert grid.nbytes_metadata() == 8 * 3
+        sym = QuantGrid(bits=4, group_size=8,
+                        scale=np.ones((4, 2), dtype=np.float32),
+                        zero=np.zeros((4, 2), dtype=np.float32),
+                        symmetric=True)
+        assert sym.nbytes_metadata() == 8 * 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_error_bounded_by_half_scale(self, bits, rng):
+        w = rng.normal(0, 0.05, size=(8, 32)).astype(np.float32)
+        grid = fit_grid(w, bits=bits, group_size=8)
+        wq = dequantize(quantize(w, grid), grid)
+        bound = grid.scale[..., None].repeat(8, axis=-1).reshape(8, 32)
+        assert np.all(np.abs(w - wq) <= bound / 2 + 1e-6)
+
+    def test_codes_within_range(self, rng):
+        w = rng.normal(size=(4, 16)).astype(np.float32)
+        grid = fit_grid(w, bits=2, group_size=4)
+        codes = quantize(w, grid)
+        assert codes.max() <= 3
+
+    def test_more_bits_less_error(self, rng):
+        w = rng.normal(0, 0.1, size=(8, 64)).astype(np.float32)
+        errs = [quantization_mse(w, bits, 16) for bits in (2, 4, 8)]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_narrow_distribution_quantizes_better(self, rng):
+        """The paper's core observation (Fig 3): delta-like narrow
+        distributions lose less to the same-bit grid than wide ones —
+        in relative terms."""
+        wide = rng.normal(0, 0.1, size=(8, 64)).astype(np.float32)
+        wide[0, 0] = 1.0  # outlier, as real weights have
+        narrow = rng.normal(0, 0.01, size=(8, 64)).astype(np.float32)
+        rel_wide = quantization_mse(wide, 4, 16) / np.mean(wide ** 2)
+        rel_narrow = quantization_mse(narrow, 4, 16) / np.mean(narrow ** 2)
+        assert rel_narrow < rel_wide
+
+    @given(finite_matrix)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_never_exceeds_range(self, w):
+        """Dequantized values stay within the value envelope plus one grid
+        step (zero-point rounding can shift the grid by up to scale/2 on
+        each side)."""
+        out = quantize_dequantize(w, bits=4, group_size=8)
+        assert out.shape == w.shape
+        grid = fit_grid(w, bits=4, group_size=8)
+        step = float(grid.scale.max())
+        assert out.min() >= min(float(w.min()), 0.0) - step
+        assert out.max() <= max(float(w.max()), 0.0) + step
+
+    @given(finite_matrix)
+    @settings(max_examples=30, deadline=None)
+    def test_8bit_identity_like(self, w):
+        """8-bit quantization error is at most one grid step."""
+        out = quantize_dequantize(w, bits=8, group_size=8)
+        span = max(float(w.max() - w.min()), float(np.abs(w).max()), 1e-6)
+        assert np.max(np.abs(out - w)) <= 2 * span / 255 + 1e-5
+
+    def test_symmetric_mode(self, rng):
+        w = rng.normal(size=(4, 16)).astype(np.float32)
+        out = quantize_dequantize(w, bits=8, group_size=8, symmetric=True)
+        assert np.max(np.abs(out - w)) < 0.05
+
+    def test_group_padding_when_cols_not_divisible(self, rng):
+        w = rng.normal(size=(3, 10)).astype(np.float32)  # 10 % 8 != 0
+        out = quantize_dequantize(w, bits=4, group_size=8)
+        assert out.shape == (3, 10)

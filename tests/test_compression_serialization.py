@@ -1,0 +1,82 @@
+"""On-disk artifact format: save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (CompressionConfig, DeltaCompressor,
+                               load_compressed_delta, save_compressed_delta)
+from repro.nn import TransformerModel
+
+
+class TestRoundTrip:
+    def test_sparse_artifact_roundtrip(self, artifact_4bit, base_state,
+                                       tmp_path):
+        path = str(tmp_path / "review.dzip")
+        save_compressed_delta(artifact_4bit, path)
+        loaded = load_compressed_delta(path)
+
+        assert loaded.model_id == artifact_4bit.model_id
+        assert loaded.base_model_id == artifact_4bit.base_model_id
+        assert loaded.config == artifact_4bit.config
+        assert set(loaded.layers) == set(artifact_4bit.layers)
+        # packed layers are bit-exact
+        for name in artifact_4bit.layers:
+            np.testing.assert_array_equal(
+                loaded.layers[name].dense(),
+                artifact_4bit.layers[name].dense())
+        # extras round-trip at FP16 precision
+        for name in artifact_4bit.extras:
+            np.testing.assert_allclose(
+                loaded.extras[name],
+                artifact_4bit.extras[name].astype(np.float16), atol=1e-3)
+        assert loaded.nbytes() == artifact_4bit.nbytes()
+
+    def test_reconstructed_model_equivalent(self, artifact_4bit, base_state,
+                                            tiny_config, tmp_path):
+        path = str(tmp_path / "review.dzip")
+        save_compressed_delta(artifact_4bit, path)
+        loaded = load_compressed_delta(path)
+        a = TransformerModel(tiny_config, seed=0)
+        a.load_state_dict(artifact_4bit.to_state_dict(base_state))
+        b = TransformerModel(tiny_config, seed=0)
+        b.load_state_dict(loaded.to_state_dict(base_state))
+        toks = np.arange(8)[None, :] + 4
+        np.testing.assert_allclose(a(toks), b(toks), atol=1e-2)
+
+    def test_awq_artifact_roundtrip(self, finetuned, base_state, tmp_path):
+        art = DeltaCompressor(CompressionConfig.awq_4bit()).compress(
+            finetuned.model, base_state, finetuned.calibration_tokens)
+        path = str(tmp_path / "awq.dzip")
+        save_compressed_delta(art, path)
+        loaded = load_compressed_delta(path)
+        for name in art.layers:
+            np.testing.assert_allclose(loaded.layers[name].dense(),
+                                       art.layers[name].dense(), atol=1e-6)
+            assert loaded.layers[name].awq_scales is not None
+
+    def test_fp16_artifact_roundtrip(self, finetuned, base_state, tmp_path):
+        config = CompressionConfig(bits=16, sparsity_n=2, sparsity_m=4)
+        art = DeltaCompressor(config).compress(
+            finetuned.model, base_state, finetuned.calibration_tokens)
+        path = str(tmp_path / "fp16.dzip")
+        save_compressed_delta(art, path)
+        loaded = load_compressed_delta(path)
+        for name in art.layers:
+            np.testing.assert_allclose(loaded.layers[name].dense(),
+                                       art.layers[name].dense(), atol=1e-3)
+
+    def test_bad_format_version_rejected(self, artifact_4bit, tmp_path):
+        import json
+        import zipfile
+        path = str(tmp_path / "bad.dzip")
+        save_compressed_delta(artifact_4bit, path)
+        with zipfile.ZipFile(path) as zf:
+            meta = json.loads(zf.read("metadata.json"))
+            names = {i.filename: zf.read(i.filename) for i in zf.infolist()}
+        meta["format_version"] = 999
+        names["metadata.json"] = json.dumps(meta).encode()
+        with zipfile.ZipFile(path, "w") as zf:
+            for name, payload in names.items():
+                zf.writestr(name, payload)
+        with pytest.raises(ValueError):
+            load_compressed_delta(path)

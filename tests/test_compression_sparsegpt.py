@@ -1,0 +1,134 @@
+"""The OBS solver: correctness, calibration benefit, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.compression.configs import CompressionConfig
+from repro.compression.sparsegpt import (hessian_from_inputs, obs_compress,
+                                         rtn_compress)
+from repro.compression.sparsity import validate_nm
+
+
+def _problem(rng, rows=32, cols=64, n_samples=256, correlated=True):
+    w = rng.normal(0, 0.02, size=(rows, cols)).astype(np.float32)
+    if correlated:
+        mix = rng.normal(size=(cols, cols)).astype(np.float32)
+        x = rng.normal(size=(n_samples, cols)).astype(np.float32) @ mix * 0.1
+    else:
+        x = rng.normal(size=(n_samples, cols)).astype(np.float32)
+    return w, x
+
+
+def _output_mse(w, w_hat, x):
+    d = x @ (w - w_hat).T
+    return float(np.mean(d ** 2))
+
+
+class TestHessian:
+    def test_shape_and_symmetry(self, rng):
+        x = rng.normal(size=(64, 16)).astype(np.float32)
+        h = hessian_from_inputs(x, 16)
+        assert h.shape == (16, 16)
+        np.testing.assert_allclose(h, h.T, atol=1e-8)
+
+    def test_empty_input_gives_identity(self):
+        h = hessian_from_inputs(None, 8)
+        np.testing.assert_array_equal(h, np.eye(8))
+
+    def test_positive_semidefinite(self, rng):
+        x = rng.normal(size=(100, 12)).astype(np.float32)
+        h = hessian_from_inputs(x, 12)
+        assert np.all(np.linalg.eigvalsh(h) >= -1e-6)
+
+
+class TestOBS:
+    def test_mask_is_valid_24(self, rng):
+        w, x = _problem(rng)
+        res = obs_compress(w, x, CompressionConfig.deltazip_4bit())
+        assert validate_nm(res.mask, 2, 4)
+        # pruned positions are exactly zero in the dense output
+        assert np.all(res.dense[~res.mask] == 0.0)
+
+    def test_beats_rtn_on_correlated_inputs(self, rng):
+        """The OBS error propagation is the whole point: with correlated
+        calibration inputs it must beat round-to-nearest."""
+        w, x = _problem(rng, correlated=True)
+        config = CompressionConfig.deltazip_2bit()
+        obs = obs_compress(w, x, config)
+        rtn = rtn_compress(w, config)
+        assert _output_mse(w, obs.dense, x) < _output_mse(w, rtn.dense, x)
+
+    def test_quantization_only_config(self, rng):
+        w, x = _problem(rng)
+        config = CompressionConfig(bits=4, sparsity_n=0, group_size=16)
+        res = obs_compress(w, x, config)
+        assert res.mask.all()
+        assert res.codes is not None
+
+    def test_pruning_only_config(self, rng):
+        w, x = _problem(rng)
+        config = CompressionConfig(bits=16, sparsity_n=2, sparsity_m=4)
+        res = obs_compress(w, x, config)
+        assert res.codes is None
+        assert validate_nm(res.mask, 2, 4)
+
+    def test_no_calibration_fallback(self, rng):
+        w, _ = _problem(rng)
+        res = obs_compress(w, None, CompressionConfig.deltazip_4bit())
+        assert validate_nm(res.mask, 2, 4)
+        assert res.reconstruction_error == 0.0
+
+    def test_dead_columns_zeroed(self, rng):
+        w, x = _problem(rng, cols=32)
+        x[:, 5] = 0.0  # dead input channel
+        x[:, 6] = 0.0
+        res = obs_compress(w, x, CompressionConfig.deltazip_4bit())
+        assert np.all(res.dense[:, 5] == 0.0)
+        assert np.all(res.dense[:, 6] == 0.0)
+
+    def test_higher_bits_lower_error(self, rng):
+        w, x = _problem(rng)
+        errs = []
+        for bits in (2, 4, 8):
+            config = CompressionConfig(bits=bits, sparsity_n=2, sparsity_m=4,
+                                       group_size=16)
+            res = obs_compress(w, x, config)
+            errs.append(_output_mse(w, res.dense, x))
+        assert errs[0] > errs[2]
+
+    def test_reconstruction_error_reported(self, rng):
+        w, x = _problem(rng)
+        res = obs_compress(w, x, CompressionConfig.deltazip_4bit())
+        np.testing.assert_allclose(res.reconstruction_error,
+                                   _output_mse(w, res.dense, x), rtol=1e-4)
+
+    def test_indivisible_cols_rejected(self, rng):
+        w = rng.normal(size=(4, 6)).astype(np.float32)
+        with pytest.raises(ValueError):
+            obs_compress(w, None, CompressionConfig.deltazip_4bit())
+
+    def test_blocksize_independence(self, rng):
+        """Different block sizes give comparable (not wildly different)
+        output error — the blocked algorithm is an implementation detail."""
+        w, x = _problem(rng, cols=64)
+        e = []
+        for blocksize in (16, 32, 64):
+            config = CompressionConfig(bits=4, sparsity_n=2, sparsity_m=4,
+                                       group_size=16, blocksize=blocksize)
+            res = obs_compress(w, x, config)
+            e.append(_output_mse(w, res.dense, x))
+        assert max(e) < min(e) * 3 + 1e-12
+
+
+class TestRTN:
+    def test_mask_valid(self, rng):
+        w, _ = _problem(rng)
+        res = rtn_compress(w, CompressionConfig.deltazip_4bit())
+        assert validate_nm(res.mask, 2, 4)
+
+    def test_no_quant_path(self, rng):
+        w, _ = _problem(rng)
+        res = rtn_compress(w, CompressionConfig(bits=16, sparsity_n=2,
+                                                sparsity_m=4))
+        kept = res.mask
+        np.testing.assert_allclose(res.dense[kept], w[kept], atol=1e-6)

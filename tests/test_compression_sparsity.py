@@ -1,0 +1,94 @@
+"""Sparsity masks: N:M invariants, unstructured thresholds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression.sparsity import (mask_density, nm_mask,
+                                        nm_mask_with_scores,
+                                        unstructured_mask, validate_nm)
+
+matrix_24 = arrays(
+    dtype=np.float32,
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 8).map(lambda g: g * 4)),
+    elements=st.floats(-100, 100, width=32))
+
+
+class TestNMMask:
+    def test_exact_density(self, rng):
+        w = rng.normal(size=(8, 32)).astype(np.float32)
+        mask = nm_mask(w, 2, 4)
+        assert mask_density(mask) == 0.5
+
+    def test_keeps_largest_magnitudes(self):
+        w = np.array([[0.1, -5.0, 0.2, 3.0]], dtype=np.float32)
+        mask = nm_mask(w, 2, 4)
+        np.testing.assert_array_equal(mask, [[False, True, False, True]])
+
+    def test_n_zero_keeps_everything(self, rng):
+        w = rng.normal(size=(2, 8)).astype(np.float32)
+        assert nm_mask(w, 0, 4).all()
+
+    def test_indivisible_cols_rejected(self, rng):
+        with pytest.raises(ValueError):
+            nm_mask(rng.normal(size=(2, 6)).astype(np.float32), 2, 4)
+
+    @given(matrix_24)
+    @settings(max_examples=40, deadline=None)
+    def test_every_group_has_at_least_n_zeros(self, w):
+        mask = nm_mask(w, 2, 4)
+        assert validate_nm(mask, 2, 4)
+
+    @given(matrix_24)
+    @settings(max_examples=30, deadline=None)
+    def test_1_of_4_pattern(self, w):
+        mask = nm_mask(w, 1, 4)
+        assert validate_nm(mask, 1, 4)
+        assert mask_density(mask) == 0.75
+
+    def test_scores_override_magnitude(self):
+        """OBS saliency can keep a small-magnitude, high-salience value."""
+        w = np.array([[0.1, 1.0, 2.0, 3.0]], dtype=np.float32)
+        scores = np.array([[100.0, 0.1, 0.2, 50.0]])
+        mask = nm_mask_with_scores(w, scores, 2, 4)
+        np.testing.assert_array_equal(mask, [[True, False, False, True]])
+
+    def test_tie_break_stable(self):
+        w = np.ones((1, 4), dtype=np.float32)
+        mask = nm_mask(w, 2, 4)
+        # stable sort prunes the first two on ties
+        np.testing.assert_array_equal(mask, [[False, False, True, True]])
+
+
+class TestUnstructured:
+    def test_density_close_to_target(self, rng):
+        w = rng.normal(size=(32, 32)).astype(np.float32)
+        mask = unstructured_mask(w, 0.75)
+        assert mask_density(mask) == pytest.approx(0.25, abs=0.02)
+
+    def test_zero_sparsity_keeps_all(self, rng):
+        w = rng.normal(size=(4, 4)).astype(np.float32)
+        assert unstructured_mask(w, 0.0).all()
+
+    def test_keeps_largest(self):
+        w = np.array([[1.0, 2.0, 3.0, 4.0]], dtype=np.float32)
+        mask = unstructured_mask(w, 0.5)
+        np.testing.assert_array_equal(mask, [[False, False, True, True]])
+
+    def test_invalid_sparsity_rejected(self, rng):
+        w = rng.normal(size=(2, 2)).astype(np.float32)
+        with pytest.raises(ValueError):
+            unstructured_mask(w, 1.0)
+        with pytest.raises(ValueError):
+            unstructured_mask(w, -0.1)
+
+
+class TestValidate:
+    def test_detects_violation(self):
+        mask = np.ones((1, 4), dtype=bool)  # 4 kept of 4
+        assert not validate_nm(mask, 2, 4)
+
+    def test_wrong_width(self):
+        assert not validate_nm(np.ones((1, 6), dtype=bool), 2, 4)

@@ -1,0 +1,100 @@
+"""Coverage for smaller surfaces: NLL harness, ratio-vs-embedding-fraction,
+engine stats, GemmShape, tuning dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionConfig, DeltaCompressor
+from repro.evaluation import answer_nll, evaluate_nll, make_task
+from repro.hardware import GemmShape
+from repro.nn import TransformerConfig, TransformerModel
+from repro.serving.metrics import EngineStats
+from repro.serving.tuning import ProfilePoint, pick_optimal_n
+
+
+class TestAnswerNLL:
+    def test_finetuned_lower_than_base(self, base_model, finetuned,
+                                       review_task):
+        nll_base = evaluate_nll(base_model, review_task, 30)
+        nll_fmt = evaluate_nll(finetuned.model, review_task, 30)
+        assert nll_fmt < nll_base
+
+    def test_empty_rejected(self, base_model):
+        with pytest.raises(ValueError):
+            answer_nll(base_model, [])
+
+    def test_nonnegative(self, finetuned, review_task):
+        assert evaluate_nll(finetuned.model, review_task, 10) >= 0.0
+
+
+class TestEmbeddingFractionRatio:
+    def test_embedding_heavy_models_compress_less_end_to_end(self, rng):
+        """Table 1's Gemma-2 observation: embeddings stay FP16, so models
+        with proportionally larger embeddings see lower end-to-end ratios
+        (at identical per-matrix compression)."""
+        def ratio_for(config):
+            base = TransformerModel(config, seed=0)
+            ft = TransformerModel(config, seed=0)
+            ft.load_state_dict(base.state_dict())
+            for p in ft.parameters():
+                p.data = p.data + rng.normal(
+                    0, 0.01, p.data.shape).astype(np.float32)
+            art = DeltaCompressor(
+                CompressionConfig(bits=2, sparsity_n=2, sparsity_m=4,
+                                  algorithm="rtn")).compress(
+                ft, base.state_dict(), None)
+            return art.compression_ratio()
+
+        # tiny: ~17% embedding params; small: ~8%
+        ratio_tiny = ratio_for(TransformerConfig.tiny())
+        ratio_small = ratio_for(TransformerConfig.small())
+        assert ratio_small > ratio_tiny
+
+
+class TestEngineStats:
+    def test_mean_properties(self):
+        stats = EngineStats(iterations=4, batched_requests=12,
+                            batched_deltas=8)
+        assert stats.mean_batch_size == 3.0
+        assert stats.mean_deltas_per_batch == 2.0
+
+    def test_zero_iterations_safe(self):
+        stats = EngineStats()
+        assert stats.mean_batch_size == 0.0
+        assert stats.mean_deltas_per_batch == 0.0
+
+    def test_populated_by_engine(self):
+        from repro.hardware import GPUNode, node_from_name
+        from repro.serving import (DeltaZipEngine, EngineConfig, LLAMA_7B,
+                                   ModelManager, SchedulerConfig)
+        from repro.workload import synthetic_trace
+        trace = synthetic_trace(3, rate=1.0, duration_s=20.0, seed=1)
+        mgr = ModelManager(LLAMA_7B)
+        mgr.register_base("base")
+        for m in trace.model_ids:
+            mgr.register_delta(m, "base", 8.0)
+        result = DeltaZipEngine(
+            mgr, GPUNode(node_from_name("a800", 1)),
+            SchedulerConfig(8, 2), EngineConfig(tp_degree=1)).run(trace)
+        stats = result.stats
+        assert stats.iterations > 0
+        assert stats.swap_ins >= 1
+        assert stats.batched_requests >= stats.iterations
+        assert stats.total_load_s >= 0.0
+
+
+class TestGemmShape:
+    def test_flops(self):
+        assert GemmShape(2, 3, 4).flops == 2 * 2 * 3 * 4
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            GemmShape(1, 1, 1).m = 5
+
+
+class TestTuningTypes:
+    def test_pick_optimal_is_argmin(self):
+        points = [ProfilePoint(n_deltas=n, mean_time_per_token_s=v,
+                               mean_e2e_s=0.0, throughput_rps=0.0)
+                  for n, v in [(1, 0.3), (2, 0.1), (3, 0.2)]]
+        assert pick_optimal_n(points) == 2

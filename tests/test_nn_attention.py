@@ -1,0 +1,114 @@
+"""Attention: causality, KV-cache equivalence, and gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import KVCache, MultiHeadAttention
+
+
+@pytest.fixture()
+def attn():
+    return MultiHeadAttention(dim=16, n_heads=4, max_seq=32,
+                              rng=np.random.default_rng(3))
+
+
+class TestForward:
+    def test_output_shape(self, attn, rng):
+        x = rng.normal(size=(2, 5, 16)).astype(np.float32)
+        assert attn(x).shape == (2, 5, 16)
+
+    def test_causality(self, attn, rng):
+        """Perturbing a later position must not change earlier outputs."""
+        x = rng.normal(size=(1, 6, 16)).astype(np.float32)
+        y1 = attn(x)
+        x2 = x.copy()
+        x2[0, 5] += 10.0
+        y2 = attn(x2)
+        np.testing.assert_allclose(y1[0, :5], y2[0, :5], atol=1e-5)
+        assert not np.allclose(y1[0, 5], y2[0, 5], atol=1e-3)
+
+    def test_dim_heads_divisibility(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3, 8, np.random.default_rng(0))
+
+
+class TestKVCache:
+    def test_incremental_matches_full(self, attn, rng):
+        """Decode one token at a time == full-sequence forward."""
+        x = rng.normal(size=(1, 6, 16)).astype(np.float32)
+        full = attn(x)
+        cache = KVCache(1, 4, 32, 4)
+        outs = []
+        for t in range(6):
+            outs.append(attn(x[:, t:t + 1], kv_cache=cache))
+        inc = np.concatenate(outs, axis=1)
+        np.testing.assert_allclose(full, inc, atol=1e-4)
+
+    def test_chunked_prefill_matches_full(self, attn, rng):
+        x = rng.normal(size=(1, 6, 16)).astype(np.float32)
+        full = attn(x)
+        cache = KVCache(1, 4, 32, 4)
+        part1 = attn(x[:, :4], kv_cache=cache)
+        part2 = attn(x[:, 4:], kv_cache=cache)
+        np.testing.assert_allclose(full, np.concatenate([part1, part2], axis=1),
+                                   atol=1e-4)
+
+    def test_overflow_raises(self):
+        cache = KVCache(1, 2, 4, 4)
+        k = np.zeros((1, 2, 3, 4), dtype=np.float32)
+        cache.append(k, k)
+        with pytest.raises(ValueError):
+            cache.append(k, k)
+
+    def test_length_tracking(self):
+        cache = KVCache(1, 2, 8, 4)
+        k = np.zeros((1, 2, 3, 4), dtype=np.float32)
+        cache.append(k, k)
+        assert cache.length == 3
+        keys, values = cache.view()
+        assert keys.shape == (1, 2, 3, 4)
+
+    def test_training_cache_with_kv_cache_rejected(self, attn):
+        cache = KVCache(1, 4, 32, 4)
+        with pytest.raises(ValueError):
+            attn(np.zeros((1, 2, 16), dtype=np.float32), kv_cache=cache,
+                 cache=True)
+
+
+class TestBackward:
+    def test_gradients_match_numeric(self, rng):
+        attn = MultiHeadAttention(dim=8, n_heads=2, max_seq=8,
+                                  rng=np.random.default_rng(5))
+        x = rng.normal(size=(1, 3, 8)).astype(np.float64)
+        grad_out = rng.normal(size=(1, 3, 8)).astype(np.float64)
+
+        def loss():
+            return float(np.sum(attn(x.astype(np.float32)) * grad_out))
+
+        attn(x.astype(np.float32), cache=True)
+        grad_x = attn.backward(grad_out.astype(np.float32))
+
+        eps = 1e-3
+        num = np.zeros_like(x)
+        flat, nflat = x.reshape(-1), num.reshape(-1)
+        for i in range(flat.size):
+            old = flat[i]
+            flat[i] = old + eps
+            hi = loss()
+            flat[i] = old - eps
+            lo = loss()
+            flat[i] = old
+            nflat[i] = (hi - lo) / (2 * eps)
+        np.testing.assert_allclose(grad_x, num, atol=2e-2, rtol=5e-2)
+
+    def test_backward_without_forward_raises(self, attn):
+        with pytest.raises(RuntimeError):
+            attn.backward(np.zeros((1, 2, 16), dtype=np.float32))
+
+    def test_weight_grads_populated(self, attn, rng):
+        x = rng.normal(size=(1, 4, 16)).astype(np.float32)
+        attn(x, cache=True)
+        attn.backward(np.ones((1, 4, 16), dtype=np.float32))
+        for proj in (attn.q_proj, attn.k_proj, attn.v_proj, attn.o_proj):
+            assert proj.weight.grad is not None
+            assert np.any(proj.weight.grad != 0)

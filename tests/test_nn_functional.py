@@ -1,0 +1,177 @@
+"""Unit tests for repro.nn.functional: ops and their gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn.functional as F
+
+
+def _finite_diff(f, x, eps=1e-4):
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        hi = f()
+        flat[i] = old - eps
+        lo = f()
+        flat[i] = old
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(4, 7)).astype(np.float32)
+        s = F.softmax(x)
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_large_values_stable(self):
+        x = np.array([[1e4, 1e4 + 1.0]], dtype=np.float32)
+        s = F.softmax(x)
+        assert np.all(np.isfinite(s))
+        assert s[0, 1] > s[0, 0]
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.normal(size=(3, 5)).astype(np.float64)
+        np.testing.assert_allclose(F.softmax(x), F.softmax(x + 100.0),
+                                   atol=1e-10)
+
+    def test_log_softmax_consistency(self, rng):
+        x = rng.normal(size=(3, 5)).astype(np.float64)
+        np.testing.assert_allclose(np.exp(F.log_softmax(x)), F.softmax(x),
+                                   atol=1e-10)
+
+
+class TestActivations:
+    def test_silu_values(self):
+        assert F.silu(np.array([0.0]))[0] == 0.0
+        assert F.silu(np.array([10.0]))[0] == pytest.approx(10.0, abs=1e-3)
+
+    def test_silu_grad_matches_numeric(self, rng):
+        x = rng.normal(size=(5,)).astype(np.float64)
+        g = F.silu_backward(x, np.ones_like(x))
+        num = _finite_diff(lambda: float(np.sum(F.silu(x))), x)
+        np.testing.assert_allclose(g, num, atol=1e-5)
+
+    def test_gelu_monotone_near_origin(self):
+        x = np.linspace(-0.5, 0.5, 11)
+        y = F.gelu(x)
+        assert np.all(np.diff(y) > 0)
+
+
+class TestRMSNorm:
+    def test_unit_scale_output_norm(self, rng):
+        x = rng.normal(size=(2, 3, 8)).astype(np.float32)
+        w = np.ones(8, dtype=np.float32)
+        y = F.rms_norm(x, w)
+        rms = np.sqrt(np.mean(y * y, axis=-1))
+        np.testing.assert_allclose(rms, 1.0, rtol=1e-3)
+
+    def test_grad_matches_numeric(self, rng):
+        x = rng.normal(size=(2, 6)).astype(np.float64)
+        w = rng.normal(size=(6,)).astype(np.float64) + 1.0
+        grad_out = rng.normal(size=(2, 6)).astype(np.float64)
+
+        gx, gw = F.rms_norm_backward(x, w, grad_out)
+        num_x = _finite_diff(lambda: float(np.sum(F.rms_norm(x, w) * grad_out)), x)
+        num_w = _finite_diff(lambda: float(np.sum(F.rms_norm(x, w) * grad_out)), w)
+        np.testing.assert_allclose(gx, num_x, atol=1e-5)
+        np.testing.assert_allclose(gw, num_w, atol=1e-5)
+
+
+class TestRoPE:
+    def test_requires_even_head_dim(self):
+        with pytest.raises(ValueError):
+            F.rope_frequencies(5, 16)
+
+    def test_rotation_preserves_norm(self, rng):
+        cos, sin = F.rope_frequencies(8, 32)
+        x = rng.normal(size=(1, 2, 16, 8)).astype(np.float32)
+        y = F.apply_rope(x, cos, sin)
+        np.testing.assert_allclose(np.linalg.norm(y, axis=-1),
+                                   np.linalg.norm(x, axis=-1), rtol=1e-4)
+
+    def test_inverse_rotation(self, rng):
+        cos, sin = F.rope_frequencies(8, 32)
+        x = rng.normal(size=(1, 1, 4, 8)).astype(np.float32)
+        y = F.apply_rope(x, cos, sin)
+        back = F.apply_rope(y, cos, -sin)
+        np.testing.assert_allclose(back, x, atol=1e-5)
+
+    def test_offset_matches_slice(self, rng):
+        cos, sin = F.rope_frequencies(8, 32)
+        x = rng.normal(size=(1, 1, 6, 8)).astype(np.float32)
+        full = F.apply_rope(x, cos, sin)
+        tail = F.apply_rope(x[:, :, 4:], cos, sin, position_offset=4)
+        np.testing.assert_allclose(full[:, :, 4:], tail, atol=1e-6)
+
+    def test_position_zero_identity(self, rng):
+        cos, sin = F.rope_frequencies(8, 32)
+        x = rng.normal(size=(1, 1, 1, 8)).astype(np.float32)
+        np.testing.assert_allclose(F.apply_rope(x, cos, sin), x, atol=1e-6)
+
+
+class TestCausalMask:
+    def test_lower_triangle_zero(self):
+        m = F.causal_mask(4)
+        assert np.all(m[np.tril_indices(4)] == 0)
+
+    def test_upper_triangle_minus_inf(self):
+        m = F.causal_mask(4)
+        assert np.all(np.isneginf(m[np.triu_indices(4, k=1)]))
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        logits = np.zeros((1, 2, 4), dtype=np.float32)
+        logits[0, :, 1] = 50.0
+        targets = np.array([[1, 1]])
+        assert F.cross_entropy(logits, targets) < 1e-6
+
+    def test_uniform_equals_log_vocab(self):
+        logits = np.zeros((1, 3, 8), dtype=np.float32)
+        targets = np.array([[0, 1, 2]])
+        assert F.cross_entropy(logits, targets) == pytest.approx(np.log(8),
+                                                                 rel=1e-5)
+
+    def test_ignore_index_masks_positions(self):
+        logits = np.zeros((1, 2, 4), dtype=np.float32)
+        logits[0, 0, 1] = 50.0
+        targets = np.array([[1, -100]])
+        assert F.cross_entropy(logits, targets) < 1e-6
+
+    def test_all_ignored_returns_zero(self):
+        logits = np.zeros((1, 2, 4), dtype=np.float32)
+        targets = np.full((1, 2), -100)
+        assert F.cross_entropy(logits, targets) == 0.0
+        grad = F.cross_entropy_backward(logits, targets)
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_grad_matches_numeric(self, rng):
+        logits = rng.normal(size=(1, 3, 5)).astype(np.float64)
+        targets = np.array([[1, -100, 4]])
+        grad = F.cross_entropy_backward(logits, targets)
+        num = _finite_diff(lambda: F.cross_entropy(logits, targets), logits)
+        np.testing.assert_allclose(grad, num, atol=1e-5)
+
+    def test_grad_rows_sum_zero_on_valid(self, rng):
+        logits = rng.normal(size=(1, 2, 6)).astype(np.float32)
+        targets = np.array([[2, 3]])
+        grad = F.cross_entropy_backward(logits, targets)
+        np.testing.assert_allclose(grad.sum(axis=-1), 0.0, atol=1e-6)
+
+
+class TestOneHot:
+    @given(st.integers(min_value=2, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_rows_one_hot(self, n_classes):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, n_classes, size=(3, 4))
+        oh = F.one_hot(idx, n_classes)
+        assert oh.shape == (3, 4, n_classes)
+        np.testing.assert_array_equal(oh.sum(axis=-1), 1.0)
+        np.testing.assert_array_equal(np.argmax(oh, axis=-1), idx)

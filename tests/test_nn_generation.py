@@ -1,0 +1,93 @@
+"""Decoding: greedy/sampled generation, EOS handling, logprob scoring."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (GenerationResult, TransformerConfig, TransformerModel,
+                      generate, generate_batch, sequence_logprob)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """Model trained to continue arithmetic successor sequences."""
+    from repro.nn import TrainingConfig, train_lm
+    model = TransformerModel(TransformerConfig.tiny(), seed=0)
+    rng = np.random.default_rng(0)
+    start = rng.integers(0, 8, size=(64, 1))
+    x = ((start + np.arange(12)[None, :]) % 24 + 2).astype(np.int64)
+    y = np.concatenate([x[:, 1:], np.full((64, 1), -100)], axis=1)
+    train_lm(model, x, y, TrainingConfig(epochs=12, lr=3e-3))
+    return model
+
+
+class TestGenerate:
+    def test_learned_pattern(self, trained):
+        out = generate(trained, [5, 6, 7, 8], max_new_tokens=3)
+        assert out.tokens == [9, 10, 11]
+
+    def test_greedy_deterministic(self, trained):
+        a = generate(trained, [3, 4, 5], max_new_tokens=4)
+        b = generate(trained, [3, 4, 5], max_new_tokens=4)
+        assert a.tokens == b.tokens
+
+    def test_max_tokens_respected(self, trained):
+        out = generate(trained, [3, 4], max_new_tokens=2)
+        assert len(out.tokens) <= 2
+
+    def test_eos_stops(self):
+        """A model rigged to always emit EOS stops after one token."""
+        model = TransformerModel(TransformerConfig.tiny(), seed=0)
+        model.lm_head.weight.data[:] = 0.0
+        model.lm_head.weight.data[model.config.eos_token] = 10.0
+        out = generate(model, [5, 6], max_new_tokens=8)
+        assert out.finished_by_eos
+        assert out.tokens[-1] == model.config.eos_token
+        assert len(out.tokens) == 1
+
+    def test_full_sequence_property(self, trained):
+        out = generate(trained, [3, 4], max_new_tokens=2)
+        assert out.full_sequence[:2] == [3, 4]
+        assert out.full_sequence[2:] == out.tokens
+
+    def test_sampling_reproducible_with_seed(self, trained):
+        rng1 = np.random.default_rng(11)
+        rng2 = np.random.default_rng(11)
+        a = generate(trained, [3, 4, 5], max_new_tokens=5, temperature=1.0,
+                     rng=rng1)
+        b = generate(trained, [3, 4, 5], max_new_tokens=5, temperature=1.0,
+                     rng=rng2)
+        assert a.tokens == b.tokens
+
+    def test_prompt_budget_respects_max_seq(self, trained):
+        max_seq = trained.config.max_seq
+        prompt = list(np.arange(2, max_seq - 2).astype(int) % 20 + 2)
+        out = generate(trained, prompt, max_new_tokens=100)
+        assert len(out.prompt) + len(out.tokens) <= max_seq
+
+
+class TestGenerateBatch:
+    def test_matches_individual(self, trained):
+        prompts = [[3, 4, 5], [7, 8, 9]]
+        batch = generate_batch(trained, prompts, max_new_tokens=3)
+        singles = [generate(trained, p, max_new_tokens=3) for p in prompts]
+        assert [r.tokens for r in batch] == [r.tokens for r in singles]
+
+
+class TestSequenceLogprob:
+    def test_learned_continuation_preferred(self, trained):
+        right = sequence_logprob(trained, [5, 6, 7], [8])
+        wrong = sequence_logprob(trained, [5, 6, 7], [19])
+        assert right > wrong
+
+    def test_additivity(self, trained):
+        both = sequence_logprob(trained, [5, 6], [7, 8])
+        first = sequence_logprob(trained, [5, 6], [7])
+        second = sequence_logprob(trained, [5, 6, 7], [8])
+        assert both == pytest.approx(first + second, abs=1e-4)
+
+    def test_empty_continuation_raises(self, trained):
+        with pytest.raises(ValueError):
+            sequence_logprob(trained, [5, 6], [])
+
+    def test_always_nonpositive(self, trained):
+        assert sequence_logprob(trained, [5, 6, 7], [8]) <= 0.0

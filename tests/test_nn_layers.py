@@ -1,0 +1,134 @@
+"""Unit tests for Linear / RMSNorm / Embedding forward & backward."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Embedding, Linear, RMSNorm
+from repro.nn.tensoring import (Module, Parameter, clone_state_dict,
+                                load_state_dict, save_state_dict,
+                                state_dict_nbytes, state_dicts_allclose)
+
+
+@pytest.fixture()
+def gen():
+    return np.random.default_rng(7)
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self, gen):
+        layer = Linear(4, 3, gen)
+        x = gen.normal(size=(2, 5, 4)).astype(np.float32)
+        y = layer(x)
+        assert y.shape == (2, 5, 3)
+        np.testing.assert_allclose(y, x @ layer.weight.data.T, atol=1e-6)
+
+    def test_backward_weight_grad(self, gen):
+        layer = Linear(4, 3, gen)
+        x = gen.normal(size=(2, 4)).astype(np.float32)
+        y = layer(x, cache=True)
+        grad_out = np.ones_like(y)
+        grad_in = layer.backward(grad_out)
+        np.testing.assert_allclose(layer.weight.grad, grad_out.T @ x,
+                                   atol=1e-5)
+        np.testing.assert_allclose(grad_in, grad_out @ layer.weight.data,
+                                   atol=1e-5)
+
+    def test_backward_without_cache_raises(self, gen):
+        layer = Linear(4, 3, gen)
+        layer(np.zeros((1, 4), dtype=np.float32))  # no cache
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 3), dtype=np.float32))
+
+    def test_grad_accumulates(self, gen):
+        layer = Linear(2, 2, gen)
+        x = np.ones((1, 2), dtype=np.float32)
+        for _ in range(2):
+            layer(x, cache=True)
+            layer.backward(np.ones((1, 2), dtype=np.float32))
+        np.testing.assert_allclose(layer.weight.grad, 2 * np.ones((2, 2)),
+                                   atol=1e-6)
+
+
+class TestRMSNormLayer:
+    def test_forward_matches_functional(self, gen):
+        layer = RMSNorm(8)
+        layer.weight.data = gen.normal(size=8).astype(np.float32)
+        x = gen.normal(size=(3, 8)).astype(np.float32)
+        import repro.nn.functional as F
+        np.testing.assert_allclose(layer(x),
+                                   F.rms_norm(x, layer.weight.data),
+                                   atol=1e-6)
+
+    def test_backward_populates_grads(self, gen):
+        layer = RMSNorm(8)
+        x = gen.normal(size=(3, 8)).astype(np.float32)
+        layer(x, cache=True)
+        grad_in = layer.backward(np.ones((3, 8), dtype=np.float32))
+        assert grad_in.shape == (3, 8)
+        assert layer.weight.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup(self, gen):
+        emb = Embedding(10, 4, gen)
+        idx = np.array([[1, 2], [3, 9]])
+        out = emb(idx)
+        np.testing.assert_array_equal(out, emb.weight.data[idx])
+
+    def test_backward_scatter_adds(self, gen):
+        emb = Embedding(10, 4, gen)
+        idx = np.array([[1, 1]])  # repeated index must accumulate
+        emb(idx, cache=True)
+        emb.backward(np.ones((1, 2, 4), dtype=np.float32))
+        np.testing.assert_allclose(emb.weight.grad[1], 2.0, atol=1e-6)
+        np.testing.assert_allclose(emb.weight.grad[0], 0.0, atol=1e-6)
+
+
+class TestModuleInfrastructure:
+    def test_named_parameters_nested(self, gen):
+        class Inner(Module):
+            def __init__(self):
+                self.w = Parameter(np.zeros(2))
+
+        class Outer(Module):
+            def __init__(self):
+                self.inner = Inner()
+                self.blocks = [Inner(), Inner()]
+
+        names = dict(Outer().named_parameters())
+        assert set(names) == {"inner.w", "blocks.0.w", "blocks.1.w"}
+
+    def test_state_dict_roundtrip(self, gen):
+        a = Linear(3, 2, gen)
+        b = Linear(3, 2, np.random.default_rng(99))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_strict_mismatch(self, gen):
+        a = Linear(3, 2, gen)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"nope": np.zeros((2, 3))})
+
+    def test_load_state_dict_shape_mismatch(self, gen):
+        a = Linear(3, 2, gen)
+        with pytest.raises(ValueError):
+            a.load_state_dict({"weight": np.zeros((5, 5))})
+
+    def test_save_load_file_roundtrip(self, gen, tmp_path):
+        state = {"x": gen.normal(size=(3, 4)).astype(np.float32),
+                 "y.z": gen.normal(size=7).astype(np.float32)}
+        path = str(tmp_path / "ckpt.zip")
+        save_state_dict(state, path)
+        loaded = load_state_dict(path)
+        assert state_dicts_allclose(state, loaded)
+
+    def test_state_dict_nbytes(self):
+        state = {"a": np.zeros((2, 2), dtype=np.float32)}
+        assert state_dict_nbytes(state) == 16
+
+    def test_clone_is_deep(self, gen):
+        state = {"a": np.ones(3, dtype=np.float32)}
+        clone = clone_state_dict(state)
+        clone["a"][0] = 5.0
+        assert state["a"][0] == 1.0

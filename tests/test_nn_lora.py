@@ -1,0 +1,122 @@
+"""LoRA adapters: attach/detach/merge semantics and training behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (LoRAConfig, TrainingConfig, TransformerConfig,
+                      TransformerModel, attach_lora, detach_lora, lora_nbytes,
+                      merge_lora, train_lm)
+from repro.nn.layers import Linear
+from repro.nn.lora import LoRALinear
+
+
+@pytest.fixture()
+def model():
+    return TransformerModel(TransformerConfig.tiny(), seed=0)
+
+
+class TestAttachDetach:
+    def test_attach_wraps_targets(self, model):
+        wrapped = attach_lora(model, LoRAConfig(rank=2))
+        assert len(wrapped) == 2 * model.config.n_layers  # q_proj, v_proj
+        for block in model.layers:
+            assert isinstance(block.self_attn.q_proj, LoRALinear)
+            assert isinstance(block.self_attn.v_proj, LoRALinear)
+            assert isinstance(block.self_attn.k_proj, Linear)
+
+    def test_attach_freezes_base(self, model):
+        attach_lora(model, LoRAConfig(rank=2))
+        for name, param in model.named_parameters():
+            if "lora_" in name:
+                assert param.trainable
+            else:
+                assert not param.trainable
+
+    def test_initial_adapter_is_identity(self, model, rng):
+        toks = rng.integers(0, 128, size=(1, 6))
+        before = model(toks)
+        attach_lora(model, LoRAConfig(rank=4))
+        after = model(toks)
+        np.testing.assert_allclose(before, after, atol=1e-6)
+
+    def test_double_attach_rejected(self, model):
+        attach_lora(model, LoRAConfig(rank=2))
+        with pytest.raises(ValueError):
+            attach_lora(model, LoRAConfig(rank=2))
+
+    def test_detach_restores_plain_linears(self, model, rng):
+        toks = rng.integers(0, 128, size=(1, 6))
+        before = model(toks)
+        attach_lora(model, LoRAConfig(rank=2))
+        adapter = detach_lora(model)
+        after = model(toks)
+        np.testing.assert_allclose(before, after, atol=1e-6)
+        assert len(adapter.matrices) == 2 * model.config.n_layers
+        assert all(p.trainable for p in model.parameters())
+
+    def test_detach_without_attach_raises(self, model):
+        with pytest.raises(ValueError):
+            detach_lora(model)
+
+
+class TestMerge:
+    def test_merge_equals_adapter_forward(self, model, rng):
+        attach_lora(model, LoRAConfig(rank=2), seed=1)
+        # give the adapter a non-trivial B so it changes outputs
+        for block in model.layers:
+            block.self_attn.q_proj.lora_b.data[:] = \
+                rng.normal(0, 0.05, size=block.self_attn.q_proj.lora_b.shape)
+        toks = rng.integers(0, 128, size=(1, 6))
+        with_adapter = model(toks)
+        adapter = detach_lora(model)
+        merged = TransformerModel(model.config, seed=0)
+        merged.load_state_dict(model.state_dict())
+        merge_lora(merged, adapter)
+        np.testing.assert_allclose(with_adapter, merged(toks), atol=1e-5)
+
+    def test_delta_weight_shape(self, model):
+        attach_lora(model, LoRAConfig(rank=3))
+        layer = model.layers[0].self_attn.q_proj
+        assert layer.delta_weight().shape == (16 * 4, 16 * 4)
+
+
+class TestTrainingBehaviour:
+    def test_only_adapters_move(self, model):
+        attach_lora(model, LoRAConfig(rank=2))
+        base_before = model.layers[0].self_attn.q_proj.base.weight.data.copy()
+        rng = np.random.default_rng(0)
+        x = rng.integers(2, 30, size=(16, 8)).astype(np.int64)
+        y = np.concatenate([x[:, 1:], np.full((16, 1), -100)], axis=1)
+        train_lm(model, x, y, TrainingConfig(epochs=2, lr=1e-2))
+        base_after = model.layers[0].self_attn.q_proj.base.weight.data
+        np.testing.assert_array_equal(base_before, base_after)
+        assert np.any(model.layers[0].self_attn.q_proj.lora_b.data != 0)
+
+    def test_loss_decreases(self, model):
+        attach_lora(model, LoRAConfig(rank=4))
+        rng = np.random.default_rng(0)
+        start = rng.integers(0, 8, size=(32, 1))
+        x = ((start + np.arange(10)[None, :]) % 20 + 2).astype(np.int64)
+        y = np.concatenate([x[:, 1:], np.full((32, 1), -100)], axis=1)
+        hist = train_lm(model, x, y, TrainingConfig(epochs=6, lr=1e-2))
+        assert hist[-1] < hist[0]
+
+
+class TestAdapterArtifacts:
+    def test_adapter_nbytes(self, model):
+        attach_lora(model, LoRAConfig(rank=2))
+        adapter = detach_lora(model)
+        # per wrapped layer: A (2x64) + B (64x2) at 2 bytes
+        expected = (2 * 64 + 64 * 2) * 2 * len(adapter.matrices)
+        assert adapter.nbytes() == expected
+
+    def test_lora_nbytes_analytic_matches(self, model):
+        config = LoRAConfig(rank=2)
+        attach_lora(model, config)
+        adapter = detach_lora(model)
+        analytic = lora_nbytes(model.config.dim, model.config.n_layers,
+                               config, mlp_hidden=model.config.mlp_hidden)
+        assert analytic == adapter.nbytes()
+
+    def test_scaling_property(self):
+        assert LoRAConfig(rank=8, alpha=16.0).scaling == 2.0

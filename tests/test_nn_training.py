@@ -1,0 +1,115 @@
+"""Optimizers and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensoring import Parameter
+from repro.nn.training import (Adam, SGD, TrainingConfig, iterate_minibatches,
+                               train_lm)
+from repro.nn.transformer import TransformerConfig, TransformerModel
+
+
+class TestSGD:
+    def test_step_direction(self):
+        p = Parameter(np.array([1.0, 2.0], dtype=np.float32))
+        p.grad = np.array([0.5, -0.5], dtype=np.float32)
+        SGD([p], lr=0.1, clip_norm=None).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05], atol=1e-6)
+
+    def test_skips_frozen(self):
+        p = Parameter(np.ones(2, dtype=np.float32), trainable=False)
+        p.grad = np.ones(2, dtype=np.float32)
+        opt = SGD([p], lr=0.1)
+        opt.step()
+        np.testing.assert_array_equal(p.data, 1.0)
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.ones(2, dtype=np.float32))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_array_equal(p.data, 1.0)
+
+    def test_clipping_bounds_update(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 100.0, dtype=np.float32)
+        SGD([p], lr=1.0, clip_norm=1.0).step()
+        assert np.linalg.norm(p.data) <= 1.0 + 1e-5
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        """Minimize ||x - target||^2 — Adam should get close quickly."""
+        target = np.array([3.0, -2.0], dtype=np.float32)
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        opt = Adam([p], lr=0.1, clip_norm=None)
+        for _ in range(300):
+            opt.zero_grad()
+            p.grad = 2 * (p.data - target)
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        p = Parameter(np.zeros(1, dtype=np.float32))
+        p.grad = np.array([1.0], dtype=np.float32)
+        Adam([p], lr=0.1, clip_norm=None).step()
+        # with bias correction the first step magnitude is ~lr
+        assert abs(p.data[0] + 0.1) < 1e-4
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = Parameter(np.array([10.0], dtype=np.float32))
+        opt = Adam([p], lr=0.05, weight_decay=0.5, clip_norm=None)
+        for _ in range(600):
+            opt.zero_grad()
+            p.grad = np.zeros(1, dtype=np.float32)
+            opt.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        p.grad = np.ones(2, dtype=np.float32)
+        opt = Adam([p])
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestMinibatches:
+    def test_partitions_all_examples(self, rng):
+        x = np.arange(10)[:, None]
+        y = np.arange(10)[:, None]
+        seen = []
+        for bx, _ in iterate_minibatches(x, y, 3, rng):
+            seen.extend(bx[:, 0].tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_batch_size_respected(self, rng):
+        x = np.arange(10)[:, None]
+        sizes = [bx.shape[0]
+                 for bx, _ in iterate_minibatches(x, x, 4, rng)]
+        assert sizes == [4, 4, 2]
+
+    def test_inputs_targets_aligned(self, rng):
+        x = np.arange(8)[:, None]
+        y = x * 10
+        for bx, by in iterate_minibatches(x, y, 3, rng):
+            np.testing.assert_array_equal(by, bx * 10)
+
+
+class TestTrainLM:
+    def test_unknown_optimizer_rejected(self):
+        model = TransformerModel(TransformerConfig.tiny(), seed=0)
+        x = np.zeros((4, 4), dtype=np.int64)
+        with pytest.raises(ValueError):
+            train_lm(model, x, x, TrainingConfig(optimizer="rmsprop"))
+
+    def test_callback_invoked_per_epoch(self):
+        model = TransformerModel(TransformerConfig.tiny(), seed=0)
+        x = np.ones((8, 4), dtype=np.int64)
+        calls = []
+        train_lm(model, x, x, TrainingConfig(epochs=3, batch_size=4),
+                 callback=lambda e, l: calls.append(e))
+        assert calls == [0, 1, 2]
+
+    def test_history_length(self):
+        model = TransformerModel(TransformerConfig.tiny(), seed=0)
+        x = np.ones((8, 4), dtype=np.int64)
+        hist = train_lm(model, x, x, TrainingConfig(epochs=4, batch_size=4))
+        assert len(hist) == 4

@@ -1,0 +1,109 @@
+"""TransformerModel: shapes, training dynamics, state-dict plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (TrainingConfig, TransformerConfig, TransformerModel,
+                      train_lm)
+from repro.nn.layers import Linear
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TransformerModel(TransformerConfig.tiny(), seed=0)
+
+
+class TestForward:
+    def test_logit_shape(self, model, rng):
+        toks = rng.integers(0, 128, size=(2, 7))
+        assert model(toks).shape == (2, 7, 128)
+
+    def test_1d_input_promoted(self, model):
+        toks = np.arange(5)
+        assert model(toks).shape == (1, 5, 128)
+
+    def test_deterministic(self, model, rng):
+        toks = rng.integers(0, 128, size=(1, 6))
+        np.testing.assert_array_equal(model(toks), model(toks))
+
+    def test_kv_cache_decode_matches_full(self, model, rng):
+        toks = rng.integers(0, 128, size=(1, 6))
+        full = model(toks)
+        caches = model.new_kv_caches(1)
+        out_prefill = model(toks[:, :5], kv_caches=caches)
+        out_step = model(toks[:, 5:6], kv_caches=caches)
+        np.testing.assert_allclose(full[:, :5], out_prefill, atol=1e-4)
+        np.testing.assert_allclose(full[:, 5:6], out_step, atol=1e-4)
+
+
+class TestTraining:
+    def test_loss_decreases_on_copy_task(self):
+        config = TransformerConfig.tiny()
+        model = TransformerModel(config, seed=1)
+        rng = np.random.default_rng(0)
+        start = rng.integers(0, 8, size=(48, 1))
+        x = ((start + np.arange(12)[None, :]) % 20 + 2).astype(np.int64)
+        y = np.concatenate([x[:, 1:], np.full((48, 1), -100)], axis=1)
+        hist = train_lm(model, x, y, TrainingConfig(epochs=6, lr=3e-3))
+        assert hist[-1] < hist[0] * 0.5
+
+    def test_zero_grad_clears(self, model, rng):
+        toks = rng.integers(0, 128, size=(2, 6))
+        targets = toks.copy()
+        model.loss(toks, targets, cache=True)
+        model.loss_backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, model):
+        state = model.state_dict()
+        other = TransformerModel(model.config, seed=42)
+        other.load_state_dict(state)
+        toks = np.arange(6)[None, :]
+        np.testing.assert_allclose(model(toks), other(toks), atol=1e-6)
+
+    def test_num_parameters_matches_state(self, model):
+        state = model.state_dict()
+        assert model.num_parameters() == sum(v.size for v in state.values())
+
+
+class TestLinearViews:
+    def test_linear_layer_names_count(self, model):
+        names = model.linear_layer_names()
+        assert len(names) == 7 * model.config.n_layers
+        state = model.state_dict()
+        for name in names:
+            assert name in state
+
+    def test_get_linear_resolves(self, model):
+        for name in model.linear_layer_names():
+            layer = model.get_linear(name)
+            assert isinstance(layer, Linear)
+            np.testing.assert_array_equal(layer.weight.data,
+                                          model.state_dict()[name])
+
+    def test_get_linear_rejects_non_linear(self, model):
+        with pytest.raises((TypeError, AttributeError)):
+            model.get_linear("final_norm.weight")
+
+    def test_lm_head_resolvable(self, model):
+        assert isinstance(model.get_linear("lm_head.weight"), Linear)
+
+
+class TestConfigPresets:
+    @pytest.mark.parametrize("factory", [TransformerConfig.tiny,
+                                         TransformerConfig.small,
+                                         TransformerConfig.medium])
+    def test_presets_construct(self, factory):
+        config = factory()
+        model = TransformerModel(config, seed=0)
+        toks = np.arange(4)[None, :]
+        assert model(toks).shape == (1, 4, config.vocab_size)
+
+    def test_config_frozen(self):
+        config = TransformerConfig.tiny()
+        with pytest.raises(Exception):
+            config.dim = 1

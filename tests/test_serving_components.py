@@ -1,0 +1,205 @@
+"""Serving components: model specs, manager, cost model, functional SBMM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.configs import CompressionConfig
+from repro.hardware import A800
+from repro.serving import (LLAMA_13B, LLAMA_70B, LLAMA_7B, BatchComposition,
+                           IterationCostModel, ModelManager,
+                           group_requests_by_delta, sbmm_forward,
+                           sbmm_reference)
+from repro.serving.model_manager import ArtifactKind
+
+
+class TestModelSpecs:
+    def test_7b_parameter_count(self):
+        # Llama-2-7B is ~6.7e9 parameters
+        assert 6.0e9 < LLAMA_7B.total_params < 7.5e9
+
+    def test_13b_parameter_count(self):
+        assert 12.0e9 < LLAMA_13B.total_params < 14.0e9
+
+    def test_70b_uses_gqa(self):
+        assert LLAMA_70B.kv_heads == 8
+        # GQA shrinks KV bytes far below the MHA equivalent
+        mha_like = 2 * LLAMA_70B.n_layers * LLAMA_70B.dim * 2
+        assert LLAMA_70B.kv_bytes_per_token() < mha_like / 4
+
+    def test_delta_nbytes(self):
+        assert LLAMA_13B.delta_nbytes(10.0) == \
+            pytest.approx(LLAMA_13B.fp16_nbytes / 10, rel=1e-6)
+        with pytest.raises(ValueError):
+            LLAMA_13B.delta_nbytes(0)
+
+    def test_gemm_shapes_cover_seven_projections(self):
+        shapes = LLAMA_7B.layer_gemm_shapes()
+        assert len(shapes) == 7
+        assert shapes[0] == (4096, 4096)
+        assert shapes[4] == (4096, 11008)
+
+    def test_bridge_from_transformer_config(self, tiny_config):
+        spec = __import__("repro.serving.models",
+                          fromlist=["ServedModelSpec"]) \
+            .ServedModelSpec.from_transformer_config(tiny_config)
+        assert spec.dim == tiny_config.dim
+        assert spec.n_layers == tiny_config.n_layers
+
+
+class TestModelManager:
+    def make(self):
+        mgr = ModelManager(LLAMA_13B)
+        mgr.register_base("base")
+        return mgr
+
+    def test_register_and_lookup(self):
+        mgr = self.make()
+        mgr.register_delta("v1", "base", 10.0,
+                           CompressionConfig.deltazip_4bit())
+        entry = mgr.get("v1")
+        assert entry.kind == ArtifactKind.DELTA
+        assert entry.nbytes == LLAMA_13B.delta_nbytes(10.0)
+        assert "v1" in mgr
+
+    def test_duplicate_rejected(self):
+        mgr = self.make()
+        with pytest.raises(ValueError):
+            mgr.register_base("base")
+
+    def test_unknown_base_rejected(self):
+        mgr = self.make()
+        with pytest.raises(KeyError):
+            mgr.register_delta("v1", "nope", 10.0)
+
+    def test_delta_on_delta_rejected(self):
+        mgr = self.make()
+        mgr.register_delta("v1", "base", 10.0)
+        with pytest.raises(ValueError):
+            mgr.register_delta("v2", "v1", 10.0)
+
+    def test_lineage(self):
+        mgr = self.make()
+        mgr.register_delta("v1", "base", 10.0)
+        assert mgr.lineage("v1") == ["v1", "base"]
+
+    def test_variants_filter(self):
+        mgr = self.make()
+        mgr.register_delta("v1", "base", 10.0)
+        mgr.register_lora("l1", "base", 10_000_000)
+        mgr.register_full("f1", "base")
+        assert {m.model_id for m in mgr.variants("base")} == \
+            {"v1", "l1", "f1"}
+        assert [m.model_id for m in mgr.bases()] == ["base"]
+
+    def test_lora_nbytes_small(self):
+        mgr = self.make()
+        entry = mgr.register_lora("l1", "base", 10_000_000)
+        assert entry.nbytes < mgr.get("base").nbytes / 100
+
+
+class TestIterationCostModel:
+    def make(self, **kw):
+        return IterationCostModel(LLAMA_13B, A800, tp_degree=4, **kw)
+
+    def batch(self, decode, prefill=None, context=0):
+        return BatchComposition(decode_per_delta=decode,
+                                prefill_tokens_per_delta=prefill or {},
+                                context_tokens=context)
+
+    def test_empty_batch_free(self):
+        assert self.make().iteration_time(self.batch({})) == 0.0
+
+    def test_grows_with_batch(self):
+        cm = self.make()
+        small = cm.iteration_time(self.batch({"a": 1}, context=100))
+        large = cm.iteration_time(self.batch({"a": 32}, context=3200))
+        assert large > small
+
+    def test_batching_variants_cheaper_than_fullmodel_loop(self):
+        """The decoupling payoff: 8 variants x 2 requests in one decoupled
+        pass beats 8 separate full-model passes."""
+        cm = self.make()
+        decode = {f"m{i}": 2 for i in range(8)}
+        decoupled = cm.iteration_time(self.batch(decode, context=1600))
+        scb = cm.fullmodel_iteration_time({f"m{i}": 2 for i in range(8)},
+                                          context_tokens=1600)
+        assert decoupled < scb / 2
+
+    def test_single_variant_overhead_modest(self):
+        """For one variant the decoupled path costs at most ~2x the plain
+        dense pass (base GEMM dominates; delta rides along)."""
+        cm = self.make()
+        dec = cm.iteration_time(self.batch({"m0": 8}, context=800))
+        full = cm.fullmodel_iteration_time({"m0": 8}, context_tokens=800)
+        assert dec < 2.0 * full
+
+    def test_lora_variant_cheaper_than_delta(self):
+        cm = self.make(lora_rank=16)
+        decode = {f"m{i}": 2 for i in range(8)}
+        lora = cm.iteration_time(self.batch(decode, context=800), "lora")
+        delta = cm.iteration_time(self.batch(decode, context=800), "delta")
+        assert lora <= delta * 1.1
+
+    def test_none_variant_is_base_only(self):
+        cm = self.make()
+        t = cm.iteration_time(self.batch({"m0": 4}, context=400), "none")
+        assert t > 0
+
+    def test_unknown_variant_kind_rejected(self):
+        cm = self.make()
+        with pytest.raises(ValueError):
+            cm.iteration_time(self.batch({"m0": 1}), "adapterzzz")
+
+    def test_tp_reduces_iteration_time(self):
+        decode = {f"m{i}": 4 for i in range(4)}
+        t1 = IterationCostModel(LLAMA_13B, A800, tp_degree=1).iteration_time(
+            self.batch(decode, context=1000))
+        t4 = IterationCostModel(LLAMA_13B, A800, tp_degree=4).iteration_time(
+            self.batch(decode, context=1000))
+        assert t4 < t1
+
+    def test_invalid_tp_rejected(self):
+        with pytest.raises(ValueError):
+            IterationCostModel(LLAMA_13B, A800, tp_degree=0)
+
+
+class TestFunctionalSBMM:
+    def test_matches_reference(self, rng):
+        x = rng.normal(size=(7, 8)).astype(np.float32)
+        deltas = [rng.normal(size=(5, 8)).astype(np.float32)
+                  for _ in range(3)]
+        idx = [0, 1, 2, 0, 1, 2, 0]
+        np.testing.assert_allclose(sbmm_forward(x, deltas, idx),
+                                   sbmm_reference(x, deltas, idx), atol=1e-5)
+
+    @given(st.integers(1, 16), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_reference_property(self, batch, n_deltas):
+        rng = np.random.default_rng(batch * 7 + n_deltas)
+        x = rng.normal(size=(batch, 6)).astype(np.float32)
+        deltas = [rng.normal(size=(4, 6)).astype(np.float32)
+                  for _ in range(n_deltas)]
+        idx = rng.integers(0, n_deltas, size=batch)
+        np.testing.assert_allclose(sbmm_forward(x, deltas, idx),
+                                   sbmm_reference(x, deltas, idx), atol=1e-4)
+
+    def test_grouping_contiguous(self):
+        order, groups = group_requests_by_delta([2, 0, 2, 1, 0])
+        assert set(order.tolist()) == set(range(5))
+        np.testing.assert_array_equal(groups[2], [0, 2])
+        np.testing.assert_array_equal(groups[0], [1, 4])
+
+    def test_index_validation(self, rng):
+        x = rng.normal(size=(2, 4)).astype(np.float32)
+        deltas = [rng.normal(size=(3, 4)).astype(np.float32)]
+        with pytest.raises(IndexError):
+            sbmm_forward(x, deltas, [0, 5])
+        with pytest.raises(ValueError):
+            sbmm_forward(x, deltas, [0])
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            sbmm_forward(rng.normal(size=(2, 3, 4)).astype(np.float32),
+                         [np.zeros((2, 4), dtype=np.float32)], [0, 0])

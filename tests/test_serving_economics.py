@@ -1,0 +1,62 @@
+"""Deployment economics: pricing math and the shared-vs-dedicated frontier."""
+
+import pytest
+
+from repro.hardware import A800, RTX3090
+from repro.serving.economics import (GPU_HOURLY_USD, compare_deployments,
+                                     deployment_cost)
+from repro.serving.metrics import ServingResult
+from tests.test_serving_metrics import record
+
+
+def make_result(n=10, makespan=3600.0):
+    records = [record(rid=i, arrival=0.0, first=1.0, finish=5.0)
+               for i in range(n)]
+    return ServingResult(engine="deltazip", records=records,
+                         makespan_s=makespan)
+
+
+class TestDeploymentCost:
+    def test_hourly_pricing(self):
+        res = make_result(n=1000, makespan=3600.0)
+        cost = deployment_cost(res, A800, n_gpus=4)
+        assert cost.gpu_hours == pytest.approx(4.0)
+        assert cost.total_usd == pytest.approx(4 * GPU_HOURLY_USD["A800-80G"])
+        assert cost.usd_per_1k_requests == pytest.approx(cost.total_usd)
+
+    def test_wall_seconds_override(self):
+        res = make_result(n=10, makespan=100.0)
+        cost = deployment_cost(res, A800, n_gpus=2, wall_seconds=7200.0)
+        assert cost.gpu_hours == pytest.approx(4.0)
+
+    def test_unknown_gpu_rejected(self):
+        from dataclasses import replace
+        res = make_result()
+        exotic = replace(A800, name="H200-141G")
+        with pytest.raises(KeyError):
+            deployment_cost(res, exotic, n_gpus=1)
+
+    def test_3090_cheaper_than_a800(self):
+        res = make_result(n=100, makespan=3600.0)
+        a = deployment_cost(res, A800, n_gpus=1)
+        b = deployment_cost(res, RTX3090, n_gpus=1)
+        assert b.total_usd < a.total_usd
+
+    def test_row_renders(self):
+        res = make_result()
+        row = deployment_cost(res, A800, n_gpus=4, system="x").row()
+        assert "x" in row and "GPU-h" in row
+
+
+class TestComparison:
+    def test_factors(self):
+        res_shared = make_result(n=100, makespan=3600.0)
+        res_dedicated = make_result(n=100, makespan=3600.0)
+        shared = deployment_cost(res_shared, A800, n_gpus=4,
+                                 system="deltazip")
+        dedicated = deployment_cost(res_dedicated, A800, n_gpus=64,
+                                    system="dedicated")
+        cmp = compare_deployments(shared, dedicated)
+        assert cmp["gpu_reduction_factor"] == pytest.approx(16.0)
+        assert cmp["cost_saving_factor"] == pytest.approx(16.0)
+        assert cmp["latency_penalty_factor"] == pytest.approx(1.0)

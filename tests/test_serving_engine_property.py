@@ -1,0 +1,90 @@
+"""Property-based engine checks on randomized small traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import GPUNode, node_from_name
+from repro.serving import (DeltaZipEngine, EngineConfig, LLAMA_7B,
+                           ModelManager, SchedulerConfig, VLLMSCBEngine)
+from repro.workload.spec import Trace, TraceRequest
+
+
+def make_trace(arrivals, n_models):
+    requests = [
+        TraceRequest(request_id=i, model_id=f"m{pick % n_models}",
+                     arrival_s=float(t), prompt_tokens=8 + pick,
+                     output_tokens=4 + (pick % 5))
+        for i, (t, pick) in enumerate(arrivals)
+    ]
+    model_ids = sorted({r.model_id for r in requests} |
+                       {f"m{i}" for i in range(n_models)})
+    duration = max((t for t, _ in arrivals), default=0.0) + 1.0
+    return Trace(requests=requests, model_ids=model_ids,
+                 duration_s=duration)
+
+
+@st.composite
+def trace_strategy(draw):
+    n = draw(st.integers(1, 12))
+    n_models = draw(st.integers(1, 4))
+    arrivals = [(draw(st.floats(0, 30, allow_nan=False)),
+                 draw(st.integers(0, 10))) for _ in range(n)]
+    return make_trace(arrivals, n_models)
+
+
+class TestEngineProperties:
+    @given(trace_strategy(), st.integers(1, 3), st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_deltazip_conservation_and_monotonicity(self, trace, n_deltas,
+                                                    preemption):
+        node = GPUNode(node_from_name("a800", 1))
+        mgr = ModelManager(LLAMA_7B)
+        mgr.register_base("base")
+        for m in trace.model_ids:
+            mgr.register_delta(m, "base", 8.0)
+        engine = DeltaZipEngine(
+            mgr, node,
+            SchedulerConfig(max_batch_requests=4,
+                            max_concurrent_deltas=n_deltas,
+                            preemption=preemption),
+            EngineConfig(tp_degree=1))
+        result = engine.run(trace)
+        # every request completes exactly once
+        assert sorted(r.request_id for r in result.records) == \
+            sorted(t.request_id for t in trace)
+        for rec in result.records:
+            assert rec.finish_s > rec.arrival_s
+            assert rec.ttft_s >= 0.0
+            assert rec.e2e_latency_s >= rec.ttft_s - 1e-9
+            assert rec.output_tokens > 0
+
+    @given(trace_strategy())
+    @settings(max_examples=15, deadline=None)
+    def test_scb_conservation(self, trace):
+        node = GPUNode(node_from_name("a800", 1))
+        mgr = ModelManager(LLAMA_7B)
+        mgr.register_base("base")
+        for m in trace.model_ids:
+            mgr.register_full(m, "base")
+        engine = VLLMSCBEngine(mgr, node, EngineConfig(tp_degree=1),
+                               max_batch_requests=4)
+        result = engine.run(trace)
+        assert sorted(r.request_id for r in result.records) == \
+            sorted(t.request_id for t in trace)
+
+    @given(trace_strategy())
+    @settings(max_examples=10, deadline=None)
+    def test_recompute_mode_also_conserves(self, trace):
+        node = GPUNode(node_from_name("a800", 1))
+        mgr = ModelManager(LLAMA_7B)
+        mgr.register_base("base")
+        for m in trace.model_ids:
+            mgr.register_delta(m, "base", 8.0)
+        engine = DeltaZipEngine(
+            mgr, node,
+            SchedulerConfig(max_batch_requests=4, max_concurrent_deltas=2),
+            EngineConfig(tp_degree=1, preempt_mode="recompute"))
+        result = engine.run(trace)
+        assert result.n_requests == len(trace)

@@ -1,0 +1,89 @@
+"""ServingResult metrics and SLO attainment math."""
+
+import numpy as np
+import pytest
+
+from repro.serving.metrics import ServingResult, slo_attainment, summarize
+from repro.serving.request import RequestRecord
+
+
+def record(rid=0, arrival=0.0, first=1.0, finish=5.0, prompt=10, output=20,
+           **kw):
+    return RequestRecord(request_id=rid, model_id="m", arrival_s=arrival,
+                         first_token_s=first, finish_s=finish,
+                         prompt_tokens=prompt, output_tokens=output,
+                         queue_wait_s=kw.get("queue_wait_s", 0.5),
+                         loading_s=kw.get("loading_s", 0.2),
+                         inference_s=kw.get("inference_s", 4.0),
+                         skipped_line=False, preemptions=0)
+
+
+class TestRequestRecord:
+    def test_latency_math(self):
+        r = record(arrival=1.0, first=3.0, finish=11.0)
+        assert r.e2e_latency_s == 10.0
+        assert r.ttft_s == 2.0
+        assert r.time_per_token_s == 0.5
+
+    def test_ttft_falls_back_to_e2e(self):
+        r = RequestRecord(request_id=0, model_id="m", arrival_s=0.0,
+                          first_token_s=None, finish_s=4.0, prompt_tokens=1,
+                          output_tokens=1, queue_wait_s=0, loading_s=0,
+                          inference_s=4, skipped_line=False, preemptions=0)
+        assert r.ttft_s == 4.0
+
+
+class TestServingResult:
+    def make(self):
+        records = [record(rid=i, arrival=float(i), first=i + 1.0,
+                          finish=i + 3.0) for i in range(10)]
+        return ServingResult(engine="t", records=records, makespan_s=12.0)
+
+    def test_throughput(self):
+        res = self.make()
+        assert res.throughput_rps() == pytest.approx(10 / 12.0)
+
+    def test_throughput_within_horizon(self):
+        res = self.make()
+        # finishes at 3..12; horizon 5 catches finishes at 3,4,5
+        assert res.throughput_within(5.0) == pytest.approx(3 / 5.0)
+        assert res.throughput_within(0.0) == 0.0
+
+    def test_token_throughput(self):
+        res = self.make()
+        assert res.token_throughput() == pytest.approx(200 / 12.0)
+
+    def test_means_and_percentiles(self):
+        res = self.make()
+        assert res.mean_e2e_latency_s() == pytest.approx(3.0)
+        assert res.mean_ttft_s() == pytest.approx(1.0)
+        assert res.percentile_e2e_s(90) == pytest.approx(3.0)
+        assert res.mean_time_per_token_s() == pytest.approx(3.0 / 20)
+
+    def test_empty_records(self):
+        res = ServingResult(engine="t", records=[], makespan_s=1.0)
+        assert res.mean_e2e_latency_s() == 0.0
+        assert res.throughput_rps() == 0.0
+
+    def test_summary_consistent(self):
+        res = self.make()
+        s = summarize(res)
+        assert s["n_requests"] == 10
+        assert s["mean_e2e_s"] == res.mean_e2e_latency_s()
+
+
+class TestSLO:
+    def test_attainment_fractions(self):
+        records = [record(rid=i, arrival=0.0, first=0.5,
+                          finish=float(i + 1)) for i in range(4)]
+        # e2e latencies: 1, 2, 3, 4
+        assert slo_attainment(records, 2.0, "e2e") == 0.5
+        assert slo_attainment(records, 4.0, "e2e") == 1.0
+        assert slo_attainment(records, 0.5, "ttft") == 1.0
+
+    def test_empty_zero(self):
+        assert slo_attainment([], 1.0) == 0.0
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            slo_attainment([record()], 1.0, "p99")

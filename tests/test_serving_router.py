@@ -1,0 +1,89 @@
+"""Multi-base routing (§5.1's M-GPU-set deployment)."""
+
+import pytest
+
+from repro.hardware import GPUNode, node_from_name
+from repro.serving import (EngineConfig, LLAMA_13B, LLAMA_7B, ModelManager,
+                           SchedulerConfig)
+from repro.serving.router import BaseModelGroup, MultiBaseRouter
+from repro.workload.spec import Trace, TraceRequest
+
+
+def make_group(base_id, spec, variants):
+    mgr = ModelManager(spec)
+    mgr.register_base(base_id)
+    for v in variants:
+        mgr.register_delta(v, base_id, 8.0)
+    return BaseModelGroup(
+        base_id=base_id, manager=mgr,
+        node=GPUNode(node_from_name("a800", 1)),
+        scheduler_config=SchedulerConfig(8, 2),
+        engine_config=EngineConfig(tp_degree=1))
+
+
+def make_trace(assignments):
+    requests = [TraceRequest(request_id=i, model_id=m, arrival_s=float(i),
+                             prompt_tokens=8, output_tokens=4)
+                for i, m in enumerate(assignments)]
+    return Trace(requests=requests,
+                 model_ids=sorted(set(assignments)),
+                 duration_s=len(assignments) + 1.0)
+
+
+@pytest.fixture()
+def router():
+    return MultiBaseRouter([
+        make_group("llama", LLAMA_7B, ["llama-ft-a", "llama-ft-b"]),
+        make_group("pythia", LLAMA_7B, ["pythia-ft-a"]),
+    ])
+
+
+class TestRouting:
+    def test_owner_lookup(self, router):
+        assert router.owner_of("llama-ft-a") == "llama"
+        assert router.owner_of("pythia-ft-a") == "pythia"
+        assert router.owner_of("llama") == "llama"
+        with pytest.raises(KeyError):
+            router.owner_of("mystery")
+
+    def test_partition_by_lineage(self, router):
+        trace = make_trace(["llama-ft-a", "pythia-ft-a", "llama-ft-b",
+                            "llama-ft-a"])
+        parts = router.partition(trace)
+        assert len(parts["llama"]) == 3
+        assert len(parts["pythia"]) == 1
+
+    def test_run_conserves_requests(self, router):
+        trace = make_trace(["llama-ft-a", "pythia-ft-a", "llama-ft-b",
+                            "pythia-ft-a", "llama-ft-a"])
+        results = router.run(trace)
+        cluster = results["__cluster__"]
+        assert cluster.n_requests == len(trace)
+        assert results["llama"].n_requests == 3
+        assert results["pythia"].n_requests == 2
+        ids = sorted(r.request_id for r in cluster.records)
+        assert ids == list(range(5))
+
+    def test_empty_partition_skipped(self, router):
+        trace = make_trace(["llama-ft-a", "llama-ft-b"])
+        results = router.run(trace)
+        assert "pythia" not in results
+        assert results["__cluster__"].n_requests == 2
+
+
+class TestValidation:
+    def test_requires_groups(self):
+        with pytest.raises(ValueError):
+            MultiBaseRouter([])
+
+    def test_duplicate_base_rejected(self):
+        g1 = make_group("same", LLAMA_7B, ["v1"])
+        g2 = make_group("same", LLAMA_7B, ["v2"])
+        with pytest.raises(ValueError):
+            MultiBaseRouter([g1, g2])
+
+    def test_duplicate_variant_rejected(self):
+        g1 = make_group("a", LLAMA_7B, ["shared"])
+        g2 = make_group("b", LLAMA_7B, ["shared"])
+        with pytest.raises(ValueError):
+            MultiBaseRouter([g1, g2])

@@ -1,0 +1,146 @@
+"""Workload generators: arrival statistics, popularity skew, trace shape."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (ARENA_MODEL_NAMES, LengthSampler, Trace,
+                            TraceRequest, arena_trace, azure_like_trace,
+                            gamma_burst_arrivals, make_model_ids,
+                            poisson_arrivals, sample_models, synthetic_trace,
+                            trace_from_distribution, uniform_popularity,
+                            zipf_popularity)
+
+
+class TestArrivals:
+    def test_poisson_rate(self, rng):
+        times = poisson_arrivals(5.0, 2000.0, rng)
+        assert len(times) / 2000.0 == pytest.approx(5.0, rel=0.1)
+
+    def test_poisson_sorted_within_duration(self, rng):
+        times = poisson_arrivals(1.0, 100.0, rng)
+        assert times == sorted(times)
+        assert all(0 <= t < 100.0 for t in times)
+
+    def test_zero_rate_empty(self, rng):
+        assert poisson_arrivals(0.0, 10.0, rng) == []
+
+    def test_burst_cv_increases_clumping(self, rng):
+        """Gamma arrivals with high CV have much higher inter-arrival
+        variance than Poisson at the same rate."""
+        poisson = np.diff(poisson_arrivals(2.0, 4000.0,
+                                           np.random.default_rng(1)))
+        bursty = np.diff(gamma_burst_arrivals(2.0, 4000.0,
+                                              np.random.default_rng(1),
+                                              cv=6.0))
+        assert np.std(bursty) > 2 * np.std(poisson)
+
+
+class TestPopularity:
+    def test_uniform_sums_to_one(self):
+        p = uniform_popularity(7)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.allclose(p, 1 / 7)
+
+    def test_zipf_skew(self):
+        p = zipf_popularity(10, alpha=1.5)
+        assert p[0] > 5 * p[9]
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_zipf_alpha_zero_is_uniform(self):
+        np.testing.assert_allclose(zipf_popularity(5, 0.0),
+                                   uniform_popularity(5))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            uniform_popularity(0)
+        with pytest.raises(ValueError):
+            zipf_popularity(3, -1.0)
+
+    def test_sample_models_distribution(self, rng):
+        p = zipf_popularity(5, 2.0)
+        picks = sample_models(p, 20000, rng)
+        counts = np.bincount(picks, minlength=5) / 20000
+        np.testing.assert_allclose(counts, p, atol=0.02)
+
+    def test_sample_requires_normalized(self, rng):
+        with pytest.raises(ValueError):
+            sample_models([0.5, 0.2], 10, rng)
+
+    def test_model_ids_stable_width(self):
+        ids = make_model_ids(3)
+        assert ids == ["variant-00", "variant-01", "variant-02"]
+
+
+class TestTraces:
+    def test_synthetic_trace_fields(self):
+        trace = synthetic_trace(8, rate=2.0, duration_s=100.0, seed=0)
+        assert len(trace.model_ids) == 8
+        assert trace.arrival_rate() == pytest.approx(2.0, rel=0.2)
+        for req in trace:
+            assert req.model_id in trace.model_ids
+            assert req.prompt_tokens >= 4
+            assert req.output_tokens >= 4
+
+    def test_requests_sorted_by_arrival(self):
+        trace = azure_like_trace(8, rate=2.0, duration_s=60.0, seed=0)
+        arrivals = [r.arrival_s for r in trace]
+        assert arrivals == sorted(arrivals)
+        ids = [r.request_id for r in trace]
+        assert ids == sorted(ids)
+
+    def test_zipf_trace_skewed_counts(self):
+        trace = synthetic_trace(10, rate=5.0, duration_s=400.0,
+                                distribution="zipf", zipf_alpha=2.0, seed=1)
+        counts = trace.per_model_counts()
+        assert counts["variant-00"] > 5 * max(counts["variant-09"], 1)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_trace(4, 1.0, 10.0, distribution="pareto")
+        with pytest.raises(ValueError):
+            trace_from_distribution("weird", 4, 1.0, 10.0)
+
+    def test_dispatch_helper(self):
+        for dist in ("uniform", "zipf:2.0", "azure"):
+            trace = trace_from_distribution(dist, 4, 1.0, 30.0, seed=0)
+            assert isinstance(trace, Trace)
+
+    def test_windowed_counts_shape(self):
+        trace = synthetic_trace(4, rate=2.0, duration_s=100.0, seed=0)
+        windows = trace.windowed_counts(10.0)
+        assert set(windows) == set(trace.model_ids)
+        assert all(len(v) == 10 for v in windows.values())
+        total = sum(int(v.sum()) for v in windows.values())
+        assert total == len(trace)
+
+    def test_length_sampler_bounds(self, rng):
+        sampler = LengthSampler(max_prompt=64, max_output=32)
+        for _ in range(200):
+            prompt, output = sampler.sample(rng)
+            assert 4 <= prompt <= 64
+            assert 4 <= output <= 32
+
+
+class TestArenaTrace:
+    def test_week_long_structure(self):
+        trace = arena_trace(n_models=10, duration_s=86400.0, mean_rate=0.05,
+                            seed=0)
+        assert len(trace.model_ids) == 10
+        assert trace.model_ids[0] in ARENA_MODEL_NAMES
+        assert len(trace) > 100
+
+    def test_sporadic_and_dense_variants_coexist(self):
+        """Fig 1's qualitative property: some variants fire continuously,
+        others have long quiet stretches."""
+        trace = arena_trace(n_models=16, duration_s=3 * 86400.0,
+                            mean_rate=0.05, seed=2)
+        windows = trace.windowed_counts(6 * 3600.0)
+        zero_fracs = {m: float(np.mean(v == 0))
+                      for m, v in windows.items() if v.sum() > 0}
+        assert max(zero_fracs.values()) > 0.5   # someone is sporadic
+        assert min(zero_fracs.values()) < 0.2   # someone is dense
+
+    def test_names_fall_back_past_20(self):
+        trace = arena_trace(n_models=25, duration_s=3600.0, mean_rate=0.5,
+                            seed=0)
+        assert len(trace.model_ids) == 25
