@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 from repro.hardware import GPUNode, node_from_name
-from repro.serving import (DeltaZipEngine, EngineConfig, LLAMA_13B, LLAMA_7B,
-                           ModelManager, SchedulerConfig, VLLMSCBEngine)
+from repro.serving import (EngineConfig, LLAMA_13B, LLAMA_7B, ModelManager,
+                           SchedulerConfig, ServingEngine, create_engine)
 
 # the paper's serving defaults: 32 variants of a 13B model on 4xA800, TP=4
 N_VARIANTS = 32
@@ -55,18 +55,28 @@ def lora_manager(spec=LLAMA_13B, n_models: int = N_VARIANTS,
     return mgr
 
 
+def build_engine(name: str, mgr, node, scheduler: SchedulerConfig = None,
+                 engine_config: EngineConfig = None,
+                 **kwargs) -> ServingEngine:
+    """Construct any registered engine by name (see ENGINES)."""
+    return create_engine(name, mgr, node, scheduler_config=scheduler,
+                         engine_config=engine_config, **kwargs)
+
+
 def deltazip_engine(mgr, node, n_deltas: int = 8, k: int = 32,
                     tp: int = 4, preemption: bool = True,
                     variant_kind: str = "delta",
-                    lora_rank: int = 16) -> DeltaZipEngine:
-    return DeltaZipEngine(
-        mgr, node,
-        SchedulerConfig(max_batch_requests=k, max_concurrent_deltas=n_deltas,
-                        preemption=preemption),
-        EngineConfig(tp_degree=tp, variant_kind=variant_kind,
-                     lora_rank=lora_rank))
+                    lora_rank: int = 16) -> ServingEngine:
+    return build_engine(
+        "deltazip", mgr, node,
+        scheduler=SchedulerConfig(max_batch_requests=k,
+                                  max_concurrent_deltas=n_deltas,
+                                  preemption=preemption),
+        engine_config=EngineConfig(tp_degree=tp, variant_kind=variant_kind,
+                                   lora_rank=lora_rank))
 
 
-def scb_engine(mgr, node, tp: int = 4, k: int = 32) -> VLLMSCBEngine:
-    return VLLMSCBEngine(mgr, node, EngineConfig(tp_degree=tp),
-                         max_batch_requests=k)
+def scb_engine(mgr, node, tp: int = 4, k: int = 32) -> ServingEngine:
+    return build_engine("vllm-scb", mgr, node,
+                        engine_config=EngineConfig(tp_degree=tp),
+                        max_batch_requests=k)

@@ -10,9 +10,8 @@ Run:  python examples/multi_tenant_serving.py
 """
 
 from repro.hardware import GPUNode, node_from_name
-from repro.serving import (DeltaZipEngine, EngineConfig, LLAMA_13B,
-                           ModelManager, SchedulerConfig, VLLMSCBEngine,
-                           slo_attainment)
+from repro.serving import (EngineConfig, LLAMA_13B, ModelManager,
+                           SchedulerConfig, create_engine, slo_attainment)
 from repro.workload import trace_from_distribution
 
 N_VARIANTS = 32
@@ -40,12 +39,14 @@ def main():
     for dist in ("azure", "uniform", "zipf:1.5"):
         trace = trace_from_distribution(dist, N_VARIANTS, rate=RATE,
                                         duration_s=DURATION, seed=1)
-        dz = DeltaZipEngine(
-            deltas, node,
-            SchedulerConfig(max_batch_requests=32, max_concurrent_deltas=8),
-            EngineConfig(tp_degree=4)).run(trace)
-        scb = VLLMSCBEngine(fulls, node,
-                            EngineConfig(tp_degree=4)).run(trace)
+        dz = create_engine(
+            "deltazip", deltas, node,
+            scheduler_config=SchedulerConfig(max_batch_requests=32,
+                                             max_concurrent_deltas=8),
+            engine_config=EngineConfig(tp_degree=4)).run(trace)
+        scb = create_engine(
+            "vllm-scb", fulls, node,
+            engine_config=EngineConfig(tp_degree=4)).run(trace)
 
         print(f"\n=== distribution: {dist}  ({len(trace)} requests, "
               f"rate {RATE}/s) ===")

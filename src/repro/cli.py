@@ -124,36 +124,40 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _simulate_manager(engine_cls, spec, trace, ratio):
+    """Build the registry the way the target engine consumes variants."""
+    from repro.serving import ModelManager
+
+    mgr = ModelManager(spec)
+    mgr.register_base("base")
+    for m in trace.model_ids:
+        engine_cls.register_variant(mgr, m, "base", ratio)
+    return mgr
+
+
 def _cmd_simulate(args) -> int:
     from repro.hardware import GPUNode, node_from_name
-    from repro.serving import (DeltaZipEngine, EngineConfig, MODEL_SPECS,
-                               ModelManager, SchedulerConfig, VLLMSCBEngine)
+    from repro.serving import (ENGINES, EngineConfig, MODEL_SPECS,
+                               SchedulerConfig, create_engine)
     from repro.workload.io import load_trace
 
     trace = load_trace(args.trace)
     spec = MODEL_SPECS[args.model]
     node = GPUNode(node_from_name(args.gpu, args.gpus))
+    names = {"all": sorted(ENGINES),
+             "both": ["deltazip", "vllm-scb"]}.get(args.systems,
+                                                   [args.systems])
 
     results = {}
-    if args.systems in ("deltazip", "both"):
-        mgr = ModelManager(spec)
-        mgr.register_base("base")
-        for m in trace.model_ids:
-            mgr.register_delta(m, "base", args.ratio)
-        engine = DeltaZipEngine(
-            mgr, node,
-            SchedulerConfig(max_batch_requests=args.batch,
-                            max_concurrent_deltas=args.deltas),
-            EngineConfig(tp_degree=args.tp))
-        results["deltazip"] = engine.run(trace)
-    if args.systems in ("vllm-scb", "both"):
-        mgr = ModelManager(spec)
-        mgr.register_base("base")
-        for m in trace.model_ids:
-            mgr.register_full(m, "base")
-        results["vllm-scb"] = VLLMSCBEngine(
-            mgr, node, EngineConfig(tp_degree=args.tp),
-            max_batch_requests=args.batch).run(trace)
+    for name in names:
+        mgr = _simulate_manager(ENGINES[name], spec, trace, args.ratio)
+        engine = create_engine(
+            name, mgr, node,
+            scheduler_config=SchedulerConfig(
+                max_batch_requests=args.batch,
+                max_concurrent_deltas=args.deltas),
+            engine_config=EngineConfig(tp_degree=args.tp))
+        results[name] = engine.run(trace)
 
     print(f"{'system':10s} {'thr(rps)':>9s} {'mean_e2e':>9s} "
           f"{'p90_e2e':>8s} {'mean_ttft':>10s}")
@@ -244,8 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deltas", type=int, default=8)
     p.add_argument("--ratio", type=float, default=10.0,
                    help="assumed delta compression ratio")
+    # importing the package (not just .base) registers the engine classes
+    from repro.serving import ENGINES
     p.add_argument("--systems", default="both",
-                   choices=["deltazip", "vllm-scb", "both"])
+                   choices=sorted(ENGINES) + ["all", "both"],
+                   help="one registered engine, 'all' of them, or 'both' "
+                        "(deltazip + vllm-scb)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_simulate)
     return parser

@@ -1,5 +1,6 @@
 """Public facade for the DeltaZip reproduction."""
 
 from .api import DeltaZip
+from .session import ServingSession, ServingSessionBuilder
 
-__all__ = ["DeltaZip"]
+__all__ = ["DeltaZip", "ServingSession", "ServingSessionBuilder"]

@@ -6,20 +6,24 @@ Glues the three components together behind one object:
   delta of an uploaded FMT checkpoint against its base (offline);
 * **Model Manager** — tracks artifacts, lineage, and measured sizes;
 * **Serving** — ``runner()`` gives the functional decoupled executor for
-  real generation across variants, and ``simulate`` runs the
-  discrete-event engine on a workload trace using the *measured*
-  compression ratios of the registered artifacts.
+  real generation across variants, and ``session`` builds an at-scale
+  serving session (any registered engine) using the *measured*
+  compression ratios of the registered artifacts; sessions replay
+  offline traces or accept online submissions through the gateway.
 
 Example::
 
     dz = DeltaZip(base_model)
     dz.register_finetuned("vicuna", finetuned_model, calib_tokens)
     out = dz.generate("vicuna", prompt_tokens)
-    result = dz.simulate(trace, served_spec=LLAMA_13B)
+    session = dz.session("deltazip", served_spec=LLAMA_13B).build()
+    result = session.replay(trace)           # offline
+    rid = session.submit("vicuna", 128, 64)  # ... or online
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -29,16 +33,15 @@ from ..compression.artifacts import CompressedDelta
 from ..compression.configs import CompressionConfig
 from ..compression.pipeline import DeltaCompressor
 from ..hardware.cluster import GPUNode
-from ..hardware.specs import NodeSpec, node_from_name
 from ..nn.lora import LoRAAdapter
 from ..nn.transformer import TransformerModel
-from ..serving.engine import DeltaZipEngine, EngineConfig
+from ..serving.base import EngineConfig
 from ..serving.metrics import ServingResult
-from ..serving.model_manager import ModelManager
 from ..serving.models import ServedModelSpec
 from ..serving.runner import DecoupledModelRunner
 from ..serving.scheduler import SchedulerConfig
 from ..workload.spec import Trace
+from .session import ServingSession, ServingSessionBuilder
 
 __all__ = ["DeltaZip"]
 
@@ -120,8 +123,27 @@ class DeltaZip:
                                       max_new_tokens=max_new_tokens)
 
     # ------------------------------------------------------------------ #
-    # at-scale simulation
+    # at-scale serving (simulation)
     # ------------------------------------------------------------------ #
+    def session(self, engine: str = "deltazip",
+                served_spec: Optional[ServedModelSpec] = None
+                ) -> ServingSessionBuilder:
+        """Fluent builder for an at-scale serving session.
+
+        ``engine`` names any entry in the :data:`~repro.serving.ENGINES`
+        registry.  The returned builder configures hardware and scheduling,
+        and ``build()`` yields a :class:`~repro.core.session.ServingSession`
+        exposing both offline ``replay(trace)`` and the online ``submit``
+        path::
+
+            result = (dz.session("deltazip", served_spec=LLAMA_13B)
+                        .on_node("a800", gpus=4)
+                        .with_scheduler(max_batch_requests=32)
+                        .replay(trace))
+        """
+        return ServingSessionBuilder(self, engine=engine,
+                                     served_spec=served_spec)
+
     def simulate(
         self,
         trace: Trace,
@@ -131,30 +153,24 @@ class DeltaZip:
         engine: Optional[EngineConfig] = None,
         default_ratio: Optional[float] = None,
     ) -> ServingResult:
-        """Run the discrete-event engine with measured compression ratios.
+        """Deprecated: use :meth:`session` (kept as a thin wrapper).
 
-        Every model id in the trace must be registered (its *measured*
-        ratio sizes the swaps) unless ``default_ratio`` supplies a fallback.
+        Replays the trace on a ``deltazip`` session with the measured
+        compression ratios of the registered artifacts.  Every model id in
+        the trace must be registered unless ``default_ratio`` supplies a
+        fallback.
         """
-        node = node or GPUNode(node_from_name("a800", 4))
-        manager = ModelManager(served_spec)
-        manager.register_base(self.base_model_id)
-        for model_id in trace.model_ids:
-            if model_id == self.base_model_id:
-                continue
-            if model_id in self.artifacts:
-                ratio = self.artifacts[model_id].compression_ratio()
-                manager.register_delta(model_id, self.base_model_id, ratio,
-                                       config=self.artifacts[model_id].config)
-            elif default_ratio is not None:
-                manager.register_delta(model_id, self.base_model_id,
-                                       default_ratio)
-            else:
-                raise KeyError(
-                    f"trace model {model_id!r} is not registered and no "
-                    f"default_ratio was given")
-        eng = DeltaZipEngine(
-            manager, node,
-            scheduler or SchedulerConfig(),
-            engine or EngineConfig())
-        return eng.run(trace)
+        warnings.warn(
+            "DeltaZip.simulate is deprecated; use "
+            "DeltaZip.session(...).build().replay(trace) instead",
+            DeprecationWarning, stacklevel=2)
+        builder = self.session("deltazip", served_spec=served_spec)
+        if node is not None:
+            builder.on_node(node)
+        if scheduler is not None:
+            builder.with_scheduler(scheduler)
+        if engine is not None:
+            builder.with_engine_config(engine)
+        if default_ratio is not None:
+            builder.with_default_ratio(default_ratio)
+        return builder.replay(trace)

@@ -1,0 +1,172 @@
+"""Fluent serving-session builder for the :class:`~repro.core.DeltaZip` facade.
+
+The at-scale entry point used to be one monolithic ``DeltaZip.simulate``
+call that required a fully pre-materialized offline trace.  The builder
+splits configuration from execution and exposes *both* workload paths::
+
+    session = (dz.session(engine="deltazip")
+                 .serving(LLAMA_13B)
+                 .on_node("a800", gpus=4)
+                 .with_scheduler(max_batch_requests=32)
+                 .build())
+
+    session.replay(trace)                      # offline trace replay
+    rid = session.submit("vicuna", 128, 64)    # ... or online submission
+    session.run_until_drained()
+
+Any engine registered in :data:`~repro.serving.base.ENGINES` can back a
+session; registered artifacts contribute their *measured* compression
+ratios to the simulated swap sizes, exactly as the legacy ``simulate``
+path did.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+from ..hardware.cluster import GPUNode
+from ..hardware.specs import node_from_name
+from ..serving.base import (ENGINES, EngineConfig, ServingEngine,
+                            create_engine)
+from ..serving.gateway import ServingGateway
+from ..serving.metrics import ServingResult
+from ..serving.model_manager import ModelManager
+from ..serving.models import ServedModelSpec
+from ..serving.scheduler import SchedulerConfig
+from ..workload.spec import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .api import DeltaZip
+
+__all__ = ["ServingSessionBuilder", "ServingSession"]
+
+
+class ServingSessionBuilder:
+    """Accumulates serving configuration; ``build()`` makes the session."""
+
+    def __init__(self, system: "DeltaZip", engine: str = "deltazip",
+                 served_spec: Optional[ServedModelSpec] = None):
+        if engine not in ENGINES:
+            raise KeyError(f"unknown engine {engine!r}; "
+                           f"registered: {sorted(ENGINES)}")
+        self._system = system
+        self._engine_name = engine
+        self._spec = served_spec
+        self._node: Optional[GPUNode] = None
+        self._scheduler: Optional[SchedulerConfig] = None
+        self._engine_config: Optional[EngineConfig] = None
+        self._default_ratio: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    def serving(self, spec: ServedModelSpec) -> "ServingSessionBuilder":
+        """The served model's size class (sizes weights, KV, swaps)."""
+        self._spec = spec
+        return self
+
+    def on_node(self, node: Union[GPUNode, str] = "a800",
+                gpus: int = 4) -> "ServingSessionBuilder":
+        """The GPU node to serve on: a ``GPUNode`` or a spec name."""
+        if isinstance(node, str):
+            node = GPUNode(node_from_name(node, gpus))
+        self._node = node
+        return self
+
+    def with_scheduler(self, config: Optional[SchedulerConfig] = None,
+                       **kwargs) -> "ServingSessionBuilder":
+        """Scheduler limits: pass a ``SchedulerConfig`` or its kwargs."""
+        if config is not None and kwargs:
+            raise ValueError("pass either a SchedulerConfig or kwargs")
+        self._scheduler = config or SchedulerConfig(**kwargs)
+        return self
+
+    def with_engine_config(self, config: Optional[EngineConfig] = None,
+                           **kwargs) -> "ServingSessionBuilder":
+        """Engine knobs: pass an ``EngineConfig`` or its kwargs."""
+        if config is not None and kwargs:
+            raise ValueError("pass either an EngineConfig or kwargs")
+        self._engine_config = config or EngineConfig(**kwargs)
+        return self
+
+    def with_default_ratio(self, ratio: float) -> "ServingSessionBuilder":
+        """Fallback compression ratio for unregistered trace models."""
+        self._default_ratio = ratio
+        return self
+
+    # ------------------------------------------------------------------ #
+    def build(self) -> "ServingSession":
+        if self._spec is None:
+            raise ValueError(
+                "no served model spec: call .serving(spec) or pass "
+                "served_spec= to session()")
+        system = self._system
+        node = self._node or GPUNode(node_from_name("a800", 4))
+        manager = ModelManager(self._spec)
+        manager.register_base(system.base_model_id)
+        engine_cls = ENGINES[self._engine_name]
+        # registered artifacts contribute their measured ratios up front
+        for model_id, artifact in sorted(system.artifacts.items()):
+            engine_cls.register_variant(manager, model_id,
+                                        system.base_model_id,
+                                        artifact.compression_ratio(),
+                                        config=artifact.config)
+        engine = create_engine(self._engine_name, manager, node,
+                               scheduler_config=self._scheduler,
+                               engine_config=self._engine_config)
+        return ServingSession(engine, manager, system.base_model_id,
+                              self._default_ratio)
+
+    def replay(self, trace: Trace) -> ServingResult:
+        """Convenience: ``build()`` then replay the trace."""
+        return self.build().replay(trace)
+
+
+class ServingSession:
+    """A live serving deployment: online ``submit`` plus trace ``replay``."""
+
+    def __init__(self, engine: ServingEngine, manager: ModelManager,
+                 base_model_id: str, default_ratio: Optional[float] = None):
+        self.engine = engine
+        self.manager = manager
+        self.base_model_id = base_model_id
+        self.default_ratio = default_ratio
+        self.gateway = ServingGateway(engine)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, model_id: str, prompt_len: int, output_len: int,
+               arrival_s: Optional[float] = None) -> int:
+        """Submit one online request; returns its request id."""
+        self._ensure_registered(model_id)
+        return self.gateway.submit(model_id, prompt_len, output_len,
+                                   arrival_s=arrival_s)
+
+    def step(self) -> bool:
+        return self.gateway.step()
+
+    def run_until_drained(self) -> ServingResult:
+        return self.gateway.run_until_drained()
+
+    def result(self) -> ServingResult:
+        return self.gateway.result()
+
+    def replay(self, trace: Trace) -> ServingResult:
+        """Replay an offline trace (bit-identical to legacy simulate)."""
+        for model_id in trace.model_ids:
+            self._ensure_registered(model_id)
+        return self.gateway.replay(trace)
+
+    @property
+    def clock(self) -> float:
+        return self.gateway.clock
+
+    # ------------------------------------------------------------------ #
+    def _ensure_registered(self, model_id: str) -> None:
+        if model_id == self.base_model_id or model_id in self.manager:
+            return
+        if self.default_ratio is not None:
+            type(self.engine).register_variant(
+                self.manager, model_id, self.base_model_id,
+                self.default_ratio)
+            return
+        raise KeyError(
+            f"trace model {model_id!r} is not registered and no "
+            f"default_ratio was given")

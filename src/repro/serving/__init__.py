@@ -1,10 +1,13 @@
 """DeltaZip serving engine, baselines, and serving metrics (paper §5-6)."""
 
+from .base import (Admission, ENGINES, EngineConfig, ServingEngine,
+                   TimelineEvent, create_engine, register_engine)
 from .baselines import DedicatedEngine, VLLMSCBEngine
 from .costs import BatchComposition, IterationCostModel
 from .economics import (DeploymentCost, GPU_HOURLY_USD, compare_deployments,
                         deployment_cost)
-from .engine import DeltaZipEngine, EngineConfig, TimelineEvent
+from .engine import DeltaZipEngine
+from .gateway import ServingGateway
 from .metrics import EngineStats, ServingResult, slo_attainment, summarize
 from .model_manager import ArtifactKind, ModelManager, RegisteredModel
 from .packed_compute import PackedDeltaLinear, packed_matmul
@@ -19,6 +22,8 @@ from .scheduler import (ContinuousBatchScheduler, SchedulerConfig,
 from .tuning import ProfilePoint, pick_optimal_n, profile_concurrent_deltas
 
 __all__ = [
+    "Admission", "ENGINES", "ServingEngine", "ServingGateway",
+    "create_engine", "register_engine",
     "DedicatedEngine", "VLLMSCBEngine",
     "BatchComposition", "IterationCostModel",
     "DeploymentCost", "GPU_HOURLY_USD", "compare_deployments",

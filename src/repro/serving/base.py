@@ -1,0 +1,392 @@
+"""The unified serving-engine protocol: one iteration loop, many engines.
+
+The paper's core claim is that a single decoupled base+delta design
+subsumes FMT-delta, LoRA, and full-model serving under one scheduler.
+This module makes that claim structural: every engine shares the same
+arrivals → admit → execute → retire template implemented once in
+:class:`ServingEngine`, and differs only in the hooks it overrides
+(:meth:`~ServingEngine.admit`, :meth:`~ServingEngine.iteration_cost`,
+:meth:`~ServingEngine.retire`, …).
+
+The template is *online*: requests join through :meth:`ServingEngine.submit`
+at any simulated time and the clock advances one iteration per
+:meth:`ServingEngine.step`.  Offline trace replay (the legacy
+``engine.run(trace)`` path) is a thin adapter — submit everything, then
+:meth:`ServingEngine.run_until_drained` — so replay and live submission
+share every line of scheduling code and produce identical results.
+
+Engines register themselves in the string-keyed :data:`ENGINES` registry
+(via :func:`register_engine`) so the CLI, benchmarks, router, and the
+:class:`~repro.serving.gateway.ServingGateway` can construct any engine —
+including future ones — by name through :func:`create_engine`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Type
+
+from ..hardware.cluster import GPUNode
+from ..workload.spec import Trace, TraceRequest
+from .metrics import EngineStats, ServingResult
+from .model_manager import ArtifactKind, ModelManager
+from .request import RequestState, ServingRequest
+from .scheduler import SchedulerConfig
+
+__all__ = [
+    "WORKSPACE_FRACTION", "PREEMPT_SWAP_S", "FULL_MODEL_LOADER_FACTOR",
+    "KV_RESERVE_FRACTION", "EngineConfig", "TimelineEvent", "Admission",
+    "ServingEngine", "ENGINES", "register_engine", "create_engine",
+]
+
+# Shared memory/timing constants (previously duplicated privately between
+# engine.py and baselines.py).
+WORKSPACE_FRACTION = 0.08    # activations, CUDA context, fragmentation
+PREEMPT_SWAP_S = 5e-3        # KV swap-out/in cost per preemption
+# standard checkpoint loaders (deserialize + per-tensor copies) move whole
+# FP16 models far below raw link bandwidth; compressed deltas use the packed
+# raw-buffer path and do not pay this
+FULL_MODEL_LOADER_FACTOR = 4.0
+KV_RESERVE_FRACTION = 0.3    # SCB reserves a fixed KV share like vLLM
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-level knobs (scheduler limits live in SchedulerConfig).
+
+    ``preempt_mode`` explores §5.4's open question: "swap" parks a
+    preempted request's KV state in CPU memory and resumes by decoding
+    (paying a fixed swap cost per preemption); "recompute" discards the KV
+    state for free but must re-prefill the full context at resume time.
+    """
+
+    tp_degree: int = 4
+    variant_kind: str = "delta"      # "delta" | "lora" | "none"
+    delta_bits: int = 4
+    delta_density: float = 0.5
+    lora_rank: int = 16
+    sbmm_impl: str = "sbmm"
+    lossless_decompress_gbps: Optional[float] = None
+    preempt_mode: str = "swap"       # "swap" | "recompute"
+    max_sim_seconds: float = 36000.0
+
+    def __post_init__(self):
+        if self.preempt_mode not in ("swap", "recompute"):
+            raise ValueError(f"unknown preempt_mode {self.preempt_mode!r}")
+        if self.variant_kind not in ("delta", "lora", "none"):
+            raise ValueError(f"unknown variant_kind {self.variant_kind!r}")
+
+
+@dataclass
+class TimelineEvent:
+    """Per-request phase spans for the Fig 16 breakdown."""
+
+    request_id: int
+    model_id: str
+    arrival_s: float
+    queue_until_s: float
+    loading_until_s: float
+    finish_s: float
+
+
+@dataclass
+class Admission:
+    """What one engine iteration admits, and the load time it paid."""
+
+    admitted: List[ServingRequest] = field(default_factory=list)
+    load_time_s: float = 0.0
+
+
+# callback signatures: (request, clock_s)
+TokenCallback = Callable[[ServingRequest, float], None]
+FinishCallback = Callable[[ServingRequest, float], None]
+
+
+class ServingEngine:
+    """Template-method base for every discrete-event serving engine.
+
+    Subclasses override the hooks marked "hook:" below; the iteration
+    loop itself — arrival ingestion, admitted-request bookkeeping, clock
+    advance, token accounting, retirement — lives only here.
+
+    Online protocol::
+
+        engine.submit(TraceRequest(...))   # any time, any arrival_s
+        engine.step()                      # one scheduling iteration
+        engine.run_until_drained()         # loop until idle / time limit
+        engine.build_result()              # ServingResult so far
+
+    Offline replay (``run(trace)``) is submit-everything + drain, so the
+    two paths are the same code and produce identical records.
+    """
+
+    name: str = "abstract"
+    #: how the CLI/benchmarks should register trace variants for this engine
+    variant_artifact: str = ArtifactKind.DELTA
+    #: whether build_result attaches the EngineStats counters
+    include_stats: bool = False
+
+    def __init__(self, manager: ModelManager, node: GPUNode,
+                 engine_config: EngineConfig = EngineConfig()):
+        self.manager = manager
+        self.node = node
+        self.config = engine_config
+        self.collect_timeline = False
+        self.on_token: Optional[TokenCallback] = None
+        self.on_finish: Optional[FinishCallback] = None
+        self.reset()
+
+    # ------------------------------------------------------------------ #
+    # registry construction protocol
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, manager: ModelManager, node: GPUNode,
+              scheduler_config: Optional[SchedulerConfig] = None,
+              engine_config: Optional[EngineConfig] = None,
+              **kwargs) -> "ServingEngine":
+        """Uniform constructor used by :func:`create_engine`.
+
+        Engines that have no scheduler of their own map the relevant
+        ``SchedulerConfig`` fields onto their keyword arguments.
+        """
+        raise NotImplementedError
+
+    @classmethod
+    def register_variant(cls, manager: ModelManager, model_id: str,
+                         base_model_id: str, ratio: float,
+                         config=None) -> None:
+        """Register a variant the way this engine consumes it.
+
+        Delta engines size the artifact from its compression ``ratio``;
+        full-model engines (the baselines) swap whole FP16 checkpoints.
+        """
+        if cls.variant_artifact == ArtifactKind.DELTA:
+            manager.register_delta(model_id, base_model_id, ratio,
+                                   config=config)
+        else:
+            manager.register_full(model_id, base_model_id)
+
+    # ------------------------------------------------------------------ #
+    # online protocol
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Clear all serving state (a fresh simulated timeline)."""
+        self.clock = 0.0
+        self._pending: List[tuple] = []   # heap of (arrival_s, id, request)
+        self._n_submitted = 0
+        self.running: List[ServingRequest] = []
+        self.finished: List[ServingRequest] = []
+        self.timeline: List[TimelineEvent] = []
+        self.stats = EngineStats()
+        self._reset_engine()
+
+    def submit(self, request: TraceRequest) -> ServingRequest:
+        """Enqueue one request; it joins the queue once the clock reaches
+        its ``arrival_s`` (which may be in the past: it joins immediately,
+        at the next :meth:`step`)."""
+        req = ServingRequest(trace=request)
+        heapq.heappush(self._pending,
+                       (request.arrival_s, request.request_id, req))
+        self._n_submitted += 1
+        return req
+
+    @property
+    def unfinished(self) -> int:
+        """Submitted requests that have not finished yet."""
+        return self._n_submitted - len(self.finished)
+
+    def step(self) -> bool:
+        """Run one scheduling iteration.
+
+        Returns False when there is nothing left to do (no queued, running,
+        or future-pending work) — the engine is drained.
+        """
+        self._before_step()
+
+        # 1. arrivals up to the clock join the engine's queue
+        while self._pending and self._pending[0][0] <= self.clock:
+            _, _, req = heapq.heappop(self._pending)
+            self.on_arrival(req)
+
+        if not self.running and not self.has_queued():
+            if not self._pending:
+                return False
+            self.clock = max(self.clock, self._pending[0][0])
+            return True
+
+        # 2-3. engine-specific admission (scheduling, swaps, KV control)
+        admission = self.admit()
+        admitted = admission.admitted
+        load_time = admission.load_time_s
+        admitted_ids = {r.request_id for r in admitted}
+        for req in admitted:
+            req.state = RequestState.RUNNING
+            if req.first_scheduled_s is None:
+                req.first_scheduled_s = self.clock
+                req.queue_wait_s = self.clock - req.arrival_s
+            req.loading_s += load_time
+
+        # 4. execute one fused prefill+decode iteration
+        cost = self.iteration_cost(admitted)
+        if cost is None:
+            # nothing executable: either we only paid a load, or we stall
+            if load_time == 0.0:
+                return self._stall()
+            executed, iter_time = False, 0.0
+        else:
+            executed, iter_time = True, cost
+        self.clock += iter_time + load_time
+        if executed:
+            self.on_iteration(iter_time, load_time, admitted)
+
+        for req in admitted:
+            req.prefilled = True
+            req.generated_tokens += 1
+            if req.first_token_s is None:
+                req.first_token_s = self.clock
+            req.inference_s += iter_time
+            self.running.append(req)
+            if self.on_token is not None:
+                self.on_token(req, self.clock)
+        for req in self.running:
+            if req.request_id in admitted_ids:
+                continue
+            req.generated_tokens += 1
+            req.inference_s += iter_time
+            if self.on_token is not None:
+                self.on_token(req, self.clock)
+
+        # 5. retire finished requests; engine-specific cleanup (preemption)
+        newly_done = [r for r in self.running if r.done]
+        for req in newly_done:
+            req.state = RequestState.FINISHED
+            req.finish_s = self.clock
+            self.finished.append(req)
+        self.running = [r for r in self.running if not r.done]
+        self.clock += self.retire(newly_done)
+
+        if self.collect_timeline:
+            for req in newly_done:
+                self.timeline.append(TimelineEvent(
+                    request_id=req.request_id, model_id=req.model_id,
+                    arrival_s=req.arrival_s,
+                    queue_until_s=req.first_scheduled_s,
+                    loading_until_s=req.first_scheduled_s + req.loading_s,
+                    finish_s=req.finish_s))
+        if self.on_finish is not None:
+            for req in newly_done:
+                self.on_finish(req, self.clock)
+        return True
+
+    def run_until_drained(self) -> None:
+        """Step until every submitted request finished (or the engine is
+        stuck / past ``max_sim_seconds``)."""
+        while self.unfinished > 0 and self.clock < self.config.max_sim_seconds:
+            if not self.step():
+                break
+
+    def build_result(self) -> ServingResult:
+        """Snapshot the finished requests as a :class:`ServingResult`."""
+        records = [r.record() for r in self.finished]
+        makespan = max((r.finish_s for r in records), default=self.clock) - \
+            min((r.arrival_s for r in records), default=0.0)
+        result = ServingResult(
+            engine=self.name, records=records,
+            makespan_s=max(makespan, 1e-9),
+            stats=self.stats if self.include_stats else None,
+            config=self.result_config())
+        if self.collect_timeline:
+            result.config["timeline"] = list(self.timeline)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # offline replay (the legacy entry point)
+    # ------------------------------------------------------------------ #
+    def run(self, trace: Trace, collect_timeline: bool = False) -> ServingResult:
+        """Replay a pre-materialized trace: submit everything, drain."""
+        self.reset()
+        self.collect_timeline = collect_timeline
+        for t in trace:
+            self.submit(t)
+        self.run_until_drained()
+        return self.build_result()
+
+    # ------------------------------------------------------------------ #
+    # hooks
+    # ------------------------------------------------------------------ #
+    def _reset_engine(self) -> None:
+        """hook: clear engine-specific state (queues, residency, caches)."""
+
+    def _before_step(self) -> None:
+        """hook: runs before arrival ingestion (e.g. warm-up staging)."""
+
+    def on_arrival(self, request: ServingRequest) -> None:
+        """hook: an arrived request joins the engine's queue."""
+        raise NotImplementedError
+
+    def has_queued(self) -> bool:
+        """hook: is there work waiting for admission?"""
+        raise NotImplementedError
+
+    def admit(self) -> Admission:
+        """hook: choose requests to admit; perform swaps; return the load
+        time spent on the critical path."""
+        raise NotImplementedError
+
+    def iteration_cost(self, admitted: List[ServingRequest]) -> Optional[float]:
+        """hook: compose the batch and price it; None if nothing runs."""
+        raise NotImplementedError
+
+    def on_iteration(self, iter_time: float, load_time: float,
+                     admitted: List[ServingRequest]) -> None:
+        """hook: per-executed-iteration telemetry (called before the
+        admitted requests join ``running``)."""
+
+    def retire(self, newly_done: List[ServingRequest]) -> float:
+        """hook: post-retirement cleanup (preemption); returns extra
+        seconds to advance the clock."""
+        return 0.0
+
+    def _stall_clock(self, next_arrival_s: float) -> float:
+        """hook: where the clock jumps when nothing was runnable."""
+        return max(self.clock, next_arrival_s)
+
+    def _stall(self) -> bool:
+        if self._pending:
+            self.clock = self._stall_clock(self._pending[0][0])
+            return True
+        return False
+
+    def result_config(self) -> Dict[str, object]:
+        """hook: the ``config`` dict attached to results."""
+        return {"tp_degree": self.config.tp_degree}
+
+
+# ------------------------------------------------------------------ #
+# registry
+# ------------------------------------------------------------------ #
+ENGINES: Dict[str, Type[ServingEngine]] = {}
+
+
+def register_engine(cls: Type[ServingEngine]) -> Type[ServingEngine]:
+    """Class decorator: make an engine constructible by name."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError(f"engine class {cls.__name__} needs a name")
+    if cls.name in ENGINES:
+        raise ValueError(f"duplicate engine name {cls.name!r}")
+    ENGINES[cls.name] = cls
+    return cls
+
+
+def create_engine(name: str, manager: ModelManager, node: GPUNode,
+                  scheduler_config: Optional[SchedulerConfig] = None,
+                  engine_config: Optional[EngineConfig] = None,
+                  **kwargs) -> ServingEngine:
+    """Construct a registered engine by name with uniform arguments."""
+    if name not in ENGINES:
+        raise KeyError(f"unknown engine {name!r}; "
+                       f"registered: {sorted(ENGINES)}")
+    return ENGINES[name].build(manager, node,
+                               scheduler_config=scheduler_config,
+                               engine_config=engine_config, **kwargs)

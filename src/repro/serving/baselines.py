@@ -7,195 +7,151 @@ the models resident in GPU memory — no cross-model batching), and
 as an independent full model, so GPU memory fits only a couple of variants
 and a queue-head miss forces a multi-second full-model swap on the critical
 path — the two pathologies Fig 16 visualizes.
+
+Both baselines ride on the shared :class:`~repro.serving.base.ServingEngine`
+iteration loop; only admission/swap policy and batch pricing differ.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from ..hardware.cluster import GPUNode
 from ..hardware.memory import Tier
-from ..workload.spec import Trace
+from .base import (FULL_MODEL_LOADER_FACTOR, KV_RESERVE_FRACTION,
+                   WORKSPACE_FRACTION, Admission, EngineConfig,
+                   ServingEngine, register_engine)
 from .costs import IterationCostModel
-from .engine import (EngineConfig, TimelineEvent, _FULL_MODEL_LOADER_FACTOR,
-                     _WORKSPACE_FRACTION)
 from .metrics import ServingResult
-from .model_manager import ModelManager
-from .request import RequestState, ServingRequest
+from .model_manager import ArtifactKind, ModelManager
+from .request import ServingRequest
+from .scheduler import SchedulerConfig
 
 __all__ = ["VLLMSCBEngine", "DedicatedEngine"]
 
-_KV_RESERVE_FRACTION = 0.3  # SCB reserves a fixed KV share like vLLM
 
-
-class VLLMSCBEngine:
+@register_engine
+class VLLMSCBEngine(ServingEngine):
     """Swap + continuous batching + same-model batching over full models."""
 
     name = "vllm-scb"
+    variant_artifact = ArtifactKind.FULL
 
     def __init__(self, manager: ModelManager, node: GPUNode,
                  engine_config: EngineConfig = EngineConfig(),
                  max_batch_requests: int = 32,
-                 loader_factor: float = _FULL_MODEL_LOADER_FACTOR,
+                 loader_factor: float = FULL_MODEL_LOADER_FACTOR,
                  preload: bool = False):
-        self.manager = manager
-        self.node = node
-        self.config = engine_config
         self.max_batch_requests = max_batch_requests
         self.loader_factor = loader_factor
         self.preload = preload  # dedicated deployments start warm
         self.cost = IterationCostModel(
             spec=manager.spec, gpu=node.gpu_spec,
             tp_degree=engine_config.tp_degree)
+        super().__init__(manager, node, engine_config)
+
+    @classmethod
+    def build(cls, manager, node, scheduler_config=None, engine_config=None,
+              **kwargs):
+        if scheduler_config is not None:
+            kwargs.setdefault("max_batch_requests",
+                              scheduler_config.max_batch_requests)
+        return cls(manager, node, engine_config or EngineConfig(), **kwargs)
 
     # ------------------------------------------------------------------ #
-    def run(self, trace: Trace, collect_timeline: bool = False) -> ServingResult:
-        cfg = self.config
+    # template hooks
+    # ------------------------------------------------------------------ #
+    def _reset_engine(self) -> None:
         spec = self.manager.spec
-        group_capacity = self.node.gpu_spec.memory_bytes * cfg.tp_degree
-        usable = group_capacity * (1.0 - _WORKSPACE_FRACTION)
-        weight_budget = usable * (1.0 - _KV_RESERVE_FRACTION)
-        kv_budget_tokens = int(usable * _KV_RESERVE_FRACTION
-                               // spec.kv_bytes_per_token())
-        model_bytes = spec.fp16_nbytes
-        max_resident = max(1, int(weight_budget // model_bytes))
+        group_capacity = self.node.gpu_spec.memory_bytes * \
+            self.config.tp_degree
+        usable = group_capacity * (1.0 - WORKSPACE_FRACTION)
+        weight_budget = usable * (1.0 - KV_RESERVE_FRACTION)
+        self._kv_budget_tokens = int(usable * KV_RESERVE_FRACTION
+                                     // spec.kv_bytes_per_token())
+        self._model_bytes = spec.fp16_nbytes
+        self._max_resident = max(1, int(weight_budget // self._model_bytes))
+        self._queue: List[ServingRequest] = []
+        self._resident: "OrderedDict[str, bool]" = OrderedDict()
+        self._in_cpu: Set[str] = set()
+        self._warmed = False
 
-        requests = [ServingRequest(trace=t) for t in trace]
-        pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
-        queue: List[ServingRequest] = []
-        running: List[ServingRequest] = []
-        finished: List[ServingRequest] = []
-        timeline: List[TimelineEvent] = []
-        resident: "OrderedDict[str, bool]" = OrderedDict()
-        in_cpu: Set[str] = set()
-        if self.preload:
-            # warm start: pre-stage the first models the trace will ask for
-            for req in pending:
-                if len(resident) >= max_resident:
+    def _before_step(self) -> None:
+        if self.preload and not self._warmed:
+            # warm start: pre-stage the first models the workload will ask
+            # for (in arrival order over everything submitted so far)
+            for _, _, req in sorted(self._pending):
+                if len(self._resident) >= self._max_resident:
                     break
-                if req.model_id not in resident:
-                    resident[req.model_id] = True
-                    in_cpu.add(req.model_id)
+                if req.model_id not in self._resident:
+                    self._resident[req.model_id] = True
+                    self._in_cpu.add(req.model_id)
+        self._warmed = True
 
-        clock = 0.0
-        next_arrival = 0
-        n_total = len(requests)
+    def on_arrival(self, request: ServingRequest) -> None:
+        self._queue.append(request)
 
-        while len(finished) < n_total and clock < cfg.max_sim_seconds:
-            while next_arrival < n_total and \
-                    pending[next_arrival].arrival_s <= clock:
-                queue.append(pending[next_arrival])
-                next_arrival += 1
-            if not running and not queue:
-                if next_arrival >= n_total:
-                    break
-                clock = max(clock, pending[next_arrival].arrival_s)
-                continue
+    def has_queued(self) -> bool:
+        return bool(self._queue)
 
-            # swap for the queue head if its model is missing (weights are
-            # read-only: eviction just frees the slot, the load pays the
-            # standard checkpoint-loader cost)
-            load_time = 0.0
-            if queue:
-                head_model = queue[0].model_id
-                if head_model not in resident:
-                    active = {r.model_id for r in running}
-                    while len(resident) >= max_resident:
-                        if self._evict_lru(resident, active) is None:
-                            break
-                    if len(resident) < max_resident:
-                        src = Tier.CPU if head_model in in_cpu else Tier.DISK
-                        load_time += self.loader_factor * self.node.load_time(
-                            model_bytes, src, Tier.GPU)
-                        resident[head_model] = True
-                        in_cpu.add(head_model)
+    def admit(self) -> Admission:
+        # swap for the queue head if its model is missing (weights are
+        # read-only: eviction just frees the slot, the load pays the
+        # standard checkpoint-loader cost)
+        load_time = 0.0
+        if self._queue:
+            head_model = self._queue[0].model_id
+            if head_model not in self._resident:
+                active = {r.model_id for r in self.running}
+                while len(self._resident) >= self._max_resident:
+                    if self._evict_lru(self._resident, active) is None:
+                        break
+                if len(self._resident) < self._max_resident:
+                    src = Tier.CPU if head_model in self._in_cpu else Tier.DISK
+                    load_time += self.loader_factor * self.node.load_time(
+                        self._model_bytes, src, Tier.GPU)
+                    self._resident[head_model] = True
+                    self._in_cpu.add(head_model)
 
-            # admit queued requests whose model is resident (FCFS), within
-            # the KV reserve
-            capacity = self.max_batch_requests - len(running)
-            kv_in_use = sum(r.context_length for r in running)
-            admitted: List[ServingRequest] = []
-            still: List[ServingRequest] = []
-            for req in queue:
-                need = req.trace.prompt_tokens + 1
-                if capacity > 0 and req.model_id in resident \
-                        and kv_in_use + need <= kv_budget_tokens:
-                    admitted.append(req)
-                    capacity -= 1
-                    kv_in_use += need
-                else:
-                    still.append(req)
-            queue = still
-            for model_id in {r.model_id for r in running + admitted}:
-                if model_id in resident:
-                    resident.move_to_end(model_id)
+        # admit queued requests whose model is resident (FCFS), within
+        # the KV reserve
+        capacity = self.max_batch_requests - len(self.running)
+        kv_in_use = sum(r.context_length for r in self.running)
+        admitted: List[ServingRequest] = []
+        still: List[ServingRequest] = []
+        for req in self._queue:
+            need = req.trace.prompt_tokens + 1
+            if capacity > 0 and req.model_id in self._resident \
+                    and kv_in_use + need <= self._kv_budget_tokens:
+                admitted.append(req)
+                capacity -= 1
+                kv_in_use += need
+            else:
+                still.append(req)
+        self._queue = still
+        for model_id in {r.model_id for r in self.running + admitted}:
+            if model_id in self._resident:
+                self._resident.move_to_end(model_id)
+        return Admission(admitted=admitted, load_time_s=load_time)
 
-            admitted_ids = {r.request_id for r in admitted}
-            for req in admitted:
-                req.state = RequestState.RUNNING
-                if req.first_scheduled_s is None:
-                    req.first_scheduled_s = clock
-                    req.queue_wait_s = clock - req.arrival_s
-                req.loading_s += load_time
+    def iteration_cost(self, admitted: List[ServingRequest]) -> Optional[float]:
+        rows: Dict[str, int] = {}
+        prefill: Dict[str, int] = {}
+        context = 0
+        for req in self.running:
+            rows[req.model_id] = rows.get(req.model_id, 0) + 1
+            context += req.context_length
+        for req in admitted:
+            prefill[req.model_id] = prefill.get(req.model_id, 0) \
+                + req.trace.prompt_tokens
+        iter_time = self.cost.fullmodel_iteration_time(rows, context, prefill)
+        return None if iter_time == 0.0 else iter_time
 
-            rows: Dict[str, int] = {}
-            prefill: Dict[str, int] = {}
-            context = 0
-            for req in running:
-                rows[req.model_id] = rows.get(req.model_id, 0) + 1
-                context += req.context_length
-            for req in admitted:
-                prefill[req.model_id] = prefill.get(req.model_id, 0) \
-                    + req.trace.prompt_tokens
-            iter_time = self.cost.fullmodel_iteration_time(
-                rows, context, prefill)
-            if iter_time == 0.0 and load_time == 0.0:
-                # nothing runnable: fast-forward to the next arrival
-                if next_arrival < n_total:
-                    clock = max(clock, pending[next_arrival].arrival_s)
-                    continue
-                break
-            clock += iter_time + load_time
-
-            for req in admitted:
-                req.prefilled = True
-                req.generated_tokens += 1
-                req.first_token_s = clock
-                req.inference_s += iter_time
-                running.append(req)
-            for req in running:
-                if req.request_id in admitted_ids:
-                    continue
-                req.generated_tokens += 1
-                req.inference_s += iter_time
-
-            newly_done = [r for r in running if r.done]
-            for req in newly_done:
-                req.state = RequestState.FINISHED
-                req.finish_s = clock
-                finished.append(req)
-                if collect_timeline:
-                    timeline.append(TimelineEvent(
-                        request_id=req.request_id, model_id=req.model_id,
-                        arrival_s=req.arrival_s,
-                        queue_until_s=req.first_scheduled_s,
-                        loading_until_s=req.first_scheduled_s + req.loading_s,
-                        finish_s=req.finish_s))
-            running = [r for r in running if not r.done]
-
-        records = [r.record() for r in finished]
-        makespan = max((r.finish_s for r in records), default=clock) - \
-            min((r.arrival_s for r in records), default=0.0)
-        result = ServingResult(
-            engine=self.name, records=records, makespan_s=max(makespan, 1e-9),
-            config={"tp_degree": cfg.tp_degree,
-                    "max_resident_models": max_resident,
-                    "max_batch_requests": self.max_batch_requests})
-        if collect_timeline:
-            result.config["timeline"] = timeline
-        return result
+    def result_config(self) -> Dict[str, object]:
+        return {"tp_degree": self.config.tp_degree,
+                "max_resident_models": self._max_resident,
+                "max_batch_requests": self.max_batch_requests}
 
     @staticmethod
     def _evict_lru(resident: "OrderedDict[str, bool]",
@@ -207,50 +163,89 @@ class VLLMSCBEngine:
         return None
 
 
-class DedicatedEngine:
+@register_engine
+class DedicatedEngine(ServingEngine):
     """Upper-bound reference: every variant owns its own TP group.
 
     No swapping, no cross-variant queueing — just per-variant continuous
     batching.  Used to contextualize cost/latency trade-offs (§8 notes
     DeltaZip targets the regime where dedicating GPUs is too expensive).
+
+    Implemented as a fan-out over per-variant :class:`VLLMSCBEngine`
+    groups (each preloaded with its one model); ``submit``/``step``
+    delegate, so the engine still speaks the online protocol.
     """
 
     name = "dedicated"
+    variant_artifact = ArtifactKind.FULL
 
     def __init__(self, manager: ModelManager, node: GPUNode,
                  engine_config: EngineConfig = EngineConfig(),
                  max_batch_requests: int = 32):
-        self.manager = manager
-        self.node = node
-        self.config = engine_config
         self.max_batch_requests = max_batch_requests
-        self.cost = IterationCostModel(
-            spec=manager.spec, gpu=node.gpu_spec,
-            tp_degree=engine_config.tp_degree)
+        super().__init__(manager, node, engine_config)
 
-    def run(self, trace: Trace, collect_timeline: bool = False) -> ServingResult:
-        all_records = []
-        last_finish = 0.0
-        first_arrival = min((r.arrival_s for r in trace), default=0.0)
-        for model_id in trace.model_ids:
-            sub_requests = [r for r in trace if r.model_id == model_id]
-            if not sub_requests:
-                continue
-            sub = Trace(requests=list(sub_requests), model_ids=[model_id],
-                        duration_s=trace.duration_s)
-            result = self._run_single(sub)
-            all_records.extend(result.records)
-            if result.records:
-                last_finish = max(last_finish,
-                                  max(r.finish_s for r in result.records))
-        makespan = max(last_finish - first_arrival, 1e-9)
-        return ServingResult(engine=self.name, records=all_records,
-                             makespan_s=makespan,
-                             config={"tp_degree": self.config.tp_degree})
+    @classmethod
+    def build(cls, manager, node, scheduler_config=None, engine_config=None,
+              **kwargs):
+        if scheduler_config is not None:
+            kwargs.setdefault("max_batch_requests",
+                              scheduler_config.max_batch_requests)
+        return cls(manager, node, engine_config or EngineConfig(), **kwargs)
 
-    def _run_single(self, trace: Trace) -> ServingResult:
-        engine = VLLMSCBEngine(self.manager, self.node, self.config,
-                               self.max_batch_requests, preload=False)
-        # dedicated groups keep their one model resident from the start
-        engine.preload = True
-        return engine.run(trace)
+    # ------------------------------------------------------------------ #
+    # protocol overrides (delegation instead of the template loop)
+    # ------------------------------------------------------------------ #
+    def _reset_engine(self) -> None:
+        self._groups: Dict[str, VLLMSCBEngine] = {}
+
+    def _group_for(self, model_id: str) -> VLLMSCBEngine:
+        group = self._groups.get(model_id)
+        if group is None:
+            group = VLLMSCBEngine(self.manager, self.node, self.config,
+                                  self.max_batch_requests, preload=True)
+            group.on_token = self.on_token
+            group.on_finish = self.on_finish
+            self._groups[model_id] = group
+        return group
+
+    def submit(self, request) -> ServingRequest:
+        self._n_submitted += 1
+        return self._group_for(request.model_id).submit(request)
+
+    @property
+    def unfinished(self) -> int:
+        return sum(g.unfinished for g in self._groups.values())
+
+    @property
+    def clock(self) -> float:
+        return max((g.clock for g in self._groups.values()), default=0.0)
+
+    @clock.setter
+    def clock(self, value: float) -> None:
+        # the base reset() assigns clock = 0.0; per-group clocks are
+        # authoritative, so only a fresh reset is meaningful here
+        if value != 0.0:
+            raise AttributeError("DedicatedEngine clock is derived from "
+                                 "its per-variant groups")
+
+    def step(self) -> bool:
+        progressed = False
+        for model_id in sorted(self._groups):
+            group = self._groups[model_id]
+            if group.unfinished > 0 and \
+                    group.clock < group.config.max_sim_seconds:
+                progressed = group.step() or progressed
+        return progressed
+
+    def run_until_drained(self) -> None:
+        # groups are independent GPU sets: drain each on its own timeline
+        for model_id in sorted(self._groups):
+            self._groups[model_id].run_until_drained()
+
+    def build_result(self) -> ServingResult:
+        subs = [self._groups[m].build_result()
+                for m in sorted(self._groups)]
+        return ServingResult.merge(
+            subs, engine=self.name,
+            config={"tp_degree": self.config.tp_degree})

@@ -7,7 +7,8 @@ The same engine serves compressed FMT deltas (``variant_kind="delta"``) and
 LoRA adapters (``variant_kind="lora"``), mirroring how DeltaZip extends the
 Punica/S-LoRA design to deltas.
 
-Timeline semantics per iteration:
+Timeline semantics per iteration (the shared loop lives in
+:class:`~repro.serving.base.ServingEngine`; this class fills in the hooks):
 
 1. arrivals up to the clock join the FCFS queue (and start their async
    disk→CPU delta prefetch, §3.2's "frontend fetches the requested deltas
@@ -24,80 +25,33 @@ Timeline semantics per iteration:
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ..hardware.cluster import GPUNode
 from ..hardware.memory import Tier
-from ..workload.spec import Trace
+from .base import (PREEMPT_SWAP_S, WORKSPACE_FRACTION, Admission,
+                   EngineConfig, ServingEngine, TimelineEvent,
+                   register_engine)
 from .costs import BatchComposition, IterationCostModel
-from .metrics import EngineStats, ServingResult
 from .model_manager import ArtifactKind, ModelManager
-from .models import FP16, ServedModelSpec
-from .request import RequestState, ServingRequest
+from .request import ServingRequest
 from .scheduler import ContinuousBatchScheduler, SchedulerConfig
 
 __all__ = ["EngineConfig", "DeltaZipEngine", "TimelineEvent"]
 
-_WORKSPACE_FRACTION = 0.08   # activations, CUDA context, fragmentation
-_PREEMPT_SWAP_S = 5e-3       # KV swap-out/in cost per preemption
-# standard checkpoint loaders (deserialize + per-tensor copies) move whole
-# FP16 models far below raw link bandwidth; compressed deltas use the packed
-# raw-buffer path and do not pay this
-_FULL_MODEL_LOADER_FACTOR = 4.0
 
-
-@dataclass(frozen=True)
-class EngineConfig:
-    """Engine-level knobs (scheduler limits live in SchedulerConfig).
-
-    ``preempt_mode`` explores §5.4's open question: "swap" parks a
-    preempted request's KV state in CPU memory and resumes by decoding
-    (paying a fixed swap cost per preemption); "recompute" discards the KV
-    state for free but must re-prefill the full context at resume time.
-    """
-
-    tp_degree: int = 4
-    variant_kind: str = "delta"      # "delta" | "lora" | "none"
-    delta_bits: int = 4
-    delta_density: float = 0.5
-    lora_rank: int = 16
-    sbmm_impl: str = "sbmm"
-    lossless_decompress_gbps: Optional[float] = None
-    preempt_mode: str = "swap"       # "swap" | "recompute"
-    max_sim_seconds: float = 36000.0
-
-    def __post_init__(self):
-        if self.preempt_mode not in ("swap", "recompute"):
-            raise ValueError(f"unknown preempt_mode {self.preempt_mode!r}")
-        if self.variant_kind not in ("delta", "lora", "none"):
-            raise ValueError(f"unknown variant_kind {self.variant_kind!r}")
-
-
-@dataclass
-class TimelineEvent:
-    """Per-request phase spans for the Fig 16 breakdown."""
-
-    request_id: int
-    model_id: str
-    arrival_s: float
-    queue_until_s: float
-    loading_until_s: float
-    finish_s: float
-
-
-class DeltaZipEngine:
+@register_engine
+class DeltaZipEngine(ServingEngine):
     """Multi-variant serving with compressed deltas (or LoRA adapters)."""
 
     name = "deltazip"
+    variant_artifact = ArtifactKind.DELTA
+    include_stats = True
 
     def __init__(self, manager: ModelManager, node: GPUNode,
                  scheduler_config: SchedulerConfig,
                  engine_config: EngineConfig = EngineConfig()):
-        self.manager = manager
-        self.node = node
         self.scheduler_config = scheduler_config
-        self.config = engine_config
         self.cost = IterationCostModel(
             spec=manager.spec, gpu=node.gpu_spec,
             tp_degree=engine_config.tp_degree,
@@ -105,213 +59,158 @@ class DeltaZipEngine:
             delta_density=engine_config.delta_density,
             lora_rank=engine_config.lora_rank,
             sbmm_impl=engine_config.sbmm_impl)
+        super().__init__(manager, node, engine_config)
+
+    @classmethod
+    def build(cls, manager, node, scheduler_config=None, engine_config=None,
+              **kwargs):
+        return cls(manager, node, scheduler_config or SchedulerConfig(),
+                   engine_config or EngineConfig(), **kwargs)
 
     # ------------------------------------------------------------------ #
-    def run(self, trace: Trace, collect_timeline: bool = False) -> ServingResult:
-        cfg = self.config
+    # template hooks
+    # ------------------------------------------------------------------ #
+    def _reset_engine(self) -> None:
         spec = self.manager.spec
-        scheduler = ContinuousBatchScheduler(self.scheduler_config)
-
+        self.scheduler = ContinuousBatchScheduler(self.scheduler_config)
         # per-TP-group GPU memory budget: each GPU holds 1/tp of weights and
         # KV, so the group budget is one GPU's capacity scaled by tp.  Base
         # weights, resident deltas, and the KV cache share it (§5.4's
         # memory-pressure trade-off behind Fig 10).
-        group_capacity = self.node.gpu_spec.memory_bytes * cfg.tp_degree
-        usable = group_capacity * (1.0 - _WORKSPACE_FRACTION)
-        base_bytes = spec.fp16_nbytes
-        if base_bytes >= usable:
+        group_capacity = self.node.gpu_spec.memory_bytes * \
+            self.config.tp_degree
+        self._usable = group_capacity * (1.0 - WORKSPACE_FRACTION)
+        self._base_bytes = spec.fp16_nbytes
+        if self._base_bytes >= self._usable:
             raise ValueError("base model does not fit in the TP group")
-        kv_per_token = spec.kv_bytes_per_token()
+        self._kv_per_token = spec.kv_bytes_per_token()
+        self._cpu_ready_s: Dict[str, float] = {}  # async disk->cpu prefetch
+        self._resident: "OrderedDict[str, int]" = OrderedDict()  # id -> bytes
+        self._resident_bytes = 0
+        self._last_batch: Optional[BatchComposition] = None
 
-        requests = [ServingRequest(trace=t) for t in trace]
-        pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
-        cpu_ready_s: Dict[str, float] = {}       # async disk->cpu prefetch
-        resident: "OrderedDict[str, int]" = OrderedDict()  # LRU: id -> bytes
-        resident_bytes = 0
-        running: List[ServingRequest] = []
-        finished: List[ServingRequest] = []
-        timeline: List[TimelineEvent] = []
-        stats = EngineStats()
+    def on_arrival(self, request: ServingRequest) -> None:
+        self.scheduler.add(request)
+        self._start_prefetch(request.model_id, request.arrival_s)
 
-        clock = 0.0
-        next_arrival = 0
-        n_total = len(requests)
+    def has_queued(self) -> bool:
+        return len(self.scheduler) > 0
 
-        while len(finished) < n_total and clock < cfg.max_sim_seconds:
-            # 1. admit arrivals; kick off disk->cpu prefetches
-            while next_arrival < n_total and \
-                    pending[next_arrival].arrival_s <= clock:
-                req = pending[next_arrival]
-                scheduler.add(req)
-                self._start_prefetch(req.model_id, req.arrival_s, cpu_ready_s)
-                next_arrival += 1
+    def admit(self) -> Admission:
+        decision = self.scheduler.schedule(self.running, list(self._resident))
+        admitted = decision.admitted
 
-            if not running and len(scheduler) == 0:
-                if next_arrival >= n_total:
+        # swap newly selected deltas onto the GPU; deltas compete with the
+        # KV cache for the group budget
+        kv_tokens_running = sum(r.context_length for r in self.running)
+        load_time = 0.0
+        for delta_id in decision.new_deltas:
+            entry = self.manager.get(delta_id)
+            nbytes = entry.nbytes
+            kv_bytes = kv_tokens_running * self._kv_per_token
+            active = {r.model_id for r in self.running} | \
+                {r.model_id for r in admitted}
+            while self._base_bytes + self._resident_bytes + nbytes + \
+                    kv_bytes > self._usable and self._resident:
+                evicted = self._evict_lru(self._resident, active)
+                if evicted is None:
                     break
-                clock = max(clock, pending[next_arrival].arrival_s)
+                self._resident_bytes -= evicted
+                self.stats.evictions += 1
+            if self._base_bytes + self._resident_bytes + nbytes + kv_bytes \
+                    > self._usable:
+                # cannot fit: drop the admissions for this delta
+                dropped = [r for r in admitted if r.model_id == delta_id]
+                for r in dropped:
+                    self.scheduler.reinsert(r)
+                    r.skipped_line = False
+                    self.stats.blocked_admissions += 1
+                admitted = [r for r in admitted if r.model_id != delta_id]
                 continue
+            load_time += self._swap_in_time(delta_id, nbytes, self.clock)
+            self.stats.swap_ins += 1
+            self._resident[delta_id] = nbytes
+            self._resident_bytes += nbytes
+        for r_id in {r.model_id for r in self.running + admitted}:
+            if r_id in self._resident:
+                self._resident.move_to_end(r_id)
 
-            # 2. schedule
-            decision = scheduler.schedule(running, list(resident))
-            admitted = decision.admitted
+        # KV-capacity admission control: every admitted request must fit
+        # its full context into the remaining budget
+        kv_budget_tokens = max(
+            0, int((self._usable - self._base_bytes - self._resident_bytes)
+                   // self._kv_per_token))
+        kv_in_use = kv_tokens_running
+        kept: List[ServingRequest] = []
+        for req in admitted:
+            need = req.context_length if req.generated_tokens > 0 \
+                else req.trace.prompt_tokens + 1
+            if kv_in_use + need <= kv_budget_tokens:
+                kept.append(req)
+                kv_in_use += need
+            else:
+                self.scheduler.reinsert(req)
+                req.skipped_line = False
+                self.stats.blocked_admissions += 1
+        return Admission(admitted=kept, load_time_s=load_time)
 
-            # 3. swap newly selected deltas onto the GPU; deltas compete
-            # with the KV cache for the group budget
-            kv_tokens_running = sum(r.context_length for r in running)
-            load_time = 0.0
-            for delta_id in decision.new_deltas:
-                entry = self.manager.get(delta_id)
-                nbytes = entry.nbytes
-                kv_bytes = kv_tokens_running * kv_per_token
-                active = {r.model_id for r in running} | \
-                    {r.model_id for r in admitted}
-                while base_bytes + resident_bytes + nbytes + kv_bytes \
-                        > usable and resident:
-                    evicted = self._evict_lru(resident, active)
-                    if evicted is None:
-                        break
-                    resident_bytes -= evicted
-                    stats.evictions += 1
-                if base_bytes + resident_bytes + nbytes + kv_bytes > usable:
-                    # cannot fit: drop the admissions for this delta
-                    dropped = [r for r in admitted if r.model_id == delta_id]
-                    for r in dropped:
-                        scheduler.reinsert(r)
-                        r.skipped_line = False
-                        stats.blocked_admissions += 1
-                    admitted = [r for r in admitted if r.model_id != delta_id]
-                    continue
-                load_time += self._swap_in_time(delta_id, nbytes, clock,
-                                                cpu_ready_s)
-                stats.swap_ins += 1
-                resident[delta_id] = nbytes
-                resident_bytes += nbytes
-            for r_id in {r.model_id for r in running + admitted}:
-                if r_id in resident:
-                    resident.move_to_end(r_id)
+    def iteration_cost(self, admitted: List[ServingRequest]) -> Optional[float]:
+        batch = self._compose(self.running, admitted)
+        if batch.empty:
+            return None
+        self._last_batch = batch
+        return self.cost.iteration_time(batch, self.config.variant_kind)
 
-            # 3b. KV-capacity admission control: every admitted request must
-            # fit its full context into the remaining budget
-            kv_budget_tokens = max(
-                0, int((usable - base_bytes - resident_bytes) // kv_per_token))
-            kv_in_use = kv_tokens_running
-            kept: List[ServingRequest] = []
-            for req in admitted:
-                need = req.context_length if req.generated_tokens > 0 \
-                    else req.trace.prompt_tokens + 1
-                if kv_in_use + need <= kv_budget_tokens:
-                    kept.append(req)
-                    kv_in_use += need
+    def on_iteration(self, iter_time: float, load_time: float,
+                     admitted: List[ServingRequest]) -> None:
+        batch = self._last_batch
+        self.stats.iterations += 1
+        self.stats.total_load_s += load_time
+        self.stats.batched_requests += len(self.running) + len(admitted)
+        self.stats.batched_deltas += len(
+            set(batch.decode_per_delta) |
+            set(batch.prefill_tokens_per_delta))
+
+    def retire(self, newly_done: List[ServingRequest]) -> float:
+        preempt_time = 0.0
+        for parent in newly_done:
+            for child in self.scheduler.children_to_preempt(parent,
+                                                            self.running):
+                self.running.remove(child)
+                child.preemptions += 1
+                self.stats.preemptions += 1
+                if self.config.preempt_mode == "swap":
+                    preempt_time += PREEMPT_SWAP_S
                 else:
-                    scheduler.reinsert(req)
-                    req.skipped_line = False
-                    stats.blocked_admissions += 1
-            admitted = kept
+                    child.needs_recompute = True
+                self.scheduler.reinsert(child)
+        return preempt_time
 
-            # 4. execute one fused prefill+decode iteration
-            admitted_ids = {r.request_id for r in admitted}
-            for req in admitted:
-                req.state = RequestState.RUNNING
-                if req.first_scheduled_s is None:
-                    req.first_scheduled_s = clock
-                    req.queue_wait_s = clock - req.arrival_s
-                req.loading_s += load_time
-            batch = self._compose(running, admitted)
-            if batch.empty:
-                # every admission was blocked (memory) and nothing is
-                # running: jump to the next arrival or give up
-                if load_time > 0:
-                    clock += load_time
-                elif next_arrival < n_total:
-                    clock = max(clock + 1e-3,
-                                pending[next_arrival].arrival_s)
-                else:
-                    break
-                continue
-            iter_time = self.cost.iteration_time(batch, cfg.variant_kind)
-            clock += iter_time + load_time
-            stats.iterations += 1
-            stats.total_load_s += load_time
-            stats.batched_requests += len(running) + len(admitted)
-            stats.batched_deltas += len(
-                set(batch.decode_per_delta) |
-                set(batch.prefill_tokens_per_delta))
+    def _stall_clock(self, next_arrival_s: float) -> float:
+        return max(self.clock + 1e-3, next_arrival_s)
 
-            for req in admitted:
-                req.prefilled = True
-                req.generated_tokens += 1
-                if req.first_token_s is None:
-                    req.first_token_s = clock
-                req.inference_s += iter_time
-                running.append(req)
-            for req in running:
-                if req.request_id in admitted_ids:
-                    continue
-                req.generated_tokens += 1
-                req.inference_s += iter_time
-
-            # 5. retire finished; preempt orphaned line-skippers
-            newly_done = [r for r in running if r.done]
-            for req in newly_done:
-                req.state = RequestState.FINISHED
-                req.finish_s = clock
-                finished.append(req)
-            running = [r for r in running if not r.done]
-            preempt_time = 0.0
-            for parent in newly_done:
-                for child in scheduler.children_to_preempt(parent, running):
-                    running.remove(child)
-                    child.preemptions += 1
-                    stats.preemptions += 1
-                    if cfg.preempt_mode == "swap":
-                        preempt_time += _PREEMPT_SWAP_S
-                    else:
-                        child.needs_recompute = True
-                    scheduler.reinsert(child)
-            clock += preempt_time
-
-            if collect_timeline:
-                for req in newly_done:
-                    timeline.append(TimelineEvent(
-                        request_id=req.request_id, model_id=req.model_id,
-                        arrival_s=req.arrival_s,
-                        queue_until_s=req.first_scheduled_s,
-                        loading_until_s=req.first_scheduled_s + req.loading_s,
-                        finish_s=req.finish_s))
-
-        records = [r.record() for r in finished]
-        makespan = max((r.finish_s for r in records), default=clock) - \
-            min((r.arrival_s for r in records), default=0.0)
-        result = ServingResult(
-            engine=self.name, records=records, makespan_s=max(makespan, 1e-9),
-            stats=stats,
-            config={"tp_degree": cfg.tp_degree,
-                    "variant_kind": cfg.variant_kind,
-                    "max_concurrent_deltas":
-                        self.scheduler_config.max_concurrent_deltas,
-                    "max_batch_requests":
-                        self.scheduler_config.max_batch_requests,
-                    "preemption": self.scheduler_config.preemption})
-        if collect_timeline:
-            result.config["timeline"] = timeline
-        return result
+    def result_config(self) -> Dict[str, object]:
+        return {"tp_degree": self.config.tp_degree,
+                "variant_kind": self.config.variant_kind,
+                "max_concurrent_deltas":
+                    self.scheduler_config.max_concurrent_deltas,
+                "max_batch_requests":
+                    self.scheduler_config.max_batch_requests,
+                "preemption": self.scheduler_config.preemption}
 
     # ------------------------------------------------------------------ #
-    def _start_prefetch(self, model_id: str, now_s: float,
-                        cpu_ready_s: Dict[str, float]) -> None:
-        if model_id in cpu_ready_s:
+    def _start_prefetch(self, model_id: str, now_s: float) -> None:
+        if model_id in self._cpu_ready_s:
             return
         entry = self.manager.get(model_id)
         decompress = self.config.lossless_decompress_gbps
         fetch = self.node.load_time(entry.nbytes, Tier.DISK, Tier.CPU,
                                     decompress_gbps=decompress)
-        cpu_ready_s[model_id] = now_s + fetch
+        self._cpu_ready_s[model_id] = now_s + fetch
 
-    def _swap_in_time(self, model_id: str, nbytes: int, now_s: float,
-                      cpu_ready_s: Dict[str, float]) -> float:
+    def _swap_in_time(self, model_id: str, nbytes: int, now_s: float) -> float:
         """CPU→GPU transfer, waiting out the async disk fetch if needed."""
-        wait = max(0.0, cpu_ready_s.get(model_id, now_s) - now_s)
+        wait = max(0.0, self._cpu_ready_s.get(model_id, now_s) - now_s)
         pcie = self.node.load_time(nbytes, Tier.CPU, Tier.GPU)
         return wait + pcie
 

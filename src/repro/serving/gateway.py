@@ -1,0 +1,124 @@
+"""Online serving gateway: submit/step instead of pre-baked traces.
+
+Real serving frontends (vLLM-style continuous batching) accept requests at
+runtime; they do not get the whole workload up front.  ``ServingGateway``
+is that entry point for every engine speaking the
+:class:`~repro.serving.base.ServingEngine` protocol:
+
+* :meth:`submit` — a request joins the simulated system *now* (or at an
+  explicit ``arrival_s``), returning its request id;
+* :meth:`step` — advance the engine by one scheduling iteration;
+* :meth:`run_until_drained` — serve until every submitted request finished;
+* per-token and per-request completion callbacks fire as the simulated
+  clock produces tokens, enabling closed-loop clients, autoscalers, and
+  interactive sessions.
+
+Offline :meth:`replay` is a thin adapter over the same machinery — it
+submits the trace's requests verbatim and drains — so replaying a trace
+through the gateway is bit-identical to the legacy ``engine.run(trace)``
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..workload.spec import Trace, TraceRequest
+from .base import ServingEngine
+from .metrics import ServingResult
+from .request import RequestRecord, ServingRequest
+
+__all__ = ["ServingGateway"]
+
+# gateway-level callbacks
+TokenCallback = Callable[[int, str, int, float], None]
+#: (request_id, model_id, generated_tokens, clock_s)
+CompletionCallback = Callable[[RequestRecord], None]
+#: fires once per finished request with its immutable record
+
+
+class ServingGateway:
+    """Online submit/step facade over any registered serving engine."""
+
+    def __init__(self, engine: ServingEngine,
+                 on_token: Optional[TokenCallback] = None,
+                 on_request_complete: Optional[CompletionCallback] = None,
+                 collect_timeline: bool = False):
+        self.engine = engine
+        self._on_token = on_token
+        self._on_complete = on_request_complete
+        engine.collect_timeline = collect_timeline
+        engine.on_token = self._token_hook if on_token else None
+        engine.on_finish = self._finish_hook if on_request_complete else None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # online path
+    # ------------------------------------------------------------------ #
+    def submit(self, model_id: str, prompt_len: int, output_len: int,
+               arrival_s: Optional[float] = None) -> int:
+        """Submit one request; returns its request id.
+
+        ``arrival_s`` defaults to the engine's current simulated clock
+        ("the request arrives now"); an explicit value may also lie in the
+        future (it joins once the clock gets there) or the past (it joins
+        at the next step, keeping its nominal arrival for latency math).
+        """
+        if prompt_len < 1 or output_len < 1:
+            raise ValueError("prompt_len and output_len must be >= 1")
+        if arrival_s is None:
+            arrival_s = self.engine.clock
+        request = TraceRequest(request_id=self._next_id, model_id=model_id,
+                               arrival_s=float(arrival_s),
+                               prompt_tokens=int(prompt_len),
+                               output_tokens=int(output_len))
+        self._next_id += 1
+        self.engine.submit(request)
+        return request.request_id
+
+    def step(self) -> bool:
+        """One engine iteration; False when the engine is drained."""
+        return self.engine.step()
+
+    def run_until_drained(self) -> ServingResult:
+        """Serve until everything submitted so far has finished."""
+        self.engine.run_until_drained()
+        return self.result()
+
+    def result(self) -> ServingResult:
+        """Snapshot of completions so far (callable mid-flight)."""
+        return self.engine.build_result()
+
+    @property
+    def clock(self) -> float:
+        return self.engine.clock
+
+    @property
+    def unfinished(self) -> int:
+        return self.engine.unfinished
+
+    # ------------------------------------------------------------------ #
+    # offline adapter
+    # ------------------------------------------------------------------ #
+    def replay(self, trace: Trace) -> ServingResult:
+        """Replay a pre-materialized trace through the online machinery.
+
+        Equivalent to (and bit-identical with) ``engine.run(trace)``:
+        resets the engine, submits every trace request verbatim
+        (preserving its request id and arrival time), and drains.
+        """
+        self.engine.reset()
+        max_id = -1
+        for request in trace:
+            self.engine.submit(request)
+            max_id = max(max_id, request.request_id)
+        self._next_id = max_id + 1
+        return self.run_until_drained()
+
+    # ------------------------------------------------------------------ #
+    def _token_hook(self, request: ServingRequest, clock: float) -> None:
+        self._on_token(request.request_id, request.model_id,
+                       request.generated_tokens, clock)
+
+    def _finish_hook(self, request: ServingRequest, clock: float) -> None:
+        self._on_complete(request.record())

@@ -47,6 +47,27 @@ class ServingResult:
     stats: Optional["EngineStats"] = None
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def merge(cls, results: Sequence["ServingResult"],
+              engine: str = "merged",
+              config: Optional[Dict[str, object]] = None) -> "ServingResult":
+        """Cluster-level aggregation: concatenate per-group records.
+
+        The merged makespan spans the earliest arrival to the latest
+        finish across every record, so percentile/SLO/throughput math on
+        the merged result stays consistent with the per-group results.
+        """
+        records = [r for res in results for r in res.records]
+        if records:
+            makespan = max(r.finish_s for r in records) - \
+                min(r.arrival_s for r in records)
+        else:
+            makespan = 1e-9
+        return cls(engine=engine, records=records,
+                   makespan_s=max(makespan, 1e-9),
+                   config=dict(config) if config else {})
+
+    # ------------------------------------------------------------------ #
     @property
     def n_requests(self) -> int:
         return len(self.records)

@@ -3,18 +3,19 @@
 Paper §5.1: *"If there are M base models and M > 1, we divide the GPU
 cluster into M sets of GPUs, each dedicated to serving a particular base
 model and its fine-tuned variants."*  The router partitions an incoming
-trace by lineage (via each group's Model Manager), runs one DeltaZip engine
-per group, and merges the per-group results into a cluster-level view.
+trace by lineage (via each group's Model Manager), runs one serving engine
+per group (any engine registered in :data:`~repro.serving.base.ENGINES`),
+and merges the per-group results into a cluster-level view.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..hardware.cluster import GPUNode
 from ..workload.spec import Trace
-from .engine import DeltaZipEngine, EngineConfig
+from .base import EngineConfig, ServingEngine, create_engine
 from .metrics import ServingResult
 from .model_manager import ModelManager
 from .scheduler import SchedulerConfig
@@ -31,10 +32,12 @@ class BaseModelGroup:
     node: GPUNode
     scheduler_config: SchedulerConfig = field(default_factory=SchedulerConfig)
     engine_config: EngineConfig = field(default_factory=EngineConfig)
+    engine_name: str = "deltazip"
 
-    def engine(self) -> DeltaZipEngine:
-        return DeltaZipEngine(self.manager, self.node,
-                              self.scheduler_config, self.engine_config)
+    def engine(self) -> ServingEngine:
+        return create_engine(self.engine_name, self.manager, self.node,
+                             scheduler_config=self.scheduler_config,
+                             engine_config=self.engine_config)
 
 
 class MultiBaseRouter:
@@ -80,19 +83,11 @@ class MultiBaseRouter:
         plus a merged ``"__cluster__"`` entry."""
         partitions = self.partition(trace)
         results: Dict[str, ServingResult] = {}
-        all_records = []
         for base_id, sub in partitions.items():
             if len(sub) == 0:
                 continue
             results[base_id] = self.groups[base_id].engine().run(sub)
-            all_records.extend(results[base_id].records)
-        if all_records:
-            makespan = max(r.finish_s for r in all_records) - \
-                min(r.arrival_s for r in all_records)
-        else:
-            makespan = 1e-9
-        results["__cluster__"] = ServingResult(
-            engine="multi-base", records=all_records,
-            makespan_s=max(makespan, 1e-9),
+        results["__cluster__"] = ServingResult.merge(
+            list(results.values()), engine="multi-base",
             config={"groups": sorted(self.groups)})
         return results

@@ -76,17 +76,25 @@ class ContinuousBatchScheduler:
     # ------------------------------------------------------------------ #
     # queue maintenance
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _fcfs_key(request: ServingRequest):
+        # arrival-ordered FCFS; request_id only breaks simultaneous-arrival
+        # ties.  Offline traces assign ids in arrival order so the two
+        # coincide, but online gateway submissions may carry explicit
+        # arrival times that do not follow id order.
+        return (request.arrival_s, request.request_id)
+
     def add(self, request: ServingRequest) -> None:
         request.state = RequestState.QUEUED
         self._queue.append(request)
-        self._queue.sort(key=lambda r: r.request_id)
+        self._queue.sort(key=self._fcfs_key)
 
     def reinsert(self, request: ServingRequest) -> None:
         """Return a preempted request to its original FCFS position."""
         request.state = RequestState.PREEMPTED
         request.parent_id = None
         self._queue.append(request)
-        self._queue.sort(key=lambda r: r.request_id)
+        self._queue.sort(key=self._fcfs_key)
 
     @property
     def queued(self) -> List[ServingRequest]:
@@ -118,7 +126,7 @@ class ContinuousBatchScheduler:
         parent_of: Dict[str, ServingRequest] = {}
         for req in running:
             cur = parent_of.get(req.model_id)
-            if cur is None or req.request_id < cur.request_id:
+            if cur is None or self._fcfs_key(req) < self._fcfs_key(cur):
                 parent_of[req.model_id] = req
 
         # admission order: FCFS, or (priority desc, arrival) when the
@@ -127,8 +135,8 @@ class ContinuousBatchScheduler:
             order = self._queue
         else:
             order = sorted(self._queue,
-                           key=lambda r: (-self.config.priority_of(r.model_id),
-                                          r.request_id))
+                           key=lambda r: (-self.config.priority_of(r.model_id),)
+                           + self._fcfs_key(r))
 
         blocked_seen = False
         still_queued: List[ServingRequest] = []
@@ -155,7 +163,7 @@ class ContinuousBatchScheduler:
                     req.parent_id = parent.request_id
             if delta not in parent_of:
                 parent_of[delta] = req
-        still_queued.sort(key=lambda r: r.request_id)
+        still_queued.sort(key=self._fcfs_key)
         self._queue = still_queued
 
         resident = set(resident_deltas)
