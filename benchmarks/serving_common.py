@@ -80,3 +80,29 @@ def scb_engine(mgr, node, tp: int = 4, k: int = 32) -> ServingEngine:
     return build_engine("vllm-scb", mgr, node,
                         engine_config=EngineConfig(tp_degree=tp),
                         max_batch_requests=k)
+
+
+def deltazip_cluster(n_replicas: int = 2, mgr=None,
+                     balancer="least-outstanding", autoscaler=None,
+                     n_deltas: int = 8, k: int = 32, tp: int = 4,
+                     gpu: str = "a800", gpus_per_node: int = 4,
+                     spec=LLAMA_13B):
+    """A multi-replica DeltaZip deployment behind a ClusterGateway.
+
+    One engine per node drawn from a homogeneous hardware cluster sized to
+    the replica count (or the autoscaler's ceiling)."""
+    from repro.hardware import Cluster
+    from repro.serving import ClusterGateway
+
+    mgr = mgr or delta_manager(spec=spec)
+    ceiling = n_replicas if autoscaler is None else \
+        max(n_replicas, autoscaler.config.max_replicas)
+    cluster = Cluster.from_name(gpu, n_nodes=ceiling,
+                                gpus_per_node=gpus_per_node)
+
+    def factory(node):
+        return deltazip_engine(mgr, node, n_deltas=n_deltas, k=k, tp=tp)
+
+    return ClusterGateway(engine_factory=factory, cluster=cluster,
+                          n_replicas=n_replicas, balancer=balancer,
+                          autoscaler=autoscaler)

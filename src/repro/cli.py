@@ -160,18 +160,77 @@ def _cmd_simulate(args) -> int:
         results[name] = engine.run(trace)
 
     print(f"{'system':10s} {'thr(rps)':>9s} {'mean_e2e':>9s} "
-          f"{'p90_e2e':>8s} {'mean_ttft':>10s}")
+          f"{'p50_e2e':>8s} {'p99_e2e':>8s} {'mean_ttft':>10s} "
+          f"{'p50_ttft':>9s} {'p99_ttft':>9s}")
     for name, res in results.items():
         print(f"{name:10s} {res.throughput_within(trace.duration_s):9.3f} "
               f"{res.mean_e2e_latency_s():9.2f} "
-              f"{res.percentile_e2e_s(90):8.2f} "
-              f"{res.mean_ttft_s():10.3f}")
+              f"{res.percentile_e2e_s(50):8.2f} "
+              f"{res.percentile_e2e_s(99):8.2f} "
+              f"{res.mean_ttft_s():10.3f} "
+              f"{res.percentile_ttft_s(50):9.3f} "
+              f"{res.percentile_ttft_s(99):9.3f}")
         if args.verbose and res.stats is not None:
             s = res.stats
             print(f"  iterations={s.iterations} swap_ins={s.swap_ins} "
                   f"evictions={s.evictions} preemptions={s.preemptions} "
                   f"mean_batch={s.mean_batch_size:.1f} "
                   f"mean_deltas={s.mean_deltas_per_batch:.1f}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.hardware import Cluster
+    from repro.serving import (Autoscaler, ClusterGateway, ENGINES,
+                               EngineConfig, MODEL_SPECS, SchedulerConfig,
+                               create_engine, summarize)
+    from repro.workload.io import load_trace
+
+    trace = load_trace(args.trace)
+    spec = MODEL_SPECS[args.model]
+    replica_counts = [int(n) for n in args.replicas.split(",")]
+    # engines never mutate the registry, so the sweep shares one manager
+    mgr = _simulate_manager(ENGINES[args.engine], spec, trace, args.ratio)
+
+    print(f"{'replicas':>8s} {'thr(rps)':>9s} {'makespan':>9s} "
+          f"{'p50_e2e':>8s} {'p99_e2e':>8s} {'p50_ttft':>9s} "
+          f"{'p99_ttft':>9s} {'peak':>5s}")
+    for n in replica_counts:
+        autoscaler = None
+        ceiling = n
+        if args.autoscale:
+            ceiling = max(n, args.max_replicas)
+            autoscaler = Autoscaler(
+                min_replicas=args.min_replicas, max_replicas=args.max_replicas,
+                high_queue_per_replica=args.high_queue,
+                low_queue_per_replica=args.low_queue)
+        cluster = Cluster.from_name(args.gpu, n_nodes=ceiling,
+                                    gpus_per_node=args.gpus)
+
+        def factory(node, mgr=mgr):
+            return create_engine(
+                args.engine, mgr, node,
+                scheduler_config=SchedulerConfig(
+                    max_batch_requests=args.batch,
+                    max_concurrent_deltas=args.deltas),
+                engine_config=EngineConfig(tp_degree=args.tp))
+
+        gateway = ClusterGateway(engine_factory=factory, cluster=cluster,
+                                 n_replicas=n, balancer=args.balancer,
+                                 autoscaler=autoscaler)
+        res = gateway.replay(trace)
+        s = summarize(res)
+        peak = res.config.get("max_replicas_seen", n)
+        print(f"{n:8d} {res.throughput_within(trace.duration_s):9.3f} "
+              f"{s['makespan_s']:9.1f} {s['p50_e2e_s']:8.2f} "
+              f"{s['p99_e2e_s']:8.2f} {s['p50_ttft_s']:9.3f} "
+              f"{s['p99_ttft_s']:9.3f} {peak:5d}")
+        if args.verbose and autoscaler is not None:
+            for sample in autoscaler.history:
+                if sample.action:
+                    print(f"  t={sample.clock_s:8.1f}s {sample.action} -> "
+                          f"{sample.n_replicas} replicas "
+                          f"(queue/replica {sample.queue_per_replica:.1f})")
     return 0
 
 
@@ -256,6 +315,37 @@ def build_parser() -> argparse.ArgumentParser:
                         "(deltazip + vllm-scb)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("cluster",
+                       help="serve a trace on a multi-replica cluster")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--model", default="llama-13b",
+                   choices=["llama-7b", "llama-13b", "llama-70b",
+                            "pythia-2.8b"])
+    p.add_argument("--engine", default="deltazip",
+                   choices=sorted(ENGINES))
+    p.add_argument("--replicas", default="1,2,4",
+                   help="comma-separated replica counts to sweep")
+    from repro.serving import BALANCERS
+    p.add_argument("--balancer", default="least-outstanding",
+                   choices=sorted(BALANCERS))
+    p.add_argument("--autoscale", action="store_true",
+                   help="let a queue-driven controller resize the set")
+    p.add_argument("--min-replicas", type=int, default=1)
+    p.add_argument("--max-replicas", type=int, default=8)
+    p.add_argument("--high-queue", type=float, default=8.0,
+                   help="scale-up watermark (outstanding per replica)")
+    p.add_argument("--low-queue", type=float, default=1.0,
+                   help="scale-down watermark (outstanding per replica)")
+    p.add_argument("--gpu", default="a800")
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--tp", type=int, default=4)
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--deltas", type=int, default=8)
+    p.add_argument("--ratio", type=float, default=10.0,
+                   help="assumed delta compression ratio")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_cluster)
     return parser
 
 

@@ -14,6 +14,17 @@ splits configuration from execution and exposes *both* workload paths::
     rid = session.submit("vicuna", 128, 64)    # ... or online submission
     session.run_until_drained()
 
+Scaling out is one more builder call: ``.with_replicas(4)`` serves through
+a :class:`~repro.serving.cluster.ClusterGateway` over one engine per node,
+and ``.with_autoscaler(...)`` lets a queue-driven controller spawn and
+drain replicas at runtime::
+
+    session = (dz.session("deltazip")
+                 .serving(LLAMA_13B)
+                 .with_replicas(4, balancer="lineage")
+                 .with_autoscaler(max_replicas=8, high_queue_per_replica=6)
+                 .build())
+
 Any engine registered in :data:`~repro.serving.base.ENGINES` can back a
 session; registered artifacts contribute their *measured* compression
 ratios to the simulated swap sizes, exactly as the legacy ``simulate``
@@ -22,12 +33,14 @@ path did.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, List, Optional, Union
 
-from ..hardware.cluster import GPUNode
+from ..hardware.cluster import Cluster, GPUNode
 from ..hardware.specs import node_from_name
 from ..serving.base import (ENGINES, EngineConfig, ServingEngine,
                             create_engine)
+from ..serving.cluster import (Autoscaler, AutoscalerConfig, ClusterGateway,
+                               LoadBalancer, Replica)
 from ..serving.gateway import ServingGateway
 from ..serving.metrics import ServingResult
 from ..serving.model_manager import ModelManager
@@ -56,6 +69,10 @@ class ServingSessionBuilder:
         self._scheduler: Optional[SchedulerConfig] = None
         self._engine_config: Optional[EngineConfig] = None
         self._default_ratio: Optional[float] = None
+        self._n_replicas = 1
+        self._balancer: Union[str, LoadBalancer] = "least-outstanding"
+        self._autoscaler: Optional[Autoscaler] = None
+        self._cluster: Optional[Cluster] = None
 
     # ------------------------------------------------------------------ #
     def serving(self, spec: ServedModelSpec) -> "ServingSessionBuilder":
@@ -65,10 +82,50 @@ class ServingSessionBuilder:
 
     def on_node(self, node: Union[GPUNode, str] = "a800",
                 gpus: int = 4) -> "ServingSessionBuilder":
-        """The GPU node to serve on: a ``GPUNode`` or a spec name."""
+        """The GPU node to serve on: a ``GPUNode`` or a spec name.
+
+        With replicas this also sets the per-replica node shape (each
+        replica gets its own node of this spec from the cluster)."""
         if isinstance(node, str):
             node = GPUNode(node_from_name(node, gpus))
         self._node = node
+        return self
+
+    def on_cluster(self, cluster: Union[Cluster, str],
+                   nodes: int = 4, gpus: int = 4) -> "ServingSessionBuilder":
+        """The multi-node cluster replicas draw their nodes from: a
+        :class:`~repro.hardware.cluster.Cluster` or a GPU spec name."""
+        if isinstance(cluster, str):
+            cluster = Cluster.from_name(cluster, n_nodes=nodes,
+                                        gpus_per_node=gpus)
+        self._cluster = cluster
+        return self
+
+    def with_replicas(self, n: int,
+                      balancer: Union[str, LoadBalancer, None] = None
+                      ) -> "ServingSessionBuilder":
+        """Serve through ``n`` engine replicas behind a load balancer
+        (``round-robin`` | ``least-outstanding`` | ``lineage``)."""
+        if n < 1:
+            raise ValueError("need at least one replica")
+        self._n_replicas = n
+        if balancer is not None:
+            self._balancer = balancer
+        return self
+
+    def with_autoscaler(self, config: Union[Autoscaler, AutoscalerConfig,
+                                            None] = None,
+                        **kwargs) -> "ServingSessionBuilder":
+        """Queue-driven replica autoscaling: pass an ``Autoscaler``, an
+        ``AutoscalerConfig``, or config kwargs."""
+        if config is not None and kwargs:
+            raise ValueError("pass either a config object or kwargs")
+        if isinstance(config, Autoscaler):
+            self._autoscaler = config
+        elif isinstance(config, AutoscalerConfig):
+            self._autoscaler = Autoscaler(config)
+        else:
+            self._autoscaler = Autoscaler(**kwargs)
         return self
 
     def with_scheduler(self, config: Optional[SchedulerConfig] = None,
@@ -99,7 +156,6 @@ class ServingSessionBuilder:
                 "no served model spec: call .serving(spec) or pass "
                 "served_spec= to session()")
         system = self._system
-        node = self._node or GPUNode(node_from_name("a800", 4))
         manager = ModelManager(self._spec)
         manager.register_base(system.base_model_id)
         engine_cls = ENGINES[self._engine_name]
@@ -109,11 +165,36 @@ class ServingSessionBuilder:
                                         system.base_model_id,
                                         artifact.compression_ratio(),
                                         config=artifact.config)
-        engine = create_engine(self._engine_name, manager, node,
-                               scheduler_config=self._scheduler,
-                               engine_config=self._engine_config)
-        return ServingSession(engine, manager, system.base_model_id,
-                              self._default_ratio)
+
+        if self._n_replicas == 1 and self._autoscaler is None \
+                and self._cluster is None:
+            node = self._node or GPUNode(node_from_name("a800", 4))
+            engine = self._make_engine(manager, node)
+            return ServingSession(ServingGateway(engine), manager,
+                                  system.base_model_id, engine_cls,
+                                  self._default_ratio)
+
+        cluster = self._cluster
+        if cluster is None:
+            ceiling = self._n_replicas
+            if self._autoscaler is not None:
+                ceiling = max(ceiling, self._autoscaler.config.max_replicas)
+            template = self._node or GPUNode(node_from_name("a800", 4))
+            cluster = Cluster(template.spec, n_nodes=ceiling)
+        # an explicitly-passed cluster that is too small for the replica
+        # ceiling is rejected by ClusterGateway itself
+        gateway = ClusterGateway(
+            engine_factory=lambda node: self._make_engine(manager, node),
+            cluster=cluster, n_replicas=self._n_replicas,
+            balancer=self._balancer, autoscaler=self._autoscaler)
+        return ServingSession(gateway, manager, system.base_model_id,
+                              engine_cls, self._default_ratio)
+
+    def _make_engine(self, manager: ModelManager,
+                     node: GPUNode) -> ServingEngine:
+        return create_engine(self._engine_name, manager, node,
+                             scheduler_config=self._scheduler,
+                             engine_config=self._engine_config)
 
     def replay(self, trace: Trace) -> ServingResult:
         """Convenience: ``build()`` then replay the trace."""
@@ -121,17 +202,38 @@ class ServingSessionBuilder:
 
 
 class ServingSession:
-    """A live serving deployment: online ``submit`` plus trace ``replay``."""
+    """A live serving deployment: online ``submit`` plus trace ``replay``.
 
-    def __init__(self, engine: ServingEngine, manager: ModelManager,
-                 base_model_id: str, default_ratio: Optional[float] = None):
-        self.engine = engine
+    Backed by either a single-replica
+    :class:`~repro.serving.gateway.ServingGateway` or a multi-replica
+    :class:`~repro.serving.cluster.ClusterGateway` — the session surface
+    is identical, so clients are replica-count-agnostic.
+    """
+
+    def __init__(self, gateway: Union[ServingGateway, ClusterGateway],
+                 manager: ModelManager, base_model_id: str,
+                 engine_cls=None, default_ratio: Optional[float] = None):
+        self.gateway = gateway
         self.manager = manager
         self.base_model_id = base_model_id
         self.default_ratio = default_ratio
-        self.gateway = ServingGateway(engine)
+        self._engine_cls = engine_cls or (
+            type(gateway.engine) if isinstance(gateway, ServingGateway)
+            else None)
 
     # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> Optional[ServingEngine]:
+        """The backing engine (single-replica sessions only)."""
+        return self.gateway.engine \
+            if isinstance(self.gateway, ServingGateway) else None
+
+    @property
+    def replicas(self) -> List[Replica]:
+        """The live replica set (empty for single-replica sessions)."""
+        return list(self.gateway.replicas) \
+            if isinstance(self.gateway, ClusterGateway) else []
+
     def submit(self, model_id: str, prompt_len: int, output_len: int,
                arrival_s: Optional[float] = None) -> int:
         """Submit one online request; returns its request id."""
@@ -163,7 +265,7 @@ class ServingSession:
         if model_id == self.base_model_id or model_id in self.manager:
             return
         if self.default_ratio is not None:
-            type(self.engine).register_variant(
+            self._engine_cls.register_variant(
                 self.manager, model_id, self.base_model_id,
                 self.default_ratio)
             return

@@ -1,7 +1,8 @@
 """Analytical GPU / memory / interconnect cost models (the simulated
 testbed standing in for the paper's 4xA800 cluster)."""
 
-from .cluster import GPUNode, SimulatedGPU, allreduce_time
+from .cluster import (Cluster, ClusterCapacityError, GPUNode, SimulatedGPU,
+                      allreduce_time)
 from .kernels import (GemmShape, SBMM_IMPLEMENTATIONS, SBMMBreakdown,
                       achieved_flops_ratio, dense_gemm_time,
                       quantized_gemm_time, sbmm_time,
@@ -11,7 +12,8 @@ from .specs import (A100, A800, GPU_SPECS, GPUSpec, NodeSpec, RTX3090,
                     node_from_name)
 
 __all__ = [
-    "GPUNode", "SimulatedGPU", "allreduce_time",
+    "Cluster", "ClusterCapacityError", "GPUNode", "SimulatedGPU",
+    "allreduce_time",
     "GemmShape", "SBMM_IMPLEMENTATIONS", "SBMMBreakdown",
     "achieved_flops_ratio", "dense_gemm_time", "quantized_gemm_time",
     "sbmm_time", "sparse_quantized_gemm_time",

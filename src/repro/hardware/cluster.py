@@ -1,14 +1,16 @@
-"""Multi-GPU node model: tensor-parallel groups and collective costs."""
+"""Multi-GPU node model: tensor-parallel groups, collective costs, and the
+multi-node :class:`Cluster` that allocates whole nodes to serving replicas."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from .memory import MemoryPool, Tier, TransferModel
-from .specs import GPUSpec, NodeSpec
+from .specs import GPUSpec, NodeSpec, node_from_name
 
-__all__ = ["SimulatedGPU", "GPUNode", "allreduce_time"]
+__all__ = ["SimulatedGPU", "GPUNode", "allreduce_time",
+           "Cluster", "ClusterCapacityError"]
 
 _NVLINK_LATENCY_S = 5e-6
 _PCIE_P2P_LATENCY_S = 15e-6
@@ -76,3 +78,60 @@ class GPUNode:
 
     def allreduce(self, nbytes: float, degree: int) -> float:
         return allreduce_time(nbytes, degree, self.spec.gpu)
+
+
+class ClusterCapacityError(RuntimeError):
+    """Raised when a node allocation exceeds the cluster's node count."""
+
+
+class Cluster:
+    """A homogeneous pool of :class:`GPUNode` servers.
+
+    The serving layer allocates whole nodes to replicas (one engine per
+    node, the paper's one-TP-group-per-deployment shape) and returns them
+    when a replica drains.  Nodes are minted lazily so an autoscaler can
+    declare a large ``n_nodes`` ceiling without paying for memory pools it
+    never touches.
+    """
+
+    def __init__(self, spec: NodeSpec, n_nodes: int = 1):
+        if n_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.spec = spec
+        self.n_nodes = n_nodes
+        self._free: List[GPUNode] = []
+        self._allocated: List[GPUNode] = []
+
+    @classmethod
+    def from_name(cls, name: str = "a800", n_nodes: int = 1,
+                  gpus_per_node: int = 4) -> "Cluster":
+        """Build a cluster of ``n_nodes`` identical named-spec servers."""
+        return cls(node_from_name(name, gpus_per_node), n_nodes)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_allocated(self) -> int:
+        return len(self._allocated)
+
+    @property
+    def n_free(self) -> int:
+        return self.n_nodes - len(self._allocated)
+
+    def acquire(self) -> GPUNode:
+        """Allocate one node (fresh memory pools) to a replica."""
+        if self.n_free <= 0:
+            raise ClusterCapacityError(
+                f"all {self.n_nodes} nodes are allocated")
+        node = self._free.pop() if self._free else GPUNode(self.spec)
+        self._allocated.append(node)
+        return node
+
+    def release(self, node: GPUNode) -> None:
+        """Return a node to the free pool (replica drained)."""
+        # identity, not dataclass equality: same-spec nodes compare equal
+        for i, allocated in enumerate(self._allocated):
+            if allocated is node:
+                del self._allocated[i]
+                self._free.append(node)
+                return
+        raise ValueError("node was not allocated from this cluster")

@@ -3,6 +3,10 @@
 from .base import (Admission, ENGINES, EngineConfig, ServingEngine,
                    TimelineEvent, create_engine, register_engine)
 from .baselines import DedicatedEngine, VLLMSCBEngine
+from .cluster import (Autoscaler, AutoscalerConfig, AutoscalerSample,
+                      BALANCERS, ClusterGateway, LeastOutstandingBalancer,
+                      LineageAffinityBalancer, LoadBalancer, Replica,
+                      RoundRobinBalancer, create_balancer)
 from .costs import BatchComposition, IterationCostModel
 from .economics import (DeploymentCost, GPU_HOURLY_USD, compare_deployments,
                         deployment_cost)
@@ -25,6 +29,9 @@ __all__ = [
     "Admission", "ENGINES", "ServingEngine", "ServingGateway",
     "create_engine", "register_engine",
     "DedicatedEngine", "VLLMSCBEngine",
+    "Autoscaler", "AutoscalerConfig", "AutoscalerSample", "BALANCERS",
+    "ClusterGateway", "LeastOutstandingBalancer", "LineageAffinityBalancer",
+    "LoadBalancer", "Replica", "RoundRobinBalancer", "create_balancer",
     "BatchComposition", "IterationCostModel",
     "DeploymentCost", "GPU_HOURLY_USD", "compare_deployments",
     "deployment_cost",

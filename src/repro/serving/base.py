@@ -196,6 +196,16 @@ class ServingEngine:
         """Submitted requests that have not finished yet."""
         return self._n_submitted - len(self.finished)
 
+    @property
+    def backlog(self) -> int:
+        """Arrived-but-unfinished requests: the queue pressure an
+        autoscaler should react to.  Unlike :attr:`unfinished`, requests
+        replayed ahead of time with future arrivals don't count until the
+        clock reaches them."""
+        future = sum(1 for arrival_s, _, _ in self._pending
+                     if arrival_s > self.clock)
+        return self.unfinished - future
+
     def step(self) -> bool:
         """Run one scheduling iteration.
 

@@ -1,0 +1,610 @@
+"""Cluster serving layer: replicated gateways, load balancing, autoscaling.
+
+PR 1 made every engine an online submit/step system behind a
+:class:`~repro.serving.gateway.ServingGateway` — for a single replica on a
+single node.  This module scales that surface out:
+
+* :class:`Replica` — one engine + gateway on its own :class:`GPUNode`;
+* :class:`LoadBalancer` policies (:data:`BALANCERS` registry):
+  ``round-robin``, ``least-outstanding``, and ``lineage`` session affinity
+  that keeps a variant's delta resident on the replica that already paid to
+  load it;
+* :class:`Autoscaler` — a queue-depth / TTFT-watermark controller with
+  cooldowns that spawns and drains replicas at runtime through the engine
+  factory and the multi-node :class:`~repro.hardware.cluster.Cluster`;
+* :class:`ClusterGateway` — the same ``submit`` / ``step`` /
+  ``run_until_drained`` / ``replay`` surface as a single gateway, so
+  clients are replica-count-agnostic.
+
+Replicas are independent discrete-event machines with their own simulated
+clocks; the cluster advances the least-advanced replica that has work, so
+per-replica results are identical to running each replica's request stream
+on a standalone gateway regardless of interleaving.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import (Callable, Deque, Dict, List, Optional, Sequence, Type,
+                    Union)
+
+import numpy as np
+
+from ..hardware.cluster import Cluster, GPUNode
+from ..workload.spec import Trace, TraceRequest
+from .base import ServingEngine
+from .gateway import CompletionCallback, ServingGateway, TokenCallback
+from .metrics import ServingResult
+from .request import RequestRecord
+
+__all__ = [
+    "Replica", "LoadBalancer", "RoundRobinBalancer",
+    "LeastOutstandingBalancer", "LineageAffinityBalancer",
+    "BALANCERS", "create_balancer",
+    "AutoscalerConfig", "AutoscalerSample", "Autoscaler",
+    "ClusterGateway",
+]
+
+#: builds one engine on the node a replica was allocated
+EngineFactory = Callable[[GPUNode], ServingEngine]
+
+
+class Replica:
+    """One serving replica: an engine + gateway, optionally on a node."""
+
+    def __init__(self, replica_id: int, engine: ServingEngine,
+                 name: Optional[str] = None, node: Optional[GPUNode] = None,
+                 on_token: Optional[TokenCallback] = None,
+                 on_request_complete: Optional[CompletionCallback] = None,
+                 collect_timeline: bool = False):
+        self.id = replica_id
+        self.name = name or f"replica-{replica_id}"
+        self.node = node
+        self.gateway = ServingGateway(
+            engine, on_token=on_token,
+            on_request_complete=on_request_complete,
+            collect_timeline=collect_timeline)
+        self.draining = False
+
+    @property
+    def engine(self) -> ServingEngine:
+        return self.gateway.engine
+
+    @property
+    def clock(self) -> float:
+        return self.gateway.clock
+
+    @property
+    def unfinished(self) -> int:
+        return self.gateway.unfinished
+
+    @property
+    def backlog(self) -> int:
+        return self.gateway.backlog
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "draining" if self.draining else "active"
+        return (f"Replica({self.name}, {state}, "
+                f"unfinished={self.unfinished}, clock={self.clock:.1f})")
+
+
+# --------------------------------------------------------------------------- #
+# load-balancing policies
+# --------------------------------------------------------------------------- #
+class LoadBalancer:
+    """Chooses the replica that serves each submitted request."""
+
+    name: str = "abstract"
+
+    def choose(self, model_id: str, replicas: Sequence[Replica]) -> Replica:
+        """Pick one of the eligible (non-draining) replicas."""
+        raise NotImplementedError
+
+    def on_removed(self, replica: Replica) -> None:
+        """A replica left the set (drained); drop any state pinned to it."""
+
+    def reset(self) -> None:
+        """Forget per-run routing state (rotation position, learned
+        affinities) so repeated replays stay deterministic.  Explicitly
+        pinned assignments survive."""
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Rotate through replicas regardless of load or residency."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._turn = 0
+
+    def choose(self, model_id: str, replicas: Sequence[Replica]) -> Replica:
+        replica = replicas[self._turn % len(replicas)]
+        self._turn += 1
+        return replica
+
+    def reset(self) -> None:
+        self._turn = 0
+
+
+class LeastOutstandingBalancer(LoadBalancer):
+    """Send each request to the replica with the fewest unfinished
+    requests (join-the-shortest-queue; ties break on replica id)."""
+
+    name = "least-outstanding"
+
+    def choose(self, model_id: str, replicas: Sequence[Replica]) -> Replica:
+        return min(replicas, key=lambda r: (r.unfinished, r.id))
+
+
+class LineageAffinityBalancer(LoadBalancer):
+    """Session/lineage affinity: requests for the same affinity key stick
+    to one replica, so its delta stays resident there instead of being
+    swapped onto (and evicted from) every replica in turn.
+
+    ``owner_of`` maps a model id to its affinity key — identity by default
+    (per-variant stickiness); the multi-base router passes its lineage
+    lookup so every variant of one base lands on that base's replica.
+    Unseen keys fall through to a least-outstanding choice; ``pin`` fixes a
+    key's home up front.
+    """
+
+    name = "lineage"
+
+    def __init__(self, owner_of: Optional[Callable[[str], str]] = None,
+                 fallback: Optional[LoadBalancer] = None):
+        self._owner_of = owner_of or (lambda model_id: model_id)
+        self._fallback = fallback or LeastOutstandingBalancer()
+        self._pinned: Dict[str, Replica] = {}
+        self._home: Dict[str, Replica] = {}
+
+    def pin(self, key: str, replica: Replica) -> None:
+        """Fix an affinity key's home replica (survives :meth:`reset`)."""
+        self._pinned[key] = replica
+
+    def choose(self, model_id: str, replicas: Sequence[Replica]) -> Replica:
+        key = self._owner_of(model_id)
+        home = self._pinned.get(key) or self._home.get(key)
+        if home is not None and not home.draining \
+                and any(r is home for r in replicas):
+            return home
+        chosen = self._fallback.choose(model_id, replicas)
+        self._home[key] = chosen
+        return chosen
+
+    def on_removed(self, replica: Replica) -> None:
+        self._pinned = {k: r for k, r in self._pinned.items()
+                        if r is not replica}
+        self._home = {k: r for k, r in self._home.items()
+                      if r is not replica}
+
+    def reset(self) -> None:
+        self._home.clear()
+
+
+BALANCERS: Dict[str, Type[LoadBalancer]] = {
+    cls.name: cls for cls in (RoundRobinBalancer, LeastOutstandingBalancer,
+                              LineageAffinityBalancer)
+}
+
+
+def create_balancer(policy: Union[str, LoadBalancer], **kwargs) -> LoadBalancer:
+    """A balancer instance from a policy name (or pass one through)."""
+    if isinstance(policy, LoadBalancer):
+        return policy
+    if policy not in BALANCERS:
+        raise KeyError(f"unknown balancer {policy!r}; "
+                       f"registered: {sorted(BALANCERS)}")
+    return BALANCERS[policy](**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# autoscaling
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Watermark controller knobs.
+
+    Scale up when the arrived-but-unfinished backlog per active replica
+    exceeds ``high_queue_per_replica`` (or recent TTFT tail exceeds
+    ``ttft_high_s``); scale down when it drops below
+    ``low_queue_per_replica``.  Cooldowns stop the controller from
+    flapping on bursty arrivals.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    high_queue_per_replica: float = 8.0
+    low_queue_per_replica: float = 1.0
+    ttft_high_s: Optional[float] = None     # watermark on recent TTFT tail
+    ttft_quantile: float = 90.0
+    check_interval_s: float = 2.0
+    scale_up_cooldown_s: float = 5.0
+    scale_down_cooldown_s: float = 30.0
+
+    def __post_init__(self):
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.low_queue_per_replica >= self.high_queue_per_replica:
+            raise ValueError("low watermark must sit below the high one")
+
+
+@dataclass
+class AutoscalerSample:
+    """One controller observation (kept for tests and benchmarks)."""
+
+    clock_s: float
+    n_replicas: int
+    queue_per_replica: float
+    ttft_tail_s: float
+    action: Optional[str] = None    # "scale_up" | "scale_down" | None
+
+
+class Autoscaler:
+    """Queue-driven replica controller for a :class:`ClusterGateway`.
+
+    The gateway calls :meth:`control` after every scheduling step; the
+    controller samples at most once per ``check_interval_s`` of simulated
+    time and spawns/drains replicas through the gateway.
+    """
+
+    def __init__(self, config: Optional[AutoscalerConfig] = None, **kwargs):
+        if config is not None and kwargs:
+            raise ValueError("pass either an AutoscalerConfig or kwargs")
+        self.config = config or AutoscalerConfig(**kwargs)
+        self.history: List[AutoscalerSample] = []
+        self._last_check: Optional[float] = None
+        self._last_up: Optional[float] = None
+        self._last_down: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        self.history.clear()
+        self._last_check = self._last_up = self._last_down = None
+
+    @property
+    def max_replica_count(self) -> int:
+        return max((s.n_replicas for s in self.history), default=0)
+
+    def control(self, gateway: "ClusterGateway") -> Optional[str]:
+        now = gateway.clock
+        cfg = self.config
+        if self._last_check is not None and \
+                now - self._last_check < cfg.check_interval_s:
+            return None
+        self._last_check = now
+
+        active = gateway.active_replicas()
+        n = len(active)
+        # backlog, not unfinished: replayed traces submit far-future
+        # arrivals up front, and the controller must not scale on load
+        # that has not been offered yet
+        queue_per = sum(r.backlog for r in active) / max(n, 1)
+        ttft_tail = gateway.recent_ttft_percentile(cfg.ttft_quantile)
+
+        action = None
+        overloaded = queue_per > cfg.high_queue_per_replica or \
+            (cfg.ttft_high_s is not None and ttft_tail > cfg.ttft_high_s)
+        idle = queue_per < cfg.low_queue_per_replica and \
+            (cfg.ttft_high_s is None or ttft_tail <= cfg.ttft_high_s)
+        if overloaded and n < cfg.max_replicas and \
+                self._cooled(self._last_up, now, cfg.scale_up_cooldown_s):
+            gateway.spawn_replica()
+            self._last_up = now
+            action = "scale_up"
+        elif idle and n > cfg.min_replicas and \
+                self._cooled(self._last_down, now, cfg.scale_down_cooldown_s) \
+                and self._cooled(self._last_up, now, cfg.scale_down_cooldown_s):
+            gateway.drain_replica()
+            self._last_down = now
+            action = "scale_down"
+
+        self.history.append(AutoscalerSample(
+            clock_s=now, n_replicas=len(gateway.active_replicas()),
+            queue_per_replica=queue_per, ttft_tail_s=ttft_tail,
+            action=action))
+        return action
+
+    @staticmethod
+    def _cooled(last: Optional[float], now: float, cooldown_s: float) -> bool:
+        return last is None or now - last >= cooldown_s
+
+
+# --------------------------------------------------------------------------- #
+# the cluster gateway
+# --------------------------------------------------------------------------- #
+class ClusterGateway:
+    """Replica-count-agnostic serving frontend over a set of replicas.
+
+    Exposes the single-gateway surface — ``submit`` / ``step`` /
+    ``run_until_drained`` / ``replay`` / ``result`` — over any number of
+    :class:`Replica`\\ s.  Construct it either from an ``engine_factory``
+    plus a hardware :class:`~repro.hardware.cluster.Cluster` (homogeneous
+    replicas, autoscalable) or from pre-built engines via
+    :meth:`from_engines` (heterogeneous replicas, e.g. one per base model).
+    """
+
+    def __init__(self, engine_factory: Optional[EngineFactory] = None,
+                 cluster: Optional[Cluster] = None,
+                 n_replicas: int = 1,
+                 balancer: Union[str, LoadBalancer] = "least-outstanding",
+                 autoscaler: Optional[Autoscaler] = None,
+                 on_token: Optional[TokenCallback] = None,
+                 on_request_complete: Optional[CompletionCallback] = None,
+                 collect_timeline: bool = False,
+                 _replicas: Optional[List[Replica]] = None):
+        if n_replicas < 1:
+            raise ValueError("need at least one replica")
+        self.balancer = create_balancer(balancer)
+        self.autoscaler = autoscaler
+        self._factory = engine_factory
+        self._cluster = cluster
+        self._on_token = on_token
+        self._on_complete = on_request_complete
+        self._collect_timeline = collect_timeline
+        self._next_id = 0
+        self._next_replica_id = 0
+        # trace requests awaiting routing: replay defers each routing
+        # decision until the simulation frontier reaches the arrival, so
+        # balancers and the autoscaler see the load actually offered so far
+        self._unrouted: List[tuple] = []   # heap of (arrival_s, id, request)
+        self._recent_records: Deque[RequestRecord] = deque(maxlen=256)
+        self.replicas: List[Replica] = []
+        self.retired: List[Replica] = []
+        if _replicas is not None:
+            for replica in _replicas:
+                self.replicas.append(replica)
+                self._next_replica_id = max(self._next_replica_id,
+                                            replica.id + 1)
+        else:
+            if engine_factory is None:
+                raise ValueError(
+                    "pass an engine_factory (or use from_engines)")
+            if autoscaler is not None:
+                n_replicas = max(n_replicas, autoscaler.config.min_replicas)
+            ceiling = n_replicas if autoscaler is None else \
+                max(n_replicas, autoscaler.config.max_replicas)
+            if cluster is not None and cluster.n_nodes < ceiling:
+                raise ValueError(
+                    f"cluster has {cluster.n_nodes} nodes but up to "
+                    f"{ceiling} replicas were requested")
+            for _ in range(n_replicas):
+                self.spawn_replica()
+
+    @classmethod
+    def from_engines(cls, engines: Sequence[ServingEngine],
+                     names: Optional[Sequence[str]] = None,
+                     balancer: Union[str, LoadBalancer] = "least-outstanding",
+                     on_token: Optional[TokenCallback] = None,
+                     on_request_complete: Optional[CompletionCallback] = None,
+                     collect_timeline: bool = False) -> "ClusterGateway":
+        """A fixed replica set over pre-built (possibly heterogeneous)
+        engines; replica *i* is named ``names[i]`` when given."""
+        if not engines:
+            raise ValueError("need at least one engine")
+        if names is not None and len(names) != len(engines):
+            raise ValueError("names must match engines one-to-one")
+        gateway = cls(balancer=balancer, on_token=on_token,
+                      on_request_complete=on_request_complete,
+                      collect_timeline=collect_timeline, _replicas=[])
+        for i, engine in enumerate(engines):
+            name = names[i] if names is not None else None
+            gateway._add_replica(engine, name=name)
+        return gateway
+
+    # ------------------------------------------------------------------ #
+    # replica-set management
+    # ------------------------------------------------------------------ #
+    def active_replicas(self) -> List[Replica]:
+        return [r for r in self.replicas if not r.draining]
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.active_replicas())
+
+    def spawn_replica(self) -> Replica:
+        """Bring one more replica online at the current cluster clock.
+
+        A still-draining replica is revived instead of spawning a fresh
+        one: it is strictly cheaper (no cold start, deltas still
+        resident) and keeps the node count flat — which is what makes
+        scale-up safe when draining replicas still hold their nodes.
+        """
+        draining = [r for r in self.replicas if r.draining]
+        if draining:
+            revived = max(draining, key=lambda r: r.id)   # youngest first
+            revived.draining = False
+            return revived
+        if self._factory is None:
+            raise RuntimeError(
+                "this gateway has a fixed replica set (no engine factory)")
+        node = self._cluster.acquire() if self._cluster is not None else None
+        engine = self._factory(node) if node is not None \
+            else self._factory(None)
+        # the new replica joins *now*: its private clock starts at the
+        # cluster frontier so cold-start latencies are measured from spawn
+        engine.clock = max(engine.clock, self.clock)
+        return self._add_replica(engine, node=node)
+
+    def drain_replica(self, replica: Optional[Replica] = None) -> Replica:
+        """Stop routing to one replica; it is retired once it drains."""
+        if replica is not None and replica.draining:
+            return replica
+        active = self.active_replicas()
+        if len(active) <= 1:
+            raise RuntimeError("cannot drain the last active replica")
+        if replica is None:
+            # cheapest to retire: least outstanding work; on ties the
+            # youngest goes first (spawned last, drained first)
+            replica = min(active, key=lambda r: (r.unfinished, -r.id))
+        replica.draining = True
+        self.balancer.on_removed(replica)
+        self._reap_drained()
+        return replica
+
+    def _add_replica(self, engine: ServingEngine,
+                     name: Optional[str] = None,
+                     node: Optional[GPUNode] = None) -> Replica:
+        replica = Replica(self._next_replica_id, engine, name=name,
+                          node=node, on_token=self._on_token,
+                          on_request_complete=self._record_completion,
+                          collect_timeline=self._collect_timeline)
+        self._next_replica_id += 1
+        self.replicas.append(replica)
+        return replica
+
+    def _reap_drained(self) -> None:
+        for replica in [r for r in self.replicas
+                        if r.draining and r.unfinished == 0]:
+            self.replicas.remove(replica)
+            self.retired.append(replica)
+            if self._cluster is not None and replica.node is not None:
+                self._cluster.release(replica.node)
+
+    # ------------------------------------------------------------------ #
+    # the single-gateway surface
+    # ------------------------------------------------------------------ #
+    @property
+    def clock(self) -> float:
+        """Cluster simulated time: the most-advanced replica's clock."""
+        return max((r.clock for r in self.replicas + self.retired),
+                   default=0.0)
+
+    @property
+    def unfinished(self) -> int:
+        return sum(r.unfinished for r in self.replicas) + \
+            len(self._unrouted)
+
+    @property
+    def backlog(self) -> int:
+        """Cluster-wide arrived-but-unfinished requests."""
+        return sum(r.backlog for r in self.replicas)
+
+    def submit(self, model_id: str, prompt_len: int, output_len: int,
+               arrival_s: Optional[float] = None) -> int:
+        """Submit one request; the balancer picks its replica."""
+        if prompt_len < 1 or output_len < 1:
+            raise ValueError("prompt_len and output_len must be >= 1")
+        active = self.active_replicas()
+        if not active:
+            raise RuntimeError("no active replicas")
+        if arrival_s is None:
+            arrival_s = self.clock
+        request = TraceRequest(request_id=self._next_id, model_id=model_id,
+                               arrival_s=float(arrival_s),
+                               prompt_tokens=int(prompt_len),
+                               output_tokens=int(output_len))
+        self._next_id += 1
+        self.balancer.choose(model_id, active).gateway.ingest(request)
+        return request.request_id
+
+    def step(self) -> bool:
+        """Advance the least-advanced replica that has work by one engine
+        iteration; False once no replica can make progress (all drained,
+        past their sim-time cap, or wedged on inadmissible requests)."""
+        self._route_due()
+        busy = sorted((r for r in self.replicas if r.unfinished > 0
+                       and r.clock < r.engine.config.max_sim_seconds),
+                      key=lambda r: (r.clock, r.id))
+        for replica in busy:
+            if replica.gateway.step():
+                self._reap_drained()
+                if self.autoscaler is not None:
+                    self.autoscaler.control(self)
+                return True
+        self._reap_drained()
+        return False
+
+    def _route_due(self) -> None:
+        """Route unrouted trace requests the frontier has reached.
+
+        The frontier is the least busy-replica clock — the cluster never
+        simulates a replica below it, so routing everything due by then
+        (in arrival order) gives each replica its requests before it could
+        step past their arrival, and no earlier.  With every replica idle
+        the next arrival group is released to restart the clocks.
+        """
+        if not self._unrouted:
+            return
+        busy = [r.clock for r in self.replicas if r.unfinished > 0]
+        frontier = min(busy) if busy else self._unrouted[0][0]
+        while self._unrouted and self._unrouted[0][0] <= frontier:
+            _, _, request = heapq.heappop(self._unrouted)
+            active = self.active_replicas()
+            self.balancer.choose(request.model_id, active).gateway.ingest(
+                request)
+
+    def run_until_drained(self) -> ServingResult:
+        """Serve until everything submitted so far has finished."""
+        while self.step():
+            pass
+        return self.result()
+
+    def result(self) -> ServingResult:
+        """Merged cluster-level snapshot of completions so far."""
+        merged = ServingResult.merge(
+            list(self.results_by_replica().values()), engine="cluster",
+            config={"replicas": len(self.replicas) + len(self.retired),
+                    "balancer": self.balancer.name})
+        if self.autoscaler is not None:
+            merged.config["max_replicas_seen"] = \
+                self.autoscaler.max_replica_count
+        return merged
+
+    def results_by_replica(self) -> Dict[str, ServingResult]:
+        """Per-replica results keyed by replica name (retired included)."""
+        return {r.name: r.gateway.result()
+                for r in self.retired + self.replicas}
+
+    def replay(self, trace: Trace) -> ServingResult:
+        """Serve a pre-materialized trace as if it arrived live.
+
+        Each request is routed only once the simulation frontier reaches
+        its arrival (see :meth:`_route_due`), so load-dependent balancers
+        and the autoscaler react to offered load, not to a trace they can
+        see into the future of.  Request ids and arrival times are
+        preserved verbatim, and routing happens in arrival order — with
+        one replica (or a pinned lineage balancer) per-replica records
+        are bit-identical to ``engine.run(sub_trace)`` on the matching
+        partition.
+        """
+        self.reset()
+        max_id = -1
+        for request in trace:
+            heapq.heappush(self._unrouted,
+                           (request.arrival_s, request.request_id, request))
+            max_id = max(max_id, request.request_id)
+        self._next_id = max_id + 1
+        return self.run_until_drained()
+
+    def reset(self) -> None:
+        """Fresh simulated timeline on the current replica set (replicas
+        retired by earlier scale-downs are dropped, not resurrected)."""
+        for replica in self.replicas:
+            replica.engine.reset()
+        self.retired.clear()
+        self._unrouted.clear()
+        self._recent_records.clear()
+        self._next_id = 0
+        self.balancer.reset()
+        if self.autoscaler is not None:
+            self.autoscaler.reset()
+
+    # ------------------------------------------------------------------ #
+    # cluster-level telemetry
+    # ------------------------------------------------------------------ #
+    def recent_ttft_percentile(self, q: float = 90.0) -> float:
+        """TTFT percentile over the most recent completions (the
+        autoscaler's latency signal)."""
+        if not self._recent_records:
+            return 0.0
+        return float(np.percentile(
+            [r.ttft_s for r in self._recent_records], q))
+
+    def _record_completion(self, record: RequestRecord) -> None:
+        self._recent_records.append(record)
+        if self._on_complete is not None:
+            self._on_complete(record)

@@ -76,6 +76,17 @@ class ServingGateway:
         self.engine.submit(request)
         return request.request_id
 
+    def ingest(self, request: TraceRequest) -> int:
+        """Submit a fully-formed :class:`TraceRequest` verbatim.
+
+        Preserves the caller's request id and arrival time — the entry
+        point used by trace replay and by the cluster gateway, which
+        allocates ids globally so merged records stay unique.
+        """
+        self.engine.submit(request)
+        self._next_id = max(self._next_id, request.request_id + 1)
+        return request.request_id
+
     def step(self) -> bool:
         """One engine iteration; False when the engine is drained."""
         return self.engine.step()
@@ -97,6 +108,11 @@ class ServingGateway:
     def unfinished(self) -> int:
         return self.engine.unfinished
 
+    @property
+    def backlog(self) -> int:
+        """Arrived-but-unfinished requests (future arrivals excluded)."""
+        return self.engine.backlog
+
     # ------------------------------------------------------------------ #
     # offline adapter
     # ------------------------------------------------------------------ #
@@ -108,11 +124,8 @@ class ServingGateway:
         (preserving its request id and arrival time), and drains.
         """
         self.engine.reset()
-        max_id = -1
         for request in trace:
-            self.engine.submit(request)
-            max_id = max(max_id, request.request_id)
-        self._next_id = max_id + 1
+            self.ingest(request)
         return self.run_until_drained()
 
     # ------------------------------------------------------------------ #

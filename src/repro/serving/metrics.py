@@ -56,13 +56,18 @@ class ServingResult:
         The merged makespan spans the earliest arrival to the latest
         finish across every record, so percentile/SLO/throughput math on
         the merged result stays consistent with the per-group results.
+
+        Merging nothing (no results, or only empty ones) is well-defined:
+        an empty result with zero makespan whose rate/latency/percentile
+        accessors and :func:`summarize` all return 0.0 instead of tripping
+        percentile or division math.
         """
         records = [r for res in results for r in res.records]
-        if records:
-            makespan = max(r.finish_s for r in records) - \
-                min(r.arrival_s for r in records)
-        else:
-            makespan = 1e-9
+        if not records:
+            return cls(engine=engine, records=[], makespan_s=0.0,
+                       config=dict(config) if config else {})
+        makespan = max(r.finish_s for r in records) - \
+            min(r.arrival_s for r in records)
         return cls(engine=engine, records=records,
                    makespan_s=max(makespan, 1e-9),
                    config=dict(config) if config else {})
@@ -140,9 +145,13 @@ def summarize(result: ServingResult) -> Dict[str, float]:
         "throughput_rps": result.throughput_rps(),
         "token_throughput": result.token_throughput(),
         "mean_e2e_s": result.mean_e2e_latency_s(),
+        "p50_e2e_s": result.percentile_e2e_s(50),
         "p90_e2e_s": result.percentile_e2e_s(90),
+        "p99_e2e_s": result.percentile_e2e_s(99),
         "mean_ttft_s": result.mean_ttft_s(),
+        "p50_ttft_s": result.percentile_ttft_s(50),
         "p90_ttft_s": result.percentile_ttft_s(90),
+        "p99_ttft_s": result.percentile_ttft_s(99),
         "mean_time_per_token_s": result.mean_time_per_token_s(),
         "makespan_s": result.makespan_s,
     }

@@ -2,20 +2,25 @@
 
 Paper §5.1: *"If there are M base models and M > 1, we divide the GPU
 cluster into M sets of GPUs, each dedicated to serving a particular base
-model and its fine-tuned variants."*  The router partitions an incoming
-trace by lineage (via each group's Model Manager), runs one serving engine
-per group (any engine registered in :data:`~repro.serving.base.ENGINES`),
-and merges the per-group results into a cluster-level view.
+model and its fine-tuned variants."*  The router is a thin lineage policy
+over the cluster serving layer: it builds a
+:class:`~repro.serving.cluster.ClusterGateway` with one replica per base
+group and a :class:`~repro.serving.cluster.LineageAffinityBalancer` pinned
+base → replica, so requests can be submitted online (out of order, across
+groups) or replayed from a trace — both paths land each request on the
+engine owning its variant's lineage.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..hardware.cluster import GPUNode
 from ..workload.spec import Trace
 from .base import EngineConfig, ServingEngine, create_engine
+from .cluster import ClusterGateway, LineageAffinityBalancer
+from .gateway import CompletionCallback, TokenCallback
 from .metrics import ServingResult
 from .model_manager import ModelManager
 from .scheduler import SchedulerConfig
@@ -78,15 +83,40 @@ class MultiBaseRouter:
                                  duration_s=trace.duration_s)
         return out
 
+    def gateway(self, on_token: Optional[TokenCallback] = None,
+                on_request_complete: Optional[CompletionCallback] = None,
+                collect_timeline: bool = False) -> ClusterGateway:
+        """An online cluster gateway over the per-base groups.
+
+        One replica per group (named after its ``base_id``), with a
+        lineage balancer pinned so every variant's requests land on the
+        replica that owns — and keeps resident — its base and deltas.
+        Submissions may arrive in any order across groups.
+        """
+        balancer = LineageAffinityBalancer(owner_of=self.owner_of)
+        names = list(self.groups)
+        gateway = ClusterGateway.from_engines(
+            [self.groups[base_id].engine() for base_id in names],
+            names=names, balancer=balancer, on_token=on_token,
+            on_request_complete=on_request_complete,
+            collect_timeline=collect_timeline)
+        for base_id, replica in zip(names, gateway.replicas):
+            balancer.pin(base_id, replica)
+        return gateway
+
     def run(self, trace: Trace) -> Dict[str, ServingResult]:
-        """Serve each partition on its group; returns per-base results
-        plus a merged ``"__cluster__"`` entry."""
-        partitions = self.partition(trace)
-        results: Dict[str, ServingResult] = {}
-        for base_id, sub in partitions.items():
-            if len(sub) == 0:
-                continue
-            results[base_id] = self.groups[base_id].engine().run(sub)
+        """Serve a trace across the groups; returns per-base results plus
+        a merged ``"__cluster__"`` entry.
+
+        A thin replay adapter over :meth:`gateway`: routing a trace
+        through the pinned lineage balancer partitions it exactly as
+        :meth:`partition` does, so per-base records are identical to
+        running each partition on a standalone engine."""
+        gateway = self.gateway()
+        gateway.replay(trace)
+        results = {base_id: res
+                   for base_id, res in gateway.results_by_replica().items()
+                   if res.n_requests > 0}
         results["__cluster__"] = ServingResult.merge(
             list(results.values()), engine="multi-base",
             config={"groups": sorted(self.groups)})

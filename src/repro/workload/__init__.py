@@ -1,15 +1,19 @@
 """Workload traces and generators (paper §6.1)."""
 
-from .arrival import gamma_burst_arrivals, poisson_arrivals
-from .generators import azure_like_trace, synthetic_trace, trace_from_distribution
+from .arrival import (gamma_burst_arrivals, piecewise_rate_arrivals,
+                      poisson_arrivals, ramp_arrivals)
+from .generators import (azure_like_trace, ramp_trace, synthetic_trace,
+                         trace_from_distribution)
 from .lmsys import ARENA_MODEL_NAMES, arena_trace
 from .popularity import (make_model_ids, sample_models, uniform_popularity,
                          zipf_popularity)
 from .spec import LengthSampler, Trace, TraceRequest
 
 __all__ = [
-    "gamma_burst_arrivals", "poisson_arrivals",
-    "azure_like_trace", "synthetic_trace", "trace_from_distribution",
+    "gamma_burst_arrivals", "piecewise_rate_arrivals", "poisson_arrivals",
+    "ramp_arrivals",
+    "azure_like_trace", "ramp_trace", "synthetic_trace",
+    "trace_from_distribution",
     "ARENA_MODEL_NAMES", "arena_trace",
     "make_model_ids", "sample_models", "uniform_popularity", "zipf_popularity",
     "LengthSampler", "Trace", "TraceRequest",

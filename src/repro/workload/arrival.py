@@ -1,12 +1,14 @@
-"""Arrival processes: Poisson (the paper's default) and bursty variants."""
+"""Arrival processes: Poisson (the paper's default), bursty variants, and
+piecewise-rate ramps for autoscaler studies."""
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["poisson_arrivals", "gamma_burst_arrivals"]
+__all__ = ["poisson_arrivals", "gamma_burst_arrivals",
+           "piecewise_rate_arrivals", "ramp_arrivals"]
 
 
 def poisson_arrivals(rate: float, duration_s: float,
@@ -45,3 +47,48 @@ def gamma_burst_arrivals(rate: float, duration_s: float,
         times.append(t)
         t += float(rng.gamma(shape, scale))
     return times
+
+
+def piecewise_rate_arrivals(segments: Sequence[Tuple[float, float]],
+                            rng: np.random.Generator,
+                            cv: float = 1.0) -> List[float]:
+    """Arrivals whose rate steps through ``(rate, duration_s)`` segments.
+
+    The offered load an autoscaler reacts to: each segment draws its own
+    (Poisson, or gamma-bursty for ``cv > 1``) process at that segment's
+    rate, shifted to the segment's start.  A zero-rate segment is a quiet
+    gap.
+    """
+    times: List[float] = []
+    offset = 0.0
+    for rate, duration_s in segments:
+        if duration_s < 0:
+            raise ValueError("segment durations must be >= 0")
+        if cv == 1.0:
+            segment = poisson_arrivals(rate, duration_s, rng)
+        else:
+            segment = gamma_burst_arrivals(rate, duration_s, rng, cv=cv)
+        times.extend(offset + t for t in segment)
+        offset += duration_s
+    return times
+
+
+def ramp_arrivals(peak_rate: float, duration_s: float,
+                  rng: np.random.Generator, base_rate: float = 0.0,
+                  n_steps: int = 8, cv: float = 1.0) -> List[float]:
+    """A triangular rate ramp: ``base_rate`` up to ``peak_rate`` and back.
+
+    The canonical autoscaler stimulus — offered load rises over the first
+    half, falls over the second, so a well-tuned controller's replica
+    count should trace the same triangle.  The first and last steps run
+    at ``base_rate`` and the middle step (two middle steps for even
+    ``n_steps``) at exactly ``peak_rate``.
+    """
+    if n_steps < 3:
+        raise ValueError("need at least 3 ramp steps")
+    step_s = duration_s / n_steps
+    rise = (n_steps - 1) // 2
+    rates = [base_rate + (peak_rate - base_rate) *
+             min(i, n_steps - 1 - i) / rise
+             for i in range(n_steps)]
+    return piecewise_rate_arrivals([(r, step_s) for r in rates], rng, cv=cv)

@@ -15,12 +15,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from .arrival import gamma_burst_arrivals, poisson_arrivals
+from .arrival import gamma_burst_arrivals, poisson_arrivals, ramp_arrivals
 from .popularity import (make_model_ids, sample_models, uniform_popularity,
                          zipf_popularity)
 from .spec import LengthSampler, Trace, TraceRequest
 
-__all__ = ["synthetic_trace", "azure_like_trace", "trace_from_distribution"]
+__all__ = ["synthetic_trace", "azure_like_trace", "ramp_trace",
+           "trace_from_distribution"]
 
 
 def synthetic_trace(
@@ -92,6 +93,42 @@ def azure_like_trace(
     for i, req in enumerate(trace.requests):
         req.request_id = i
     return trace
+
+
+def ramp_trace(
+    n_models: int,
+    peak_rate: float,
+    duration_s: float,
+    base_rate: float = 0.0,
+    n_steps: int = 8,
+    cv: float = 1.0,
+    seed: int = 0,
+    length_sampler: Optional[LengthSampler] = None,
+    model_prefix: str = "variant",
+) -> Trace:
+    """Uniform-popularity trace whose arrival rate ramps up then down.
+
+    The stimulus the cluster autoscaler is scored against: offered load
+    climbs from ``base_rate`` to ``peak_rate`` over the first half of the
+    window and falls back over the second (``cv > 1`` makes each step
+    bursty as well).
+    """
+    rng = np.random.default_rng(seed)
+    model_ids = make_model_ids(n_models, prefix=model_prefix)
+    sampler = length_sampler or LengthSampler()
+
+    times = ramp_arrivals(peak_rate, duration_s, rng, base_rate=base_rate,
+                          n_steps=n_steps, cv=cv)
+    picks = sample_models(uniform_popularity(n_models), len(times), rng)
+    requests = []
+    for i, (t, model_idx) in enumerate(zip(times, picks)):
+        prompt, output = sampler.sample(rng)
+        requests.append(TraceRequest(request_id=i,
+                                     model_id=model_ids[model_idx],
+                                     arrival_s=t, prompt_tokens=prompt,
+                                     output_tokens=output))
+    return Trace(requests=requests, model_ids=model_ids,
+                 duration_s=duration_s)
 
 
 def trace_from_distribution(distribution: str, n_models: int, rate: float,

@@ -72,6 +72,30 @@ class TestCLI:
                      "--model", "llama-7b", "--gpus", "1", "--tp", "1",
                      "--systems", "deltazip", "--verbose"]) == 0
 
+    def test_cluster_mode(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.jsonl")
+        assert main(["trace", "--distribution", "uniform", "--models", "4",
+                     "--rate", "2.0", "--duration", "20",
+                     "--out", trace_path]) == 0
+        assert main(["cluster", "--trace", trace_path,
+                     "--model", "llama-7b", "--gpus", "1", "--tp", "1",
+                     "--replicas", "1,2", "--balancer", "lineage"]) == 0
+        lines = [ln for ln in capsys.readouterr().out.splitlines()
+                 if ln.strip() and not ln.startswith("replicas")]
+        assert len(lines) >= 2  # one row per swept replica count
+
+    def test_cluster_mode_autoscale(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.jsonl")
+        assert main(["trace", "--distribution", "uniform", "--models", "4",
+                     "--rate", "4.0", "--duration", "30",
+                     "--out", trace_path]) == 0
+        assert main(["cluster", "--trace", trace_path,
+                     "--model", "llama-7b", "--gpus", "1", "--tp", "1",
+                     "--replicas", "1", "--autoscale",
+                     "--max-replicas", "3", "--high-queue", "2",
+                     "--verbose"]) == 0
+        assert "peak" in capsys.readouterr().out
+
     def test_pretrain_finetune_compress_evaluate(self, tmp_path):
         base = str(tmp_path / "base.ckpt")
         ft = str(tmp_path / "ft.ckpt")

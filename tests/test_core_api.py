@@ -91,6 +91,16 @@ class TestSimulate:
                                  engine=EngineConfig(tp_degree=1))
         assert result.n_requests == len(trace)
 
+    def test_simulate_warns_deprecated(self, system):
+        """The legacy wrapper must announce its retirement path."""
+        trace = synthetic_trace(1, rate=0.5, duration_s=20.0, seed=0)
+        with pytest.warns(DeprecationWarning,
+                          match=r"DeltaZip\.session"):
+            system.simulate(trace, served_spec=LLAMA_7B,
+                            default_ratio=8.0,
+                            scheduler=SchedulerConfig(8, 2),
+                            engine=EngineConfig(tp_degree=1))
+
     def test_unregistered_model_needs_default(self, system):
         trace = synthetic_trace(2, rate=0.5, duration_s=20.0, seed=0)
         with pytest.raises(KeyError):

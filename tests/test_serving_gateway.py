@@ -216,9 +216,20 @@ class TestServingResultMerge:
         assert merged.config["groups"] == ["a", "b"]
 
     def test_merge_empty(self):
-        merged = ServingResult.merge([])
-        assert merged.n_requests == 0
-        assert merged.makespan_s == pytest.approx(1e-9)
+        # regression: empty merges must be well-defined all the way down
+        # the percentile/throughput/summary math, not just constructible
+        from repro.serving import summarize
+        for results in ([], [ServingResult.merge([])],
+                        [ServingResult("e", [], 1.0)]):
+            merged = ServingResult.merge(results)
+            assert merged.n_requests == 0
+            assert merged.makespan_s == 0.0
+            assert merged.throughput_rps() == 0.0
+            assert merged.percentile_e2e_s(99) == 0.0
+            assert merged.percentile_ttft_s(50) == 0.0
+            summary = summarize(merged)
+            assert summary["p99_e2e_s"] == 0.0
+            assert summary["p50_ttft_s"] == 0.0
 
 
 class TestSessionBuilder:

@@ -71,6 +71,70 @@ class TestRouting:
         assert results["__cluster__"].n_requests == 2
 
 
+def record_key(rec):
+    return (rec.request_id, rec.model_id, rec.finish_s, rec.first_token_s,
+            rec.queue_wait_s, rec.loading_s, rec.inference_s,
+            rec.preemptions, rec.skipped_line)
+
+
+class TestClusterRefactor:
+    """Acceptance: run(trace) over the ClusterGateway is record-identical
+    to the pre-refactor one-engine-per-partition loop."""
+
+    def test_run_matches_per_partition_engines(self, router):
+        trace = make_trace(["llama-ft-a", "pythia-ft-a", "llama-ft-b",
+                            "pythia-ft-a", "llama-ft-a", "llama-ft-b"])
+        via_cluster = router.run(trace)
+        for base_id, sub in router.partition(trace).items():
+            if len(sub) == 0:
+                continue
+            legacy = router.groups[base_id].engine().run(sub)
+            assert [record_key(r) for r in legacy.records] == \
+                [record_key(r) for r in via_cluster[base_id].records]
+            assert legacy.makespan_s == via_cluster[base_id].makespan_s
+
+
+class TestOnlinePath:
+    """The router is an online system too: submissions may arrive in any
+    order across base groups."""
+
+    def test_out_of_order_submit_across_groups(self, router):
+        gateway = router.gateway()
+        # interleaved across groups, with non-monotonic arrival times
+        submissions = [("pythia-ft-a", 5.0), ("llama-ft-b", 1.0),
+                       ("pythia-ft-a", 0.5), ("llama-ft-a", 3.0)]
+        for model_id, arrival in submissions:
+            gateway.submit(model_id, 16, 4, arrival_s=arrival)
+        merged = gateway.run_until_drained()
+        assert merged.n_requests == len(submissions)
+        by_group = gateway.results_by_replica()
+        assert by_group["llama"].n_requests == 2
+        assert by_group["pythia"].n_requests == 2
+        # lineage routing held for every record
+        for base_id in ("llama", "pythia"):
+            assert all(router.owner_of(r.model_id) == base_id
+                       for r in by_group[base_id].records)
+
+    def test_per_group_callback_delivery(self, router):
+        completions = []
+        gateway = router.gateway(
+            on_request_complete=lambda rec: completions.append(rec))
+        rid_p = gateway.submit("pythia-ft-a", 16, 4)
+        rid_l = gateway.submit("llama-ft-a", 16, 4)
+        gateway.run_until_drained()
+        assert sorted(r.request_id for r in completions) == \
+            sorted([rid_p, rid_l])
+        owners = {r.request_id: router.owner_of(r.model_id)
+                  for r in completions}
+        assert owners[rid_p] == "pythia"
+        assert owners[rid_l] == "llama"
+
+    def test_unknown_model_rejected_online(self, router):
+        gateway = router.gateway()
+        with pytest.raises(KeyError):
+            gateway.submit("mystery", 8, 4)
+
+
 class TestValidation:
     def test_requires_groups(self):
         with pytest.raises(ValueError):

@@ -6,9 +6,10 @@ import pytest
 from repro.workload import (ARENA_MODEL_NAMES, LengthSampler, Trace,
                             TraceRequest, arena_trace, azure_like_trace,
                             gamma_burst_arrivals, make_model_ids,
-                            poisson_arrivals, sample_models, synthetic_trace,
-                            trace_from_distribution, uniform_popularity,
-                            zipf_popularity)
+                            piecewise_rate_arrivals, poisson_arrivals,
+                            ramp_arrivals, ramp_trace, sample_models,
+                            synthetic_trace, trace_from_distribution,
+                            uniform_popularity, zipf_popularity)
 
 
 class TestArrivals:
@@ -33,6 +34,49 @@ class TestArrivals:
                                               np.random.default_rng(1),
                                               cv=6.0))
         assert np.std(bursty) > 2 * np.std(poisson)
+
+
+class TestRampArrivals:
+    def test_piecewise_rates_match_segments(self, rng):
+        times = piecewise_rate_arrivals([(10.0, 500.0), (0.0, 100.0),
+                                         (1.0, 500.0)], rng)
+        first = [t for t in times if t < 500.0]
+        quiet = [t for t in times if 500.0 <= t < 600.0]
+        last = [t for t in times if t >= 600.0]
+        assert len(first) / 500.0 == pytest.approx(10.0, rel=0.15)
+        assert quiet == []
+        assert len(last) / 500.0 == pytest.approx(1.0, rel=0.3)
+        assert times == sorted(times)
+
+    def test_negative_duration_rejected(self, rng):
+        with pytest.raises(ValueError):
+            piecewise_rate_arrivals([(1.0, -5.0)], rng)
+
+    def test_ramp_peaks_in_the_middle(self, rng):
+        times = ramp_arrivals(20.0, 900.0, rng, base_rate=1.0, n_steps=9)
+        thirds = np.histogram(times, bins=[0, 300, 600, 900])[0]
+        assert thirds[1] > thirds[0]
+        assert thirds[1] > thirds[2]
+
+    def test_ramp_offers_the_full_peak_rate(self, rng):
+        # the middle step must run at peak_rate itself, not just near it
+        times = ramp_arrivals(30.0, 900.0, rng, base_rate=0.0, n_steps=9)
+        middle = [t for t in times if 400.0 <= t < 500.0]
+        assert len(middle) / 100.0 == pytest.approx(30.0, rel=0.15)
+
+    def test_ramp_needs_steps(self, rng):
+        for n_steps in (1, 2):
+            with pytest.raises(ValueError):
+                ramp_arrivals(5.0, 100.0, rng, n_steps=n_steps)
+
+    def test_ramp_trace_shape(self):
+        trace = ramp_trace(4, peak_rate=6.0, duration_s=120.0,
+                           base_rate=0.5, seed=2)
+        assert len(trace) > 0
+        assert trace.duration_s == 120.0
+        assert set(r.model_id for r in trace) <= set(trace.model_ids)
+        ids = [r.request_id for r in trace]
+        assert ids == sorted(ids)
 
 
 class TestPopularity:
