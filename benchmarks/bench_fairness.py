@@ -1,0 +1,121 @@
+"""Multi-tenant fairness: FCFS vs VTC fair queueing vs SLO-aware shedding.
+
+Beyond the paper's single-operator view: the ROADMAP's production
+north-star shares one deployment between tenants, and PR 2's cluster
+frontier is where admission control lives.  This driver overloads one
+aggressive batch tenant against two light interactive/standard tenants on
+a single replica and measures, per admission policy, each tenant's TTFT
+tail and SLO attainment (drops count against the tenant that was dropped)
+plus Jain's fairness index over attainment.
+
+Expected shape: FCFS lets the aggressive tenant's backlog head-of-line
+block everyone; VTC restores the light tenants' latency; VTC + shedding
+additionally caps the aggressive backlog so light attainment stays high
+under sustained overload.
+"""
+
+from conftest import run_once, save_table
+from repro.serving import (EngineConfig, LLAMA_7B, SchedulerConfig,
+                           ServingGateway, Tenant, TenantGateway,
+                           create_engine, jain_fairness_index)
+from repro.workload import TenantWorkload, multi_tenant_trace
+from serving_common import a800_node, delta_manager
+
+DURATION_S = 120.0
+TRACE_SEED = 11
+AGGRESSIVE_RATE = 6.0      # far beyond one replica's capacity
+LIGHT_RATE = 0.4
+
+TENANTS = (
+    Tenant("agg", weight=1.0, slo_class="batch"),
+    Tenant("gold", weight=2.0, slo_class="interactive"),
+    Tenant("silver", weight=1.0, slo_class="standard"),
+)
+WORKLOADS = (
+    TenantWorkload("agg", rate=AGGRESSIVE_RATE, n_models=4),
+    TenantWorkload("gold", rate=LIGHT_RATE, n_models=2),
+    TenantWorkload("silver", rate=LIGHT_RATE, n_models=2),
+)
+POLICIES = (("fcfs", False), ("vtc", False), ("vtc", True))
+
+
+def _run_policy(trace, mgr, policy, shed):
+    engine = create_engine(
+        "deltazip", mgr, a800_node(1),
+        scheduler_config=SchedulerConfig(max_batch_requests=8,
+                                         max_concurrent_deltas=4),
+        engine_config=EngineConfig(tp_degree=1))
+    gateway = TenantGateway(ServingGateway(engine), tenants=TENANTS,
+                            policy=policy, shed=shed)
+    result = gateway.replay(trace)
+    attainment = gateway.slo_attainment(result)
+    rows = {}
+    for tenant in TENANTS:
+        stats = gateway.controller.stats[tenant.tenant_id]
+        sliced = result.for_tenant(tenant.tenant_id)
+        rows[tenant.tenant_id] = {
+            "offered": stats.offered,
+            "done": sliced.n_requests,
+            "shed": stats.shed,
+            "p50_ttft_s": sliced.percentile_ttft_s(50),
+            "p99_ttft_s": sliced.percentile_ttft_s(99),
+            "attainment": attainment[tenant.tenant_id],
+        }
+    return rows
+
+
+def _experiment():
+    trace = multi_tenant_trace(WORKLOADS, duration_s=DURATION_S,
+                               seed=TRACE_SEED)
+    mgr = delta_manager(spec=LLAMA_7B, n_models=1, ratio=8.0)
+    for model_id in trace.model_ids:
+        mgr.register_delta(model_id, "base", 8.0)
+    out = {}
+    for policy, shed in POLICIES:
+        out[(policy, shed)] = _run_policy(trace, mgr, policy, shed)
+    return {"per_policy": out, "n_requests": len(trace)}
+
+
+def test_fairness(benchmark):
+    out = run_once(benchmark, _experiment)
+    per_policy = out["per_policy"]
+
+    lines = [f"offered load: {out['n_requests']} requests over "
+             f"{DURATION_S:.0f}s (agg {AGGRESSIVE_RATE}/s vs "
+             f"2 light x {LIGHT_RATE}/s, 1 replica)"]
+    jain = {}
+    for (policy, shed), rows in per_policy.items():
+        label = f"{policy}{'+shed' if shed else ''}"
+        lines.append("")
+        lines.append(f"[{label}]")
+        lines.append(f"{'tenant':8s} {'offered':>7s} {'done':>6s} "
+                     f"{'shed':>5s} {'p50_ttft':>9s} {'p99_ttft':>9s} "
+                     f"{'attain':>7s}")
+        for tenant, row in rows.items():
+            lines.append(f"{tenant:8s} {row['offered']:7d} {row['done']:6d} "
+                         f"{row['shed']:5d} {row['p50_ttft_s']:9.2f} "
+                         f"{row['p99_ttft_s']:9.2f} "
+                         f"{row['attainment']:7.1%}")
+        jain[(policy, shed)] = jain_fairness_index(
+            [row["attainment"] for row in rows.values()])
+        lines.append(f"Jain fairness (attainment): "
+                     f"{jain[(policy, shed)]:.3f}")
+    save_table("fairness", lines)
+
+    fcfs = per_policy[("fcfs", False)]
+    vtc = per_policy[("vtc", False)]
+    vtc_shed = per_policy[("vtc", True)]
+    for light in ("gold", "silver"):
+        # VTC must cut the light tenants' TTFT tail vs FCFS under overload
+        assert vtc[light]["p99_ttft_s"] < fcfs[light]["p99_ttft_s"]
+        # ... and VTC + shedding must raise their SLO attainment (the
+        # PR's acceptance criterion)
+        assert vtc_shed[light]["attainment"] > fcfs[light]["attainment"]
+        # shedding protects the light tenants, not the aggressor
+        assert vtc_shed[light]["shed"] == 0
+    assert vtc_shed["agg"]["shed"] > 0
+    # fairness index: VTC beats FCFS, with or without shedding
+    assert jain[("vtc", False)] > jain[("fcfs", False)]
+    assert jain[("vtc", True)] > jain[("fcfs", False)]
+    # shedding caps the aggressive backlog: its served tail tightens
+    assert vtc_shed["agg"]["p99_ttft_s"] < vtc["agg"]["p99_ttft_s"]

@@ -9,6 +9,8 @@ Mirrors the paper artifact's script workflow::
     repro evaluate  --model math.ckpt --task math
     repro trace     --distribution azure --rate 0.5 --out azure.jsonl
     repro simulate  --trace azure.jsonl --model llama-13b --systems both
+    repro tenancy   --tenants "agg:3.0:1.0:batch,gold:0.3:2.0:interactive" \\
+                    --policy both --shed
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -234,6 +236,79 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _parse_tenant_specs(text: str):
+    """``name:rate[:weight[:slo_class]]`` comma-separated → tenant specs."""
+    from repro.serving.tenancy import SLO_CLASSES, Tenant
+    from repro.workload import TenantWorkload
+
+    contracts, workloads = [], []
+    for chunk in text.split(","):
+        parts = chunk.strip().split(":")
+        if not 2 <= len(parts) <= 4 or not parts[0]:
+            raise ValueError(
+                f"bad tenant spec {chunk!r}; want name:rate[:weight[:slo]]")
+        name, rate = parts[0], float(parts[1])
+        weight = float(parts[2]) if len(parts) > 2 else 1.0
+        slo_class = parts[3] if len(parts) > 3 else "standard"
+        if slo_class not in SLO_CLASSES:
+            raise ValueError(f"unknown slo class {slo_class!r}; "
+                             f"known: {sorted(SLO_CLASSES)}")
+        contracts.append(Tenant(name, weight=weight, slo_class=slo_class))
+        workloads.append(TenantWorkload(name, rate=rate))
+    return contracts, workloads
+
+
+def _cmd_tenancy(args) -> int:
+    from repro.hardware import GPUNode, node_from_name
+    from repro.serving import (ENGINES, EngineConfig, MODEL_SPECS,
+                               SchedulerConfig, ServingGateway, TenantGateway,
+                               create_engine, jain_fairness_index)
+    from repro.workload import multi_tenant_trace
+
+    contracts, workloads = _parse_tenant_specs(args.tenants)
+    trace = multi_tenant_trace(workloads, duration_s=args.duration,
+                               seed=args.seed)
+    spec = MODEL_SPECS[args.model]
+    node = GPUNode(node_from_name(args.gpu, args.gpus))
+    engine_cls = ENGINES[args.engine]
+    mgr = _simulate_manager(engine_cls, spec, trace, args.ratio)
+    policies = ["fcfs", "vtc"] if args.policy == "both" else [args.policy]
+
+    for policy in policies:
+        engine = create_engine(
+            args.engine, mgr, node,
+            scheduler_config=SchedulerConfig(
+                max_batch_requests=args.batch,
+                max_concurrent_deltas=args.deltas),
+            engine_config=EngineConfig(tp_degree=args.tp))
+        gateway = TenantGateway(ServingGateway(engine),
+                                tenants=contracts, policy=policy,
+                                shed=args.shed,
+                                engine_queue_depth=args.depth)
+        result = gateway.replay(trace)
+
+        attainment = gateway.slo_attainment(result)
+        print(f"\n=== policy: {policy}"
+              f"{' + shed' if args.shed else ''}  "
+              f"({result.n_requests}/{len(trace)} served) ===")
+        print(f"{'tenant':12s} {'offered':>7s} {'done':>6s} {'shed':>5s} "
+              f"{'rej':>4s} {'p50_ttft':>9s} {'p99_ttft':>9s} "
+              f"{'slo':>6s} {'attain':>7s}")
+        for contract in contracts:
+            stats = gateway.controller.stats[contract.tenant_id]
+            sliced = result.for_tenant(contract.tenant_id)
+            print(f"{contract.tenant_id:12s} {stats.offered:7d} "
+                  f"{sliced.n_requests:6d} {stats.shed:5d} "
+                  f"{stats.rejected:4d} "
+                  f"{sliced.percentile_ttft_s(50):9.2f} "
+                  f"{sliced.percentile_ttft_s(99):9.2f} "
+                  f"{contract.slo_s:6.0f} "
+                  f"{attainment[contract.tenant_id]:7.1%}")
+        print(f"Jain fairness (SLO attainment): "
+              f"{jain_fairness_index(list(attainment.values())):.3f}")
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
@@ -346,6 +421,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="assumed delta compression ratio")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_cluster)
+
+    p = sub.add_parser("tenancy",
+                       help="multi-tenant admission control study")
+    p.add_argument("--tenants",
+                   default="agg:3.0:1.0:batch,"
+                           "gold:0.3:2.0:interactive,"
+                           "silver:0.3:1.0:standard",
+                   help="comma-separated name:rate[:weight[:slo_class]]")
+    p.add_argument("--policy", default="both",
+                   choices=["fcfs", "vtc", "both"])
+    p.add_argument("--shed", action="store_true",
+                   help="drop requests whose predicted TTFT breaches "
+                        "their tenant's SLO")
+    p.add_argument("--depth", type=int, default=None,
+                   help="frontier queue depth (engine-side admits per "
+                        "replica); default: unbounded for fcfs, one "
+                        "engine batch (--batch) for vtc")
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--model", default="llama-13b",
+                   choices=["llama-7b", "llama-13b", "llama-70b",
+                            "pythia-2.8b"])
+    p.add_argument("--engine", default="deltazip", choices=sorted(ENGINES))
+    p.add_argument("--gpu", default="a800")
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--tp", type=int, default=4)
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--deltas", type=int, default=8)
+    p.add_argument("--ratio", type=float, default=10.0,
+                   help="assumed delta compression ratio")
+    p.set_defaults(func=_cmd_tenancy)
     return parser
 
 

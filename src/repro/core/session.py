@@ -25,6 +25,23 @@ drain replicas at runtime::
                  .with_autoscaler(max_replicas=8, high_queue_per_replica=6)
                  .build())
 
+Multi-tenant admission control layers on the same way:
+``.with_tenants(...)`` declares per-tenant contracts (weights, SLO
+classes, token-bucket rates, quotas) and ``.with_admission(...)`` picks
+the frontier policy (FCFS or VTC fair queueing, optional SLO-aware
+shedding); the session then serves through a
+:class:`~repro.serving.tenancy.TenantGateway` and ``submit`` accepts a
+``tenant_id``::
+
+    session = (dz.session("deltazip")
+                 .serving(LLAMA_13B)
+                 .with_tenants(Tenant("burst", rate_tokens_per_s=500.0),
+                               Tenant("gold", weight=4.0,
+                                      slo_class="interactive"))
+                 .with_admission(policy="vtc", shed=True)
+                 .build())
+    session.submit("vicuna", 128, 64, tenant_id="gold")
+
 Any engine registered in :data:`~repro.serving.base.ENGINES` can back a
 session; registered artifacts contribute their *measured* compression
 ratios to the simulated swap sizes, exactly as the legacy ``simulate``
@@ -46,6 +63,7 @@ from ..serving.metrics import ServingResult
 from ..serving.model_manager import ModelManager
 from ..serving.models import ServedModelSpec
 from ..serving.scheduler import SchedulerConfig
+from ..serving.tenancy import (AdmissionController, Tenant, TenantGateway)
 from ..workload.spec import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -73,6 +91,9 @@ class ServingSessionBuilder:
         self._balancer: Union[str, LoadBalancer] = "least-outstanding"
         self._autoscaler: Optional[Autoscaler] = None
         self._cluster: Optional[Cluster] = None
+        self._tenants: List[Tenant] = []
+        self._admission: Optional[AdmissionController] = None
+        self._admission_kwargs: Optional[dict] = None
 
     # ------------------------------------------------------------------ #
     def serving(self, spec: ServedModelSpec) -> "ServingSessionBuilder":
@@ -128,6 +149,29 @@ class ServingSessionBuilder:
             self._autoscaler = Autoscaler(**kwargs)
         return self
 
+    def with_tenants(self, *tenants: Tenant) -> "ServingSessionBuilder":
+        """Declare per-tenant contracts (weight, SLO class, token-bucket
+        rate/burst, quota); implies an admission layer in front of the
+        gateway.  See :class:`~repro.serving.tenancy.Tenant`."""
+        if not tenants:
+            raise ValueError("pass at least one Tenant")
+        self._tenants.extend(tenants)
+        return self
+
+    def with_admission(self, controller: Optional[AdmissionController] = None,
+                       **kwargs) -> "ServingSessionBuilder":
+        """Admission policy at the frontier: pass an
+        :class:`~repro.serving.tenancy.AdmissionController` or its kwargs
+        (``policy="fcfs"|"vtc"``, ``shed=True``, ``engine_queue_depth``,
+        ...)."""
+        if controller is not None and kwargs:
+            raise ValueError("pass either a controller or kwargs")
+        if controller is not None:
+            self._admission = controller
+        else:
+            self._admission_kwargs = kwargs
+        return self
+
     def with_scheduler(self, config: Optional[SchedulerConfig] = None,
                        **kwargs) -> "ServingSessionBuilder":
         """Scheduler limits: pass a ``SchedulerConfig`` or its kwargs."""
@@ -170,25 +214,41 @@ class ServingSessionBuilder:
                 and self._cluster is None:
             node = self._node or GPUNode(node_from_name("a800", 4))
             engine = self._make_engine(manager, node)
-            return ServingSession(ServingGateway(engine), manager,
-                                  system.base_model_id, engine_cls,
-                                  self._default_ratio)
+            gateway: Union[ServingGateway, ClusterGateway] = \
+                ServingGateway(engine)
+        else:
+            cluster = self._cluster
+            if cluster is None:
+                ceiling = self._n_replicas
+                if self._autoscaler is not None:
+                    ceiling = max(ceiling,
+                                  self._autoscaler.config.max_replicas)
+                template = self._node or GPUNode(node_from_name("a800", 4))
+                cluster = Cluster(template.spec, n_nodes=ceiling)
+            # an explicitly-passed cluster that is too small for the replica
+            # ceiling is rejected by ClusterGateway itself
+            gateway = ClusterGateway(
+                engine_factory=lambda node: self._make_engine(manager, node),
+                cluster=cluster, n_replicas=self._n_replicas,
+                balancer=self._balancer, autoscaler=self._autoscaler)
+        return ServingSession(self._wrap_admission(gateway), manager,
+                              system.base_model_id, engine_cls,
+                              self._default_ratio)
 
-        cluster = self._cluster
-        if cluster is None:
-            ceiling = self._n_replicas
-            if self._autoscaler is not None:
-                ceiling = max(ceiling, self._autoscaler.config.max_replicas)
-            template = self._node or GPUNode(node_from_name("a800", 4))
-            cluster = Cluster(template.spec, n_nodes=ceiling)
-        # an explicitly-passed cluster that is too small for the replica
-        # ceiling is rejected by ClusterGateway itself
-        gateway = ClusterGateway(
-            engine_factory=lambda node: self._make_engine(manager, node),
-            cluster=cluster, n_replicas=self._n_replicas,
-            balancer=self._balancer, autoscaler=self._autoscaler)
-        return ServingSession(gateway, manager, system.base_model_id,
-                              engine_cls, self._default_ratio)
+    def _wrap_admission(self, gateway):
+        """Layer the admission frontier over the gateway when configured."""
+        if self._admission is None and self._admission_kwargs is None \
+                and not self._tenants:
+            return gateway
+        if self._admission is not None:
+            # idempotent across repeated build() and tolerant of a
+            # controller that already carries some of the tenants
+            for tenant in self._tenants:
+                if tenant.tenant_id not in self._admission.tenants:
+                    self._admission.register(tenant)
+            return TenantGateway(gateway, controller=self._admission)
+        return TenantGateway(gateway, tenants=tuple(self._tenants),
+                             **(self._admission_kwargs or {}))
 
     def _make_engine(self, manager: ModelManager,
                      node: GPUNode) -> ServingEngine:
@@ -204,42 +264,60 @@ class ServingSessionBuilder:
 class ServingSession:
     """A live serving deployment: online ``submit`` plus trace ``replay``.
 
-    Backed by either a single-replica
-    :class:`~repro.serving.gateway.ServingGateway` or a multi-replica
-    :class:`~repro.serving.cluster.ClusterGateway` — the session surface
-    is identical, so clients are replica-count-agnostic.
+    Backed by a single-replica
+    :class:`~repro.serving.gateway.ServingGateway`, a multi-replica
+    :class:`~repro.serving.cluster.ClusterGateway`, or either behind a
+    :class:`~repro.serving.tenancy.TenantGateway` admission frontier —
+    the session surface is identical, so clients are replica-count- and
+    tenancy-agnostic.
     """
 
-    def __init__(self, gateway: Union[ServingGateway, ClusterGateway],
+    def __init__(self, gateway: Union[ServingGateway, ClusterGateway,
+                                      TenantGateway],
                  manager: ModelManager, base_model_id: str,
                  engine_cls=None, default_ratio: Optional[float] = None):
         self.gateway = gateway
         self.manager = manager
         self.base_model_id = base_model_id
         self.default_ratio = default_ratio
+        inner = self._inner_gateway
         self._engine_cls = engine_cls or (
-            type(gateway.engine) if isinstance(gateway, ServingGateway)
+            type(inner.engine) if isinstance(inner, ServingGateway)
             else None)
 
     # ------------------------------------------------------------------ #
     @property
+    def _inner_gateway(self) -> Union[ServingGateway, ClusterGateway]:
+        """The serving gateway under any admission frontier."""
+        return self.gateway.inner \
+            if isinstance(self.gateway, TenantGateway) else self.gateway
+
+    @property
+    def admission(self) -> Optional[AdmissionController]:
+        """The admission controller (None without a tenancy layer)."""
+        return self.gateway.controller \
+            if isinstance(self.gateway, TenantGateway) else None
+
+    @property
     def engine(self) -> Optional[ServingEngine]:
         """The backing engine (single-replica sessions only)."""
-        return self.gateway.engine \
-            if isinstance(self.gateway, ServingGateway) else None
+        inner = self._inner_gateway
+        return inner.engine if isinstance(inner, ServingGateway) else None
 
     @property
     def replicas(self) -> List[Replica]:
         """The live replica set (empty for single-replica sessions)."""
-        return list(self.gateway.replicas) \
-            if isinstance(self.gateway, ClusterGateway) else []
+        inner = self._inner_gateway
+        return list(inner.replicas) \
+            if isinstance(inner, ClusterGateway) else []
 
     def submit(self, model_id: str, prompt_len: int, output_len: int,
-               arrival_s: Optional[float] = None) -> int:
+               arrival_s: Optional[float] = None,
+               tenant_id: Optional[str] = None) -> int:
         """Submit one online request; returns its request id."""
         self._ensure_registered(model_id)
         return self.gateway.submit(model_id, prompt_len, output_len,
-                                   arrival_s=arrival_s)
+                                   arrival_s=arrival_s, tenant_id=tenant_id)
 
     def step(self) -> bool:
         return self.gateway.step()

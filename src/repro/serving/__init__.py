@@ -12,7 +12,10 @@ from .economics import (DeploymentCost, GPU_HOURLY_USD, compare_deployments,
                         deployment_cost)
 from .engine import DeltaZipEngine
 from .gateway import ServingGateway
-from .metrics import EngineStats, ServingResult, slo_attainment, summarize
+from .metrics import (EngineStats, ServingResult, UNTENANTED,
+                      jain_fairness_index, slo_attainment,
+                      slo_attainment_by_tenant, summarize,
+                      summarize_by_tenant)
 from .model_manager import ArtifactKind, ModelManager, RegisteredModel
 from .packed_compute import PackedDeltaLinear, packed_matmul
 from .router import BaseModelGroup, MultiBaseRouter
@@ -23,6 +26,9 @@ from .runner import DecoupledModelRunner
 from .sbmm import group_requests_by_delta, sbmm_forward, sbmm_reference
 from .scheduler import (ContinuousBatchScheduler, SchedulerConfig,
                         SchedulingDecision)
+from .tenancy import (AdmissionController, AdmissionDecision, DEFAULT_TENANT,
+                      SLO_CLASSES, Tenant, TenantAdmissionStats,
+                      TenantGateway, TokenBucket)
 from .tuning import ProfilePoint, pick_optimal_n, profile_concurrent_deltas
 
 __all__ = [
@@ -37,6 +43,11 @@ __all__ = [
     "deployment_cost",
     "DeltaZipEngine", "EngineConfig", "TimelineEvent",
     "EngineStats", "ServingResult", "slo_attainment", "summarize",
+    "UNTENANTED", "jain_fairness_index", "slo_attainment_by_tenant",
+    "summarize_by_tenant",
+    "AdmissionController", "AdmissionDecision", "DEFAULT_TENANT",
+    "SLO_CLASSES", "Tenant", "TenantAdmissionStats", "TenantGateway",
+    "TokenBucket",
     "PackedDeltaLinear", "packed_matmul",
     "BaseModelGroup", "MultiBaseRouter",
     "ArtifactKind", "ModelManager", "RegisteredModel",

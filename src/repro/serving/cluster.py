@@ -20,6 +20,13 @@ Replicas are independent discrete-event machines with their own simulated
 clocks; the cluster advances the least-advanced replica that has work, so
 per-replica results are identical to running each replica's request stream
 on a standalone gateway regardless of interleaving.
+
+Multi-tenant admission control (token buckets, per-tenant quotas, VTC
+fair queueing, SLO-aware shedding) sits *in front of* this gateway:
+:class:`repro.serving.tenancy.TenantGateway` wraps a cluster gateway,
+holds requests at the cluster frontier, and releases the admitted ones
+through :meth:`ClusterGateway.ingest`; completions flow back through
+:meth:`ClusterGateway.add_completion_listener`.
 """
 
 from __future__ import annotations
@@ -351,6 +358,7 @@ class ClusterGateway:
         # decision until the simulation frontier reaches the arrival, so
         # balancers and the autoscaler see the load actually offered so far
         self._unrouted: List[tuple] = []   # heap of (arrival_s, id, request)
+        self._listeners: List[CompletionCallback] = []
         self._recent_records: Deque[RequestRecord] = deque(maxlen=256)
         self.replicas: List[Replica] = []
         self.retired: List[Replica] = []
@@ -484,7 +492,8 @@ class ClusterGateway:
         return sum(r.backlog for r in self.replicas)
 
     def submit(self, model_id: str, prompt_len: int, output_len: int,
-               arrival_s: Optional[float] = None) -> int:
+               arrival_s: Optional[float] = None,
+               tenant_id: Optional[str] = None) -> int:
         """Submit one request; the balancer picks its replica."""
         if prompt_len < 1 or output_len < 1:
             raise ValueError("prompt_len and output_len must be >= 1")
@@ -496,10 +505,30 @@ class ClusterGateway:
         request = TraceRequest(request_id=self._next_id, model_id=model_id,
                                arrival_s=float(arrival_s),
                                prompt_tokens=int(prompt_len),
-                               output_tokens=int(output_len))
+                               output_tokens=int(output_len),
+                               tenant_id=tenant_id)
         self._next_id += 1
         self.balancer.choose(model_id, active).gateway.ingest(request)
         return request.request_id
+
+    def ingest(self, request: TraceRequest) -> int:
+        """Accept a fully-formed :class:`TraceRequest` verbatim.
+
+        Preserves the caller's request id and arrival time; the request is
+        routed once the simulation frontier reaches its arrival (see
+        :meth:`_route_due`), exactly like trace replay.  This is the entry
+        point the admission layer releases requests through.
+        """
+        heapq.heappush(self._unrouted,
+                       (request.arrival_s, request.request_id, request))
+        self._next_id = max(self._next_id, request.request_id + 1)
+        return request.request_id
+
+    def add_completion_listener(self, listener: CompletionCallback) -> None:
+        """Register an extra per-request completion callback (fires after
+        the constructor's ``on_request_complete``); used by the admission
+        layer in :mod:`repro.serving.tenancy`."""
+        self._listeners.append(listener)
 
     def step(self) -> bool:
         """Advance the least-advanced replica that has work by one engine
@@ -608,3 +637,5 @@ class ClusterGateway:
         self._recent_records.append(record)
         if self._on_complete is not None:
             self._on_complete(record)
+        for listener in self._listeners:
+            listener(record)

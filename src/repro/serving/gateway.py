@@ -17,6 +17,13 @@ Offline :meth:`replay` is a thin adapter over the same machinery — it
 submits the trace's requests verbatim and drains — so replaying a trace
 through the gateway is bit-identical to the legacy ``engine.run(trace)``
 path.
+
+Multi-tenant admission control (token buckets, VTC fair queueing,
+SLO-aware shedding) is layered *in front of* this gateway by
+:class:`repro.serving.tenancy.TenantGateway`, which holds requests at the
+frontier and releases them through :meth:`ingest`; the
+:meth:`add_completion_listener` hook is how that admission layer observes
+completions without displacing user callbacks.
 """
 
 from __future__ import annotations
@@ -47,22 +54,37 @@ class ServingGateway:
         self.engine = engine
         self._on_token = on_token
         self._on_complete = on_request_complete
+        self._listeners: list = []
         engine.collect_timeline = collect_timeline
         engine.on_token = self._token_hook if on_token else None
         engine.on_finish = self._finish_hook if on_request_complete else None
         self._next_id = 0
 
+    def add_completion_listener(self, listener: CompletionCallback) -> None:
+        """Register an extra per-request completion callback.
+
+        Listeners run after the constructor's ``on_request_complete`` (if
+        any); the admission layer (:mod:`repro.serving.tenancy`) uses this
+        to track outstanding work and service rates without stealing the
+        user's callback slot.
+        """
+        self._listeners.append(listener)
+        self.engine.on_finish = self._finish_hook
+
     # ------------------------------------------------------------------ #
     # online path
     # ------------------------------------------------------------------ #
     def submit(self, model_id: str, prompt_len: int, output_len: int,
-               arrival_s: Optional[float] = None) -> int:
+               arrival_s: Optional[float] = None,
+               tenant_id: Optional[str] = None) -> int:
         """Submit one request; returns its request id.
 
         ``arrival_s`` defaults to the engine's current simulated clock
         ("the request arrives now"); an explicit value may also lie in the
         future (it joins once the clock gets there) or the past (it joins
         at the next step, keeping its nominal arrival for latency math).
+        ``tenant_id`` tags the request for per-tenant metrics and the
+        admission layer.
         """
         if prompt_len < 1 or output_len < 1:
             raise ValueError("prompt_len and output_len must be >= 1")
@@ -71,7 +93,8 @@ class ServingGateway:
         request = TraceRequest(request_id=self._next_id, model_id=model_id,
                                arrival_s=float(arrival_s),
                                prompt_tokens=int(prompt_len),
-                               output_tokens=int(output_len))
+                               output_tokens=int(output_len),
+                               tenant_id=tenant_id)
         self._next_id += 1
         self.engine.submit(request)
         return request.request_id
@@ -116,6 +139,11 @@ class ServingGateway:
     # ------------------------------------------------------------------ #
     # offline adapter
     # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Fresh simulated timeline (request ids restart from zero)."""
+        self.engine.reset()
+        self._next_id = 0
+
     def replay(self, trace: Trace) -> ServingResult:
         """Replay a pre-materialized trace through the online machinery.
 
@@ -134,4 +162,8 @@ class ServingGateway:
                        request.generated_tokens, clock)
 
     def _finish_hook(self, request: ServingRequest, clock: float) -> None:
-        self._on_complete(request.record())
+        record = request.record()
+        if self._on_complete is not None:
+            self._on_complete(record)
+        for listener in self._listeners:
+            listener(record)

@@ -1,4 +1,12 @@
-"""Serving metrics: throughput, latency, TTFT, SLO attainment (§6.1)."""
+"""Serving metrics: throughput, latency, TTFT, SLO attainment (§6.1).
+
+Per-tenant views (``ServingResult.for_tenant`` / ``by_tenant``,
+:func:`summarize_by_tenant`, :func:`slo_attainment_by_tenant`,
+:func:`jain_fairness_index`) slice the same records by the ``tenant_id``
+the admission layer (:mod:`repro.serving.tenancy`) threads through them.
+Every accessor is total on empty/degenerate record lists — slicing an
+idle tenant returns zeros, never raises.
+"""
 
 from __future__ import annotations
 
@@ -7,9 +15,14 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .request import RequestRecord
+from .request import DEFAULT_TENANT, RequestRecord
 
-__all__ = ["EngineStats", "ServingResult", "slo_attainment", "summarize"]
+__all__ = ["EngineStats", "ServingResult", "slo_attainment", "summarize",
+           "summarize_by_tenant", "slo_attainment_by_tenant",
+           "jain_fairness_index", "UNTENANTED"]
+
+#: key used for records with no tenant tag in per-tenant groupings
+UNTENANTED = DEFAULT_TENANT
 
 
 @dataclass
@@ -76,6 +89,32 @@ class ServingResult:
     @property
     def n_requests(self) -> int:
         return len(self.records)
+
+    @property
+    def tenant_ids(self) -> List[str]:
+        """Distinct tenants across records (untagged maps to UNTENANTED)."""
+        return sorted({r.tenant_id or UNTENANTED for r in self.records})
+
+    def for_tenant(self, tenant_id: Optional[str]) -> "ServingResult":
+        """This result restricted to one tenant's records.
+
+        ``tenant_id=None`` (or ``UNTENANTED``) selects untagged records.
+        An idle tenant yields a well-defined empty result whose latency
+        and throughput accessors all return 0.0.
+        """
+        key = tenant_id or UNTENANTED
+        records = [r for r in self.records
+                   if (r.tenant_id or UNTENANTED) == key]
+        sliced = ServingResult.merge(
+            [ServingResult(engine=self.engine, records=records,
+                           makespan_s=self.makespan_s)],
+            engine=self.engine, config=dict(self.config))
+        sliced.config["tenant_id"] = key
+        return sliced
+
+    def by_tenant(self) -> Dict[str, "ServingResult"]:
+        """Per-tenant slices keyed by tenant id."""
+        return {t: self.for_tenant(t) for t in self.tenant_ids}
 
     def throughput_rps(self) -> float:
         """Completed requests per second of makespan."""
@@ -155,3 +194,37 @@ def summarize(result: ServingResult) -> Dict[str, float]:
         "mean_time_per_token_s": result.mean_time_per_token_s(),
         "makespan_s": result.makespan_s,
     }
+
+
+def summarize_by_tenant(result: ServingResult) -> Dict[str, Dict[str, float]]:
+    """Per-tenant summary rows keyed by tenant id."""
+    return {tenant: summarize(sliced)
+            for tenant, sliced in result.by_tenant().items()}
+
+
+def slo_attainment_by_tenant(records: Sequence[RequestRecord], slo_s: float,
+                             metric: str = "ttft") -> Dict[str, float]:
+    """Per-tenant fraction of requests meeting one shared SLO threshold."""
+    groups: Dict[str, List[RequestRecord]] = {}
+    for rec in records:
+        groups.setdefault(rec.tenant_id or UNTENANTED, []).append(rec)
+    return {tenant: slo_attainment(group, slo_s, metric=metric)
+            for tenant, group in sorted(groups.items())}
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index over per-tenant allocations.
+
+    1.0 when every tenant gets the same share, 1/n under total capture by
+    one tenant.  Empty or all-zero inputs are defined as perfectly fair
+    (nothing was allocated unevenly).
+    """
+    x = np.asarray(list(values), dtype=np.float64)
+    if x.size == 0:
+        return 1.0
+    if np.any(x < 0):
+        raise ValueError("allocations must be non-negative")
+    denom = x.size * float(np.sum(x * x))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum(x)) ** 2 / denom

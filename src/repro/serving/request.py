@@ -8,7 +8,13 @@ from typing import Optional
 
 from ..workload.spec import TraceRequest
 
-__all__ = ["RequestState", "ServingRequest", "RequestRecord"]
+__all__ = ["DEFAULT_TENANT", "RequestState", "ServingRequest",
+           "RequestRecord"]
+
+#: the tenant that requests without a ``tenant_id`` bill against — shared
+#: by per-tenant metrics grouping and the admission layer so the two can
+#: never disagree on the untenanted bucket's key
+DEFAULT_TENANT = "default"
 
 
 class RequestState(str, Enum):
@@ -46,6 +52,10 @@ class ServingRequest:
         return self.trace.model_id
 
     @property
+    def tenant_id(self) -> Optional[str]:
+        return self.trace.tenant_id
+
+    @property
     def arrival_s(self) -> float:
         return self.trace.arrival_s
 
@@ -77,6 +87,7 @@ class ServingRequest:
             inference_s=self.inference_s,
             skipped_line=self.skipped_line,
             preemptions=self.preemptions,
+            tenant_id=self.tenant_id,
         )
 
 
@@ -96,6 +107,7 @@ class RequestRecord:
     inference_s: float
     skipped_line: bool
     preemptions: int
+    tenant_id: Optional[str] = None
 
     @property
     def e2e_latency_s(self) -> float:

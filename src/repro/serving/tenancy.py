@@ -1,0 +1,766 @@
+"""Multi-tenant admission control at the cluster frontier.
+
+The paper's multi-variant serving story assumes many tenants sharing one
+deployment; this module adds the control layer that makes sharing safe:
+
+* :class:`Tenant` — one tenant's contract: fair-share ``weight``, SLO
+  class (or an explicit TTFT SLO), a token-bucket rate limit
+  (``rate_tokens_per_s`` / ``burst_tokens``), and an outstanding-request
+  quota (``max_outstanding``);
+* :class:`TokenBucket` — the classic leaky/token bucket on the simulated
+  clock, with borrow-ahead semantics so deferred requests serialize on a
+  per-tenant virtual timeline;
+* :class:`AdmissionController` — decides, per offered request:
+  **reject** (quota or rate bound exceeded), **shed** (predicted TTFT
+  under the current backlog breaches the tenant's SLO), **defer**
+  (queue until the bucket refills), or **admit**; admitted work queues at
+  the frontier in either FCFS arrival order or VTC fair order
+  (per-tenant virtual token counters with counter-lift, after Sheng et
+  al.'s Virtual Token Counter and the FairServe family);
+* :class:`TenantGateway` — wraps a
+  :class:`~repro.serving.gateway.ServingGateway` or
+  :class:`~repro.serving.cluster.ClusterGateway` behind the same
+  ``submit`` / ``step`` / ``run_until_drained`` / ``replay`` surface,
+  holding requests at the frontier and releasing them through
+  ``inner.ingest`` in admission order while keeping the engine-side queue
+  shallow enough (``engine_queue_depth``) for the fair order to survive
+  the engines' internal FCFS scheduling.
+
+With the default tenant, FCFS order, and no limits the layer is a pure
+pass-through: replaying an untenanted trace produces records identical to
+``gateway.replay(trace)`` without admission control.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..workload.spec import Trace, TraceRequest
+from .cluster import ClusterGateway
+from .gateway import ServingGateway
+from .metrics import ServingResult
+from .request import DEFAULT_TENANT, RequestRecord
+
+__all__ = [
+    "DEFAULT_TENANT", "SLO_CLASSES", "Tenant", "TokenBucket",
+    "AdmissionDecision", "TenantAdmissionStats", "AdmissionController",
+    "TenantGateway",
+]
+
+#: SLO classes and their default TTFT targets (seconds)
+SLO_CLASSES: Dict[str, float] = {
+    "interactive": 10.0,
+    "standard": 30.0,
+    "batch": 120.0,
+}
+
+#: completions needed before the shed predictor trusts its rate estimate
+_MIN_COMPLETIONS_FOR_PREDICTION = 8
+
+#: fallback frontier-queue depth (per replica) when VTC is on, no depth was
+#: given, and the engine's batch size cannot be inferred
+_DEFAULT_VTC_DEPTH = 4
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant's serving contract.
+
+    ``weight`` scales the tenant's fair share under VTC scheduling.
+    ``slo_class`` picks a default TTFT SLO from :data:`SLO_CLASSES`;
+    ``ttft_slo_s`` overrides it.  ``rate_tokens_per_s`` meters admission
+    in model tokens (prompt + output) through a token bucket of capacity
+    ``burst_tokens`` (default: four seconds of rate); ``max_outstanding``
+    caps the tenant's in-system requests (queued at the frontier plus
+    dispatched-but-unfinished).  A tenant with neither a rate nor a quota
+    is unthrottled.
+    """
+
+    tenant_id: str
+    weight: float = 1.0
+    slo_class: str = "standard"
+    ttft_slo_s: Optional[float] = None
+    rate_tokens_per_s: Optional[float] = None
+    burst_tokens: Optional[float] = None
+    max_outstanding: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.tenant_id:
+            raise ValueError("tenant_id must be non-empty")
+        if self.weight <= 0:
+            raise ValueError("weight must be > 0")
+        if self.slo_class not in SLO_CLASSES:
+            raise ValueError(f"unknown slo_class {self.slo_class!r}; "
+                             f"known: {sorted(SLO_CLASSES)}")
+        if self.rate_tokens_per_s is not None and self.rate_tokens_per_s <= 0:
+            raise ValueError("rate_tokens_per_s must be > 0 when set")
+        if self.burst_tokens is not None:
+            if self.rate_tokens_per_s is None:
+                raise ValueError("burst_tokens needs rate_tokens_per_s")
+            if self.burst_tokens <= 0:
+                raise ValueError("burst_tokens must be > 0")
+        if self.max_outstanding is not None and self.max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1 when set")
+
+    @property
+    def slo_s(self) -> float:
+        """The TTFT SLO the shed policy enforces for this tenant."""
+        if self.ttft_slo_s is not None:
+            return self.ttft_slo_s
+        return SLO_CLASSES[self.slo_class]
+
+    @property
+    def unthrottled(self) -> bool:
+        return self.rate_tokens_per_s is None and self.max_outstanding is None
+
+    def resolved_burst(self) -> Optional[float]:
+        if self.rate_tokens_per_s is None:
+            return None
+        return self.burst_tokens if self.burst_tokens is not None \
+            else 4.0 * self.rate_tokens_per_s
+
+    def renamed(self, tenant_id: str) -> "Tenant":
+        """This contract applied to a different tenant id (the template
+        mechanism behind auto-registered tenants)."""
+        return Tenant(tenant_id=tenant_id, weight=self.weight,
+                      slo_class=self.slo_class, ttft_slo_s=self.ttft_slo_s,
+                      rate_tokens_per_s=self.rate_tokens_per_s,
+                      burst_tokens=self.burst_tokens,
+                      max_outstanding=self.max_outstanding)
+
+
+class TokenBucket:
+    """Token bucket on the simulated clock, with borrow-ahead.
+
+    ``charge`` always succeeds and returns the time the charged request
+    becomes eligible; when the bucket lacks tokens the balance goes
+    negative, so successive deferred requests serialize at ``1/rate``
+    spacing on the tenant's virtual timeline (a virtual-finish-time rate
+    limiter, not a drop-tail one).
+    """
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        if burst <= 0:
+            raise ValueError("burst must be > 0")
+        self.rate = rate
+        self.burst = burst
+        self.reset()
+
+    def reset(self) -> None:
+        self._tokens = self.burst
+        self._clock = 0.0
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    def _advance(self, now: float) -> None:
+        now = max(now, self._clock)   # simulated time never rewinds
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._clock) * self.rate)
+        self._clock = now
+
+    def eligible_at(self, cost: float, now: float) -> float:
+        """When a charge of ``cost`` would become eligible (no mutation)."""
+        now = max(now, self._clock)
+        tokens = min(self.burst,
+                     self._tokens + (now - self._clock) * self.rate)
+        if tokens >= cost:
+            return now
+        return now + (cost - tokens) / self.rate
+
+    def charge(self, cost: float, now: float) -> float:
+        """Consume ``cost`` tokens at ``now``; returns the eligible time."""
+        self._advance(now)
+        if self._tokens >= cost:
+            eligible = self._clock
+        else:
+            eligible = self._clock + (cost - self._tokens) / self.rate
+        self._tokens -= cost
+        return eligible
+
+    def refund(self, cost: float) -> None:
+        """Return tokens from a charge that was ultimately not admitted."""
+        self._tokens = min(self.burst, self._tokens + cost)
+
+
+class AdmissionDecision(str, Enum):
+    ADMITTED = "admitted"    # eligible immediately
+    DEFERRED = "deferred"    # queued until its token bucket refills
+    SHED = "shed"            # dropped: predicted TTFT breaches the SLO
+    REJECTED = "rejected"    # dropped: quota or deferral bound exceeded
+
+
+@dataclass
+class TenantAdmissionStats:
+    """Per-tenant admission counters (the denominator SLO math needs)."""
+
+    tenant_id: str
+    offered: int = 0
+    admitted: int = 0
+    deferred: int = 0
+    shed: int = 0
+    rejected: int = 0
+    tokens_charged: float = 0.0
+
+    @property
+    def accepted(self) -> int:
+        """Requests that entered the system (admitted or deferred)."""
+        return self.admitted + self.deferred
+
+    @property
+    def dropped(self) -> int:
+        return self.shed + self.rejected
+
+
+class AdmissionController:
+    """Decides and orders what crosses the cluster frontier.
+
+    ``policy`` picks the frontier-queue order: ``"fcfs"`` (arrival order,
+    the legacy behavior) or ``"vtc"`` (per-tenant virtual token counters:
+    the queued tenant with the smallest counter goes next, counters are
+    charged ``(prefill_weight·prompt + decode_weight·output) / weight``
+    per dispatched request, and an idle tenant's counter is lifted to the
+    smallest known counter on re-arrival so sleeping never banks
+    unbounded credit).  ``shed=True`` drops a request at offer time when
+    the predicted TTFT under the current backlog exceeds its tenant's
+    SLO.  Unknown tenant ids auto-register from ``default_tenant`` (an
+    unthrottled best-effort contract unless one is given).
+    """
+
+    def __init__(self, tenants: Sequence[Tenant] = (),
+                 policy: str = "fcfs", shed: bool = False,
+                 engine_queue_depth: Optional[int] = None,
+                 default_tenant: Optional[Tenant] = None,
+                 prefill_weight: float = 1.0, decode_weight: float = 1.0,
+                 counter_lift: bool = True,
+                 max_defer_s: Optional[float] = None):
+        if policy not in ("fcfs", "vtc"):
+            raise ValueError(f"unknown admission policy {policy!r}")
+        if engine_queue_depth is not None and engine_queue_depth < 1:
+            raise ValueError("engine_queue_depth must be >= 1 when set")
+        self.policy = policy
+        self.shed = shed
+        self.engine_queue_depth = engine_queue_depth
+        self.prefill_weight = prefill_weight
+        self.decode_weight = decode_weight
+        self.counter_lift = counter_lift
+        self.max_defer_s = max_defer_s
+        self._template = default_tenant or Tenant(DEFAULT_TENANT)
+        self.tenants: Dict[str, Tenant] = {}
+        for tenant in tenants:
+            self.register(tenant)
+        self.reset()
+
+    # ------------------------------------------------------------------ #
+    # tenant registry
+    # ------------------------------------------------------------------ #
+    def register(self, tenant: Tenant) -> Tenant:
+        if tenant.tenant_id in self.tenants:
+            raise ValueError(f"duplicate tenant {tenant.tenant_id!r}")
+        self.tenants[tenant.tenant_id] = tenant
+        return tenant
+
+    def tenant(self, tenant_id: Optional[str]) -> Tenant:
+        """The (auto-registering) contract for a request's tenant id."""
+        tid = tenant_id or DEFAULT_TENANT
+        existing = self.tenants.get(tid)
+        if existing is not None:
+            return existing
+        return self.register(self._template.renamed(tid))
+
+    @property
+    def passthrough(self) -> bool:
+        """True when admission cannot change any outcome: FCFS order, no
+        shedding, unbounded dispatch, and every contract unthrottled —
+        the configuration under which replay stays bit-identical to the
+        wrapped gateway."""
+        return (self.policy == "fcfs" and not self.shed
+                and self.engine_queue_depth is None
+                and self._template.unthrottled
+                and all(t.unthrottled for t in self.tenants.values()))
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        self._fcfs: List[Tuple[float, float, int, TraceRequest]] = []
+        self._vtc: Dict[str, Deque[Tuple[float, TraceRequest]]] = {}
+        self._counters: Dict[str, float] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._queued: Dict[str, int] = {}
+        self._inflight: Dict[str, int] = {}
+        self.stats: Dict[str, TenantAdmissionStats] = {}
+        self.decisions: Dict[int, AdmissionDecision] = {}
+        for tid, tenant in self.tenants.items():
+            self._init_tenant_state(tid, tenant)
+
+    def _init_tenant_state(self, tid: str, tenant: Tenant) -> None:
+        self._counters.setdefault(tid, 0.0)
+        self._queued.setdefault(tid, 0)
+        self._inflight.setdefault(tid, 0)
+        self._vtc.setdefault(tid, deque())
+        self.stats.setdefault(tid, TenantAdmissionStats(tid))
+        if tenant.rate_tokens_per_s is not None and tid not in self._buckets:
+            self._buckets[tid] = TokenBucket(tenant.rate_tokens_per_s,
+                                             tenant.resolved_burst())
+
+    # ------------------------------------------------------------------ #
+    # queue state
+    # ------------------------------------------------------------------ #
+    @property
+    def total_queued(self) -> int:
+        return sum(self._queued.values())
+
+    def queued_for(self, tenant_id: Optional[str]) -> int:
+        return self._queued.get(tenant_id or DEFAULT_TENANT, 0)
+
+    def inflight_for(self, tenant_id: Optional[str]) -> int:
+        return self._inflight.get(tenant_id or DEFAULT_TENANT, 0)
+
+    def load_of(self, tenant_id: Optional[str]) -> int:
+        """Queued-at-frontier plus dispatched-but-unfinished."""
+        tid = tenant_id or DEFAULT_TENANT
+        return self._queued.get(tid, 0) + self._inflight.get(tid, 0)
+
+    def active_tenants(self) -> List[str]:
+        """Tenants with work in the system right now."""
+        return [tid for tid in self._counters if self.load_of(tid) > 0]
+
+    # ------------------------------------------------------------------ #
+    # the decision point
+    # ------------------------------------------------------------------ #
+    def offer(self, request: TraceRequest,
+              predicted_ttft_s: Optional[float] = None) -> AdmissionDecision:
+        """Decide one request's fate as it reaches the frontier.
+
+        Decisions are made *at the request's arrival time*: the token
+        bucket refills to ``request.arrival_s`` before being charged.
+        Accepted requests queue inside the controller until
+        :meth:`pop` releases them.
+        """
+        tenant = self.tenant(request.tenant_id)
+        tid = tenant.tenant_id
+        self._init_tenant_state(tid, tenant)
+        stats = self.stats[tid]
+        stats.offered += 1
+
+        if tenant.max_outstanding is not None and \
+                self.load_of(tid) >= tenant.max_outstanding:
+            stats.rejected += 1
+            self.decisions[request.request_id] = AdmissionDecision.REJECTED
+            return AdmissionDecision.REJECTED
+
+        if self.shed and predicted_ttft_s is not None and \
+                predicted_ttft_s > tenant.slo_s:
+            stats.shed += 1
+            self.decisions[request.request_id] = AdmissionDecision.SHED
+            return AdmissionDecision.SHED
+
+        arrival = request.arrival_s
+        eligible = arrival
+        bucket = self._buckets.get(tid)
+        if bucket is not None:
+            cost = float(request.prompt_tokens + request.output_tokens)
+            eligible = bucket.charge(cost, arrival)
+            if self.max_defer_s is not None and \
+                    eligible - arrival > self.max_defer_s:
+                bucket.refund(cost)
+                stats.rejected += 1
+                self.decisions[request.request_id] = \
+                    AdmissionDecision.REJECTED
+                return AdmissionDecision.REJECTED
+            stats.tokens_charged += cost
+
+        if self.policy == "vtc" and self.counter_lift and \
+                self.load_of(tid) == 0:
+            # counter-lift: a returning tenant re-enters at the floor of
+            # the *active* tenants' counters — at parity, not with the
+            # absolute priority its banked idle credit would buy (the
+            # tenant itself has no work yet, so it is never in `active`)
+            active = [self._counters[t] for t in self._counters
+                      if self.load_of(t) > 0]
+            if active:
+                self._counters[tid] = max(self._counters[tid], min(active))
+
+        if self.policy == "vtc":
+            self._vtc[tid].append((eligible, request))
+        else:
+            heapq.heappush(self._fcfs, (eligible, arrival,
+                                        request.request_id, request))
+        self._queued[tid] = self._queued.get(tid, 0) + 1
+
+        decision = AdmissionDecision.ADMITTED if eligible <= arrival \
+            else AdmissionDecision.DEFERRED
+        if decision is AdmissionDecision.ADMITTED:
+            stats.admitted += 1
+        else:
+            stats.deferred += 1
+        self.decisions[request.request_id] = decision
+        return decision
+
+    # ------------------------------------------------------------------ #
+    # the release point
+    # ------------------------------------------------------------------ #
+    def has_eligible(self, now: float) -> bool:
+        if self.policy == "vtc":
+            return any(q and q[0][0] <= now for q in self._vtc.values())
+        return bool(self._fcfs) and self._fcfs[0][0] <= now
+
+    def next_eligible_s(self) -> Optional[float]:
+        """Earliest time any queued request becomes releasable."""
+        if self.policy == "vtc":
+            heads = [q[0][0] for q in self._vtc.values() if q]
+            return min(heads) if heads else None
+        return self._fcfs[0][0] if self._fcfs else None
+
+    def pop(self, now: float) -> Optional[TraceRequest]:
+        """Release the next request in admission order (or None).
+
+        FCFS releases by (eligibility, arrival); VTC releases the
+        eligible tenant with the smallest virtual token counter and
+        charges the counter for the released request's work.
+        """
+        if self.policy == "fcfs":
+            if not self._fcfs or self._fcfs[0][0] > now:
+                return None
+            _, _, _, request = heapq.heappop(self._fcfs)
+            tid = request.tenant_id or DEFAULT_TENANT
+        else:
+            candidates = [tid for tid, q in self._vtc.items()
+                          if q and q[0][0] <= now]
+            if not candidates:
+                return None
+            tid = min(candidates, key=lambda t: (self._counters[t], t))
+            _, request = self._vtc[tid].popleft()
+            tenant = self.tenant(tid)
+            work = self.prefill_weight * request.prompt_tokens + \
+                self.decode_weight * request.output_tokens
+            self._counters[tid] += work / tenant.weight
+        self._queued[tid] -= 1
+        self._inflight[tid] = self._inflight.get(tid, 0) + 1
+        return request
+
+    def on_complete(self, record: RequestRecord) -> None:
+        """A dispatched request finished; its tenant's slot frees up."""
+        tid = record.tenant_id or DEFAULT_TENANT
+        if self._inflight.get(tid, 0) > 0:
+            self._inflight[tid] -= 1
+
+    # ------------------------------------------------------------------ #
+    def counters(self) -> Dict[str, float]:
+        """Current VTC counters (monotone per tenant; for tests/plots)."""
+        return dict(self._counters)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "shed": self.shed,
+            "engine_queue_depth": self.engine_queue_depth,
+            "tenants": sorted(self.tenants),
+            "offered": sum(s.offered for s in self.stats.values()),
+            "admitted": sum(s.admitted for s in self.stats.values()),
+            "deferred": sum(s.deferred for s in self.stats.values()),
+            "shed_requests": sum(s.shed for s in self.stats.values()),
+            "rejected": sum(s.rejected for s in self.stats.values()),
+        }
+
+
+class TenantGateway:
+    """Admission-controlled frontend over a serving or cluster gateway.
+
+    Exposes the familiar ``submit`` / ``step`` / ``run_until_drained`` /
+    ``replay`` / ``result`` surface.  Requests first pass the
+    :class:`AdmissionController`; accepted ones queue *at the frontier*
+    and are released into the wrapped gateway in admission order, at most
+    ``engine_queue_depth`` per active replica outstanding, so the fair
+    order is preserved through the engines' internal FCFS scheduling.
+    Rejected and shed requests never reach an engine; they are visible in
+    :attr:`AdmissionController.stats` and ``result().config["admission"]``.
+
+    The shed predictor estimates TTFT from the recent completion rate:
+    under FCFS every queued request is ahead of a newcomer; under VTC a
+    tenant's expected wait scales with its *own* backlog over its
+    weighted fair share.
+    """
+
+    def __init__(self, gateway: Union[ServingGateway, ClusterGateway],
+                 controller: Optional[AdmissionController] = None,
+                 tenants: Sequence[Tenant] = (), **controller_kwargs):
+        if controller is not None and (tenants or controller_kwargs):
+            raise ValueError("pass either a controller or tenant/kwargs")
+        self.inner = gateway
+        self.controller = controller or AdmissionController(
+            tenants=tenants, **controller_kwargs)
+        gateway.add_completion_listener(self._completion_hook)
+        self._pending: List[Tuple[float, int, TraceRequest]] = []
+        self._next_id = 0
+        self._floor = 0.0                 # admission-time frontier floor
+        self._dispatched_unfinished = 0
+        self._recent_finish: Deque[float] = deque(
+            maxlen=8 * _MIN_COMPLETIONS_FOR_PREDICTION)
+
+    # ------------------------------------------------------------------ #
+    # the single-gateway surface
+    # ------------------------------------------------------------------ #
+    @property
+    def clock(self) -> float:
+        return self.inner.clock
+
+    @property
+    def backlog(self) -> int:
+        return self.inner.backlog
+
+    @property
+    def unfinished(self) -> int:
+        """In-system requests: frontier-queued plus dispatched-unfinished
+        (rejected and shed requests are gone, not unfinished)."""
+        return len(self._pending) + self.controller.total_queued + \
+            self._dispatched_unfinished
+
+    def submit(self, model_id: str, prompt_len: int, output_len: int,
+               arrival_s: Optional[float] = None,
+               tenant_id: Optional[str] = None) -> int:
+        """Submit one request for a tenant; returns its request id.
+
+        The admission decision for a request arriving "now" is made
+        immediately and is readable via :meth:`decision`.
+        """
+        if prompt_len < 1 or output_len < 1:
+            raise ValueError("prompt_len and output_len must be >= 1")
+        if arrival_s is None:
+            arrival_s = max(self.inner.clock, self._floor)
+        request = TraceRequest(request_id=self._next_id, model_id=model_id,
+                               arrival_s=float(arrival_s),
+                               prompt_tokens=int(prompt_len),
+                               output_tokens=int(output_len),
+                               tenant_id=tenant_id)
+        self._next_id += 1
+        heapq.heappush(self._pending,
+                       (request.arrival_s, request.request_id, request))
+        now = self._frontier()
+        self._offer_due(now)
+        self._dispatch(now)
+        return request.request_id
+
+    def ingest(self, request: TraceRequest) -> int:
+        """Queue a fully-formed request (verbatim id and arrival)."""
+        heapq.heappush(self._pending,
+                       (request.arrival_s, request.request_id, request))
+        self._next_id = max(self._next_id, request.request_id + 1)
+        return request.request_id
+
+    def decision(self, request_id: int) -> Optional[AdmissionDecision]:
+        """The admission decision for a request (None while pending)."""
+        return self.controller.decisions.get(request_id)
+
+    def step(self) -> bool:
+        """Advance the system one scheduling event.
+
+        Offers arrivals the frontier has reached, releases eligible
+        queued work in admission order, then steps the wrapped gateway.
+        When the gateway is idle but admission still holds future work
+        (a deferred request waiting on its bucket, a future arrival),
+        the frontier jumps to the next admission event.
+        """
+        inner = self.inner
+        if isinstance(inner, ServingGateway) and \
+                inner.engine.clock >= inner.engine.config.max_sim_seconds:
+            return False
+        now = self._frontier()
+        self._offer_due(now)
+        self._dispatch(now)
+        if inner.step():
+            return True
+        nxt = self._next_event_s()
+        if nxt is None or nxt <= now:
+            # nothing new can become actionable (wedged or fully drained)
+            return False
+        self._floor = max(self._floor, nxt)
+        now = self._frontier()
+        offered = self._offer_due(now)
+        dispatched = self._dispatch(now)
+        if inner.step():
+            return True
+        return bool(offered or dispatched) and \
+            self._next_event_s() is not None
+
+    def run_until_drained(self) -> ServingResult:
+        while self.step():
+            pass
+        return self.result()
+
+    def result(self) -> ServingResult:
+        """The wrapped gateway's result plus admission telemetry."""
+        result = self.inner.result()
+        result.config["admission"] = self.controller.summary()
+        return result
+
+    def slo_attainment(self,
+                       result: Optional[ServingResult] = None
+                       ) -> Dict[str, float]:
+        """Per-tenant fraction of *offered* requests that finished within
+        the tenant's TTFT SLO — shed and rejected requests count as
+        misses, which is what makes shedding a trade and not a cheat.
+        A tenant that was never offered anything attains trivially (1.0).
+        """
+        result = result if result is not None else self.result()
+        out: Dict[str, float] = {}
+        for tid, stats in sorted(self.controller.stats.items()):
+            tenant = self.controller.tenant(tid)
+            sliced = result.for_tenant(tid)
+            met = sum(1 for r in sliced.records if r.ttft_s <= tenant.slo_s)
+            out[tid] = met / stats.offered if stats.offered else 1.0
+        return out
+
+    def replay(self, trace: Trace) -> ServingResult:
+        """Serve a pre-materialized (optionally tenant-tagged) trace.
+
+        Every request faces admission when the simulation frontier
+        reaches its arrival.  In the pass-through configuration (default
+        tenant, FCFS, no limits) the records are identical to replaying
+        the trace on the wrapped gateway directly.
+        """
+        self.reset()
+        for request in trace:
+            self.ingest(request)
+        return self.run_until_drained()
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.controller.reset()
+        self._pending.clear()
+        self._recent_finish.clear()
+        self._next_id = 0
+        self._floor = 0.0
+        self._dispatched_unfinished = 0
+
+    # ------------------------------------------------------------------ #
+    # frontier mechanics
+    # ------------------------------------------------------------------ #
+    def _frontier(self) -> float:
+        """The admission clock: the least busy-replica clock (the point
+        the simulation cannot retreat behind), floored by explicit
+        frontier jumps taken while everything was idle."""
+        inner = self.inner
+        if isinstance(inner, ClusterGateway):
+            busy = [r.clock for r in inner.replicas if r.unfinished > 0]
+            clock = min(busy) if busy else inner.clock
+        else:
+            clock = inner.engine.clock
+        return max(clock, self._floor)
+
+    def _next_event_s(self) -> Optional[float]:
+        events = []
+        if self._pending:
+            events.append(self._pending[0][0])
+        eligible = self.controller.next_eligible_s()
+        if eligible is not None:
+            events.append(eligible)
+        return min(events) if events else None
+
+    def _offer_due(self, now: float) -> int:
+        count = 0
+        while self._pending and self._pending[0][0] <= now:
+            _, _, request = heapq.heappop(self._pending)
+            predicted = self._predicted_ttft_s(request.tenant_id)
+            self.controller.offer(request, predicted_ttft_s=predicted)
+            count += 1
+        return count
+
+    def _dispatch(self, now: float) -> int:
+        controller = self.controller
+        depth = self._effective_depth()
+        count = 0
+        bumped = False
+        while controller.has_eligible(now) and \
+                (depth is None or self._dispatched_unfinished < depth):
+            request = controller.pop(now)
+            if request is None:      # pragma: no cover - has_eligible guard
+                break
+            if not bumped and not controller.passthrough:
+                # the released request physically reaches the engine at
+                # `now`; idle engines must not serve it in their past
+                self._bump_idle_engines(now)
+                bumped = True
+            self.inner.ingest(request)
+            self._dispatched_unfinished += 1
+            count += 1
+        return count
+
+    def _effective_depth(self) -> Optional[int]:
+        depth = self.controller.engine_queue_depth
+        if depth is None:
+            if self.controller.policy == "fcfs":
+                return None
+            # auto depth: one full batch per replica keeps the engines
+            # saturated while every excess request waits at the frontier
+            # in fair order (deeper engine queues would re-serialize the
+            # backlog FCFS inside the engine)
+            depth = self._engine_batch_size() or _DEFAULT_VTC_DEPTH
+        if isinstance(self.inner, ClusterGateway):
+            return depth * max(1, len(self.inner.active_replicas()))
+        return depth
+
+    def _engine_batch_size(self) -> Optional[int]:
+        inner = self.inner
+        if isinstance(inner, ClusterGateway):
+            active = inner.active_replicas()
+            engine = active[0].engine if active else None
+        else:
+            engine = inner.engine
+        if engine is None:
+            return None
+        scheduler_config = getattr(engine, "scheduler_config", None)
+        if scheduler_config is not None:
+            return scheduler_config.max_batch_requests
+        return getattr(engine, "max_batch_requests", None)
+
+    def _bump_idle_engines(self, now: float) -> None:
+        inner = self.inner
+        if isinstance(inner, ClusterGateway):
+            for replica in inner.active_replicas():
+                if replica.unfinished == 0:
+                    replica.engine.clock = max(replica.engine.clock, now)
+        elif inner.unfinished == 0:
+            inner.engine.clock = max(inner.engine.clock, now)
+
+    # ------------------------------------------------------------------ #
+    # shed prediction
+    # ------------------------------------------------------------------ #
+    def _service_rate(self) -> Optional[float]:
+        """Completions per second over the recent window (None = cold)."""
+        if len(self._recent_finish) < _MIN_COMPLETIONS_FOR_PREDICTION:
+            return None
+        span = self._recent_finish[-1] - self._recent_finish[0]
+        if span <= 0:
+            return None
+        return (len(self._recent_finish) - 1) / span
+
+    def _predicted_ttft_s(self, tenant_id: Optional[str]) -> Optional[float]:
+        """Expected TTFT for one more request from this tenant, under the
+        current backlog and admission order."""
+        rate = self._service_rate()
+        if rate is None:
+            return None
+        controller = self.controller
+        if controller.policy == "fcfs":
+            ahead = self._dispatched_unfinished + controller.total_queued
+            return (ahead + 1) / rate
+        tenant = controller.tenant(tenant_id)
+        active = set(controller.active_tenants()) | {tenant.tenant_id}
+        total_weight = sum(controller.tenant(t).weight for t in active)
+        share = tenant.weight / total_weight
+        own = controller.load_of(tenant.tenant_id)
+        return (own + 1) / (rate * share)
+
+    def _completion_hook(self, record: RequestRecord) -> None:
+        self._dispatched_unfinished = max(0, self._dispatched_unfinished - 1)
+        self._recent_finish.append(record.finish_s)
+        self.controller.on_complete(record)

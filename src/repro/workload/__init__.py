@@ -1,6 +1,6 @@
 """Workload traces and generators (paper §6.1)."""
 
-from .arrival import (gamma_burst_arrivals, piecewise_rate_arrivals,
+from .arrival import (as_rng, gamma_burst_arrivals, piecewise_rate_arrivals,
                       poisson_arrivals, ramp_arrivals)
 from .generators import (azure_like_trace, ramp_trace, synthetic_trace,
                          trace_from_distribution)
@@ -8,13 +8,15 @@ from .lmsys import ARENA_MODEL_NAMES, arena_trace
 from .popularity import (make_model_ids, sample_models, uniform_popularity,
                          zipf_popularity)
 from .spec import LengthSampler, Trace, TraceRequest
+from .tenants import TenantWorkload, multi_tenant_trace
 
 __all__ = [
-    "gamma_burst_arrivals", "piecewise_rate_arrivals", "poisson_arrivals",
-    "ramp_arrivals",
+    "as_rng", "gamma_burst_arrivals", "piecewise_rate_arrivals",
+    "poisson_arrivals", "ramp_arrivals",
     "azure_like_trace", "ramp_trace", "synthetic_trace",
     "trace_from_distribution",
     "ARENA_MODEL_NAMES", "arena_trace",
     "make_model_ids", "sample_models", "uniform_popularity", "zipf_popularity",
     "LengthSampler", "Trace", "TraceRequest",
+    "TenantWorkload", "multi_tenant_trace",
 ]

@@ -1,23 +1,45 @@
 """Arrival processes: Poisson (the paper's default), bursty variants, and
-piecewise-rate ramps for autoscaler studies."""
+piecewise-rate ramps for autoscaler studies.
+
+Every arrival function takes its randomness as ``rng`` — a
+``numpy.random.Generator``, an explicit integer seed, or ``None`` for a
+fixed default seed — via :func:`as_rng`, so callers (benchmarks in
+particular) can pin reproducible streams without constructing generators
+themselves.
+"""
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["poisson_arrivals", "gamma_burst_arrivals",
+__all__ = ["as_rng", "poisson_arrivals", "gamma_burst_arrivals",
            "piecewise_rate_arrivals", "ramp_arrivals"]
+
+#: anything acceptable as a randomness source: a generator, a seed, or None
+RNGLike = Union[np.random.Generator, int, Sequence[int], None]
+
+
+def as_rng(rng: RNGLike) -> np.random.Generator:
+    """Coerce a generator / explicit seed / ``None`` into a ``Generator``.
+
+    ``None`` maps to seed 0 — deterministic by default — so run-to-run
+    reproducibility never hinges on a caller remembering to seed.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(0 if rng is None else rng)
 
 
 def poisson_arrivals(rate: float, duration_s: float,
-                     rng: np.random.Generator) -> List[float]:
+                     rng: RNGLike = None) -> List[float]:
     """Arrival timestamps of a homogeneous Poisson process.
 
     ``rate`` is the system-wide requests/second (the paper applies λ to the
     whole system, not per model).
     """
+    rng = as_rng(rng)
     if rate <= 0:
         return []
     times = []
@@ -29,7 +51,7 @@ def poisson_arrivals(rate: float, duration_s: float,
 
 
 def gamma_burst_arrivals(rate: float, duration_s: float,
-                         rng: np.random.Generator,
+                         rng: RNGLike = None,
                          cv: float = 4.0) -> List[float]:
     """Bursty arrivals via gamma-distributed inter-arrival gaps.
 
@@ -37,6 +59,7 @@ def gamma_burst_arrivals(rate: float, duration_s: float,
     larger values produce the clumped traffic characteristic of the Azure
     serverless trace.
     """
+    rng = as_rng(rng)
     if rate <= 0:
         return []
     shape = 1.0 / (cv * cv)
@@ -50,7 +73,7 @@ def gamma_burst_arrivals(rate: float, duration_s: float,
 
 
 def piecewise_rate_arrivals(segments: Sequence[Tuple[float, float]],
-                            rng: np.random.Generator,
+                            rng: RNGLike = None,
                             cv: float = 1.0) -> List[float]:
     """Arrivals whose rate steps through ``(rate, duration_s)`` segments.
 
@@ -59,6 +82,7 @@ def piecewise_rate_arrivals(segments: Sequence[Tuple[float, float]],
     rate, shifted to the segment's start.  A zero-rate segment is a quiet
     gap.
     """
+    rng = as_rng(rng)
     times: List[float] = []
     offset = 0.0
     for rate, duration_s in segments:
@@ -74,7 +98,7 @@ def piecewise_rate_arrivals(segments: Sequence[Tuple[float, float]],
 
 
 def ramp_arrivals(peak_rate: float, duration_s: float,
-                  rng: np.random.Generator, base_rate: float = 0.0,
+                  rng: RNGLike = None, base_rate: float = 0.0,
                   n_steps: int = 8, cv: float = 1.0) -> List[float]:
     """A triangular rate ramp: ``base_rate`` up to ``peak_rate`` and back.
 

@@ -17,13 +17,17 @@ def save_trace(trace: Trace, path: str) -> None:
                   "duration_s": trace.duration_s}
         f.write(json.dumps({"__header__": header}) + "\n")
         for req in trace:
-            f.write(json.dumps({
+            row = {
                 "request_id": req.request_id,
                 "model_id": req.model_id,
                 "arrival_s": req.arrival_s,
                 "prompt_tokens": req.prompt_tokens,
                 "output_tokens": req.output_tokens,
-            }) + "\n")
+            }
+            # untenanted traces keep the exact legacy byte format
+            if req.tenant_id is not None:
+                row["tenant_id"] = req.tenant_id
+            f.write(json.dumps(row) + "\n")
 
 
 def load_trace(path: str) -> Trace:

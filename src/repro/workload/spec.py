@@ -16,6 +16,9 @@ class TraceRequest:
 
     ``model_id`` names a fine-tuned variant (or the base model); prompt and
     output lengths are in tokens, sampled to match LMSys chat statistics.
+    ``tenant_id`` optionally names the tenant the request bills to; ``None``
+    (untenanted, the default for every pre-existing trace) is treated as
+    the default tenant by the admission layer.
     """
 
     request_id: int
@@ -23,6 +26,7 @@ class TraceRequest:
     arrival_s: float
     prompt_tokens: int
     output_tokens: int
+    tenant_id: Optional[str] = None
 
 
 @dataclass
@@ -46,6 +50,18 @@ class Trace:
         counts = {m: 0 for m in self.model_ids}
         for req in self.requests:
             counts[req.model_id] = counts.get(req.model_id, 0) + 1
+        return counts
+
+    @property
+    def tenant_ids(self) -> List[str]:
+        """Distinct tenants tagged on requests (untenanted excluded)."""
+        return sorted({r.tenant_id for r in self.requests
+                       if r.tenant_id is not None})
+
+    def per_tenant_counts(self) -> Dict[Optional[str], int]:
+        counts: Dict[Optional[str], int] = {}
+        for req in self.requests:
+            counts[req.tenant_id] = counts.get(req.tenant_id, 0) + 1
         return counts
 
     def arrival_rate(self) -> float:

@@ -53,6 +53,27 @@ class TestTraceIO:
         assert trace.model_ids == ["m0"]
         assert trace.duration_s == 1.0
 
+    def test_tenant_tags_roundtrip(self, tmp_path):
+        from repro.workload import TenantWorkload, multi_tenant_trace
+        trace = multi_tenant_trace(
+            [TenantWorkload("a", rate=1.0), TenantWorkload("b", rate=1.0)],
+            duration_s=20.0, seed=3)
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert [r.tenant_id for r in loaded] == \
+            [r.tenant_id for r in trace]
+        assert loaded.tenant_ids == ["a", "b"]
+
+    def test_untenanted_byte_format_unchanged(self, tmp_path):
+        """Legacy trace files never mention tenant_id (old readers and
+        diff-based fixtures stay valid)."""
+        trace = synthetic_trace(2, rate=1.0, duration_s=10.0, seed=0)
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path)
+        with open(path) as f:
+            assert "tenant_id" not in f.read()
+
 
 class TestCLI:
     def test_parser_subcommands(self):

@@ -339,6 +339,67 @@ class TestAutoscaler:
                            n_replicas=1,
                            autoscaler=Autoscaler(max_replicas=4))
 
+    def test_lineage_rebalances_when_autoscaler_drains_pinned_replica(self):
+        """Regression coverage for the Autoscaler x lineage interaction:
+        when the controller drains the replica a variant is pinned to,
+        ``drain_replica`` must notify the balancer (dropping the pin and
+        the learned homes) so later requests for that variant rehome to a
+        surviving replica instead of chasing the drained one."""
+        balancer = LineageAffinityBalancer()
+        autoscaler = Autoscaler(min_replicas=1, max_replicas=2,
+                                high_queue_per_replica=1000.0,
+                                low_queue_per_replica=999.0,
+                                check_interval_s=0.0,
+                                scale_down_cooldown_s=0.0,
+                                scale_up_cooldown_s=0.0)
+        gateway = make_gateway(n_replicas=2, balancer=balancer,
+                               autoscaler=autoscaler)
+        pinned = gateway.replicas[0]
+        balancer.pin("variant-00", pinned)
+        balancer.choose("variant-01", gateway.replicas)   # learned home
+        # both replicas idle -> the idle watermark triggers a scale-down;
+        # the controller retires the pinned replica's peerless queue first
+        action = autoscaler.control(gateway)
+        assert action == "scale_down"
+        drained = next(r for r in gateway.replicas + gateway.retired
+                       if r.draining or r in gateway.retired)
+        # whichever replica drained, no pin or home may reference it
+        assert all(r is not drained
+                   for r in balancer._pinned.values())
+        assert all(r is not drained
+                   for r in balancer._home.values())
+        survivor = gateway.active_replicas()[0]
+        for i in range(4):
+            gateway.submit("variant-00", 32, 4)
+            gateway.submit("variant-01", 32, 4)
+        assert drained.unfinished == 0
+        assert survivor.unfinished == 8
+        result = gateway.run_until_drained()
+        assert sorted(r.request_id for r in result.records) == \
+            list(range(8))
+
+    def test_lineage_pin_to_drained_replica_rehomes_under_load(self):
+        """End-to-end: a replayed burst for a pinned variant keeps
+        completing after its home replica drains mid-run."""
+        mgr = make_manager()
+        balancer = LineageAffinityBalancer()
+        gateway = make_gateway(n_replicas=2, balancer=balancer, mgr=mgr)
+        balancer.pin("variant-00", gateway.replicas[0])
+        for i in range(6):
+            gateway.submit("variant-00", 32, 4, arrival_s=float(i))
+        gateway.step()
+        gateway.drain_replica(gateway.replicas[0])
+        for i in range(6, 12):
+            gateway.submit("variant-00", 32, 4)
+        result = gateway.run_until_drained()
+        assert result.n_requests == 12
+        # post-drain requests all served by the survivor
+        by_replica = gateway.results_by_replica()
+        survivor_records = [r for name, res in by_replica.items()
+                            for r in res.records
+                            if name == gateway.active_replicas()[0].name]
+        assert {r.request_id for r in survivor_records} >= set(range(6, 12))
+
     def test_cooldown_limits_flapping(self):
         config = AutoscalerConfig(max_replicas=8, check_interval_s=1.0,
                                   scale_up_cooldown_s=1000.0)

@@ -1,21 +1,25 @@
-"""ServingResult metrics and SLO attainment math."""
+"""ServingResult metrics, per-tenant slicing, and SLO attainment math."""
 
 import numpy as np
 import pytest
 
-from repro.serving.metrics import ServingResult, slo_attainment, summarize
+from repro.serving.metrics import (ServingResult, UNTENANTED,
+                                   jain_fairness_index, slo_attainment,
+                                   slo_attainment_by_tenant, summarize,
+                                   summarize_by_tenant)
 from repro.serving.request import RequestRecord
 
 
 def record(rid=0, arrival=0.0, first=1.0, finish=5.0, prompt=10, output=20,
-           **kw):
+           tenant=None, **kw):
     return RequestRecord(request_id=rid, model_id="m", arrival_s=arrival,
                          first_token_s=first, finish_s=finish,
                          prompt_tokens=prompt, output_tokens=output,
                          queue_wait_s=kw.get("queue_wait_s", 0.5),
                          loading_s=kw.get("loading_s", 0.2),
                          inference_s=kw.get("inference_s", 4.0),
-                         skipped_line=False, preemptions=0)
+                         skipped_line=False, preemptions=0,
+                         tenant_id=tenant)
 
 
 class TestRequestRecord:
@@ -87,3 +91,98 @@ class TestSLO:
     def test_unknown_metric(self):
         with pytest.raises(ValueError):
             slo_attainment([record()], 1.0, "p99")
+
+
+class TestEmptyAndDegenerateGuards:
+    """Regression: every latency/throughput helper must be total on
+    empty or degenerate record lists, so per-tenant slices of idle
+    tenants can never raise."""
+
+    @pytest.mark.parametrize("makespan", [0.0, -1.0, 1.0])
+    def test_all_helpers_zero_on_empty(self, makespan):
+        empty = ServingResult(engine="t", records=[], makespan_s=makespan)
+        assert empty.throughput_rps() == 0.0
+        assert empty.token_throughput() == 0.0
+        assert empty.throughput_within(10.0) == 0.0
+        assert empty.mean_e2e_latency_s() == 0.0
+        assert empty.mean_ttft_s() == 0.0
+        assert empty.mean_time_per_token_s() == 0.0
+        for q in (0, 50, 90, 99, 100):
+            assert empty.percentile_e2e_s(q) == 0.0
+            assert empty.percentile_ttft_s(q) == 0.0
+        assert all(np.isfinite(v) for v in summarize(empty).values())
+
+    def test_merge_of_nothing_is_safe(self):
+        merged = ServingResult.merge([])
+        assert merged.n_requests == 0
+        assert summarize(merged)["p99_e2e_s"] == 0.0
+
+    def test_idle_tenant_slice_is_empty_and_safe(self):
+        res = ServingResult(engine="t", records=[record(tenant="busy")],
+                            makespan_s=5.0)
+        idle = res.for_tenant("sleeper")
+        assert idle.n_requests == 0
+        assert idle.percentile_ttft_s(99) == 0.0
+        assert idle.mean_e2e_latency_s() == 0.0
+        assert idle.config["tenant_id"] == "sleeper"
+
+    def test_zero_output_tokens_record(self):
+        degenerate = ServingResult(
+            engine="t", records=[record(output=0)], makespan_s=1.0)
+        assert np.isfinite(degenerate.mean_time_per_token_s())
+
+
+class TestPerTenantMetrics:
+    def make(self):
+        records = [record(rid=i, arrival=float(i), first=i + 1.0,
+                          finish=i + 3.0, tenant="a") for i in range(4)]
+        records += [record(rid=10 + i, arrival=float(i), first=i + 2.0,
+                           finish=i + 6.0, tenant="b") for i in range(2)]
+        records += [record(rid=20, arrival=0.0, first=1.0, finish=2.0)]
+        return ServingResult(engine="t", records=records, makespan_s=9.0)
+
+    def test_tenant_ids_include_untenanted_bucket(self):
+        assert self.make().tenant_ids == ["a", "b", UNTENANTED]
+
+    def test_for_tenant_slices_and_recomputes_makespan(self):
+        res = self.make()
+        a = res.for_tenant("a")
+        assert a.n_requests == 4
+        assert all(r.tenant_id == "a" for r in a.records)
+        # slice makespan spans the slice's own arrivals/finishes
+        assert a.makespan_s == pytest.approx(6.0)
+        assert res.for_tenant(None).n_requests == 1
+
+    def test_by_tenant_partitions_all_records(self):
+        res = self.make()
+        parts = res.by_tenant()
+        assert sum(p.n_requests for p in parts.values()) == res.n_requests
+
+    def test_summarize_by_tenant(self):
+        rows = summarize_by_tenant(self.make())
+        assert rows["a"]["n_requests"] == 4
+        assert rows["b"]["mean_ttft_s"] == pytest.approx(2.0)
+
+    def test_slo_attainment_by_tenant(self):
+        per = slo_attainment_by_tenant(self.make().records, 1.5,
+                                       metric="ttft")
+        assert per["a"] == 1.0     # a's ttft is 1.0 everywhere
+        assert per["b"] == 0.0     # b's ttft is 2.0 everywhere
+        assert per[UNTENANTED] == 1.0
+
+
+class TestJainFairness:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_fairness_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_total_capture_is_one_over_n(self):
+        assert jain_fairness_index([1.0, 0.0, 0.0, 0.0]) == \
+            pytest.approx(0.25)
+
+    def test_empty_and_all_zero_default_fair(self):
+        assert jain_fairness_index([]) == 1.0
+        assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness_index([1.0, -0.5])
