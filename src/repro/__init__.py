@@ -6,6 +6,7 @@ Subpackages:
 * ``repro.compression`` — ΔCompress pipeline + SparseGPT/AWQ baselines.
 * ``repro.hardware`` — GPU / memory-hierarchy cost models.
 * ``repro.workload`` — trace and arrival-process generators.
+* ``repro.sim`` — discrete-event kernel: one clock, typed events.
 * ``repro.serving`` — DeltaZip engine, vLLM-SCB baseline, LoRA engine.
 * ``repro.evaluation`` — synthetic downstream tasks and accuracy harness.
 * ``repro.core`` — the high-level :class:`repro.core.DeltaZip` facade.

@@ -9,7 +9,7 @@ from .cluster import (Autoscaler, AutoscalerConfig, AutoscalerSample,
                       RoundRobinBalancer, create_balancer)
 from .costs import BatchComposition, IterationCostModel
 from .economics import (DeploymentCost, GPU_HOURLY_USD, compare_deployments,
-                        deployment_cost)
+                        cost_per_tenant, deployment_cost)
 from .engine import DeltaZipEngine
 from .gateway import ServingGateway
 from .metrics import (EngineStats, ServingResult, UNTENANTED,
@@ -40,7 +40,7 @@ __all__ = [
     "LoadBalancer", "Replica", "RoundRobinBalancer", "create_balancer",
     "BatchComposition", "IterationCostModel",
     "DeploymentCost", "GPU_HOURLY_USD", "compare_deployments",
-    "deployment_cost",
+    "cost_per_tenant", "deployment_cost",
     "DeltaZipEngine", "EngineConfig", "TimelineEvent",
     "EngineStats", "ServingResult", "slo_attainment", "summarize",
     "UNTENANTED", "jain_fairness_index", "slo_attainment_by_tenant",

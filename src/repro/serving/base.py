@@ -15,6 +15,19 @@ at any simulated time and the clock advances one iteration per
 :meth:`ServingEngine.run_until_drained` — so replay and live submission
 share every line of scheduling code and produce identical results.
 
+Time lives in the :mod:`repro.sim` kernel: the engine's clock is a
+:class:`~repro.sim.SimClock`, not-yet-arrived submissions are
+:class:`~repro.sim.Arrival` events in an :class:`~repro.sim.EventQueue`,
+and idle gaps are *skipped* — the clock jumps straight to the next
+event in O(log n) instead of grinding through empty iterations.  Setting
+``EngineConfig.idle_quantum_s`` bounds each idle jump to a fixed quantum
+(the naive activity-scanning simulator); records are identical either
+way, which is what the kernel determinism tests pin down.  Executed
+iterations are published as :class:`~repro.sim.IterationDone` events
+through :attr:`ServingEngine.on_event` so outer layers (the cluster
+kernel journal, benchmarks) can observe the timeline without reaching
+into engine internals.
+
 Engines register themselves in the string-keyed :data:`ENGINES` registry
 (via :func:`register_engine`) so the CLI, benchmarks, router, and the
 :class:`~repro.serving.gateway.ServingGateway` can construct any engine —
@@ -23,11 +36,11 @@ including future ones — by name through :func:`create_engine`.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Type
 
 from ..hardware.cluster import GPUNode
+from ..sim import Arrival, Event, EventQueue, IterationDone, SimClock
 from ..workload.spec import Trace, TraceRequest
 from .metrics import EngineStats, ServingResult
 from .model_manager import ArtifactKind, ModelManager
@@ -59,6 +72,15 @@ class EngineConfig:
     preempted request's KV state in CPU memory and resumes by decoding
     (paying a fixed swap cost per preemption); "recompute" discards the KV
     state for free but must re-prefill the full context at resume time.
+
+    ``idle_quantum_s`` selects the simulator's idle-time strategy: None
+    (default) is event-driven — the clock jumps over idle gaps straight
+    to the next scheduled event; a positive value bounds every idle jump
+    to that quantum, i.e. the classic activity-scanning loop that steps
+    through dead time.  Request records are identical in both modes (the
+    quantum only subdivides jumps, never overshoots an event); the knob
+    exists so benchmarks and the kernel determinism tests can price
+    idle-skip against the dense baseline.
     """
 
     tp_degree: int = 4
@@ -70,12 +92,15 @@ class EngineConfig:
     lossless_decompress_gbps: Optional[float] = None
     preempt_mode: str = "swap"       # "swap" | "recompute"
     max_sim_seconds: float = 36000.0
+    idle_quantum_s: Optional[float] = None
 
     def __post_init__(self):
         if self.preempt_mode not in ("swap", "recompute"):
             raise ValueError(f"unknown preempt_mode {self.preempt_mode!r}")
         if self.variant_kind not in ("delta", "lora", "none"):
             raise ValueError(f"unknown variant_kind {self.variant_kind!r}")
+        if self.idle_quantum_s is not None and self.idle_quantum_s <= 0:
+            raise ValueError("idle_quantum_s must be > 0 when set")
 
 
 @dataclass
@@ -101,6 +126,8 @@ class Admission:
 # callback signatures: (request, clock_s)
 TokenCallback = Callable[[ServingRequest, float], None]
 FinishCallback = Callable[[ServingRequest, float], None]
+#: cross-layer instrumentation: typed sim events (IterationDone, ...)
+EventCallback = Callable[[Event], None]
 
 
 class ServingEngine:
@@ -135,6 +162,7 @@ class ServingEngine:
         self.collect_timeline = False
         self.on_token: Optional[TokenCallback] = None
         self.on_finish: Optional[FinishCallback] = None
+        self.on_event: Optional[EventCallback] = None
         self.reset()
 
     # ------------------------------------------------------------------ #
@@ -172,8 +200,8 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
         """Clear all serving state (a fresh simulated timeline)."""
-        self.clock = 0.0
-        self._pending: List[tuple] = []   # heap of (arrival_s, id, request)
+        self._sim = SimClock()
+        self._pending = EventQueue()      # Arrival events on the sim clock
         self._n_submitted = 0
         self.running: List[ServingRequest] = []
         self.finished: List[ServingRequest] = []
@@ -181,13 +209,23 @@ class ServingEngine:
         self.stats = EngineStats()
         self._reset_engine()
 
+    @property
+    def clock(self) -> float:
+        """This engine's simulated time (a :class:`~repro.sim.SimClock`)."""
+        return self._sim.now
+
+    @clock.setter
+    def clock(self, value: float) -> None:
+        # outer layers legitimately re-seat an idle engine's timeline
+        # (replica spawn at the cluster frontier, admission-floor bumps)
+        self._sim.now = float(value)
+
     def submit(self, request: TraceRequest) -> ServingRequest:
         """Enqueue one request; it joins the queue once the clock reaches
         its ``arrival_s`` (which may be in the past: it joins immediately,
         at the next :meth:`step`)."""
         req = ServingRequest(trace=request)
-        heapq.heappush(self._pending,
-                       (request.arrival_s, request.request_id, req))
+        self._pending.push(Arrival(time=request.arrival_s, request=req))
         self._n_submitted += 1
         return req
 
@@ -201,10 +239,8 @@ class ServingEngine:
         """Arrived-but-unfinished requests: the queue pressure an
         autoscaler should react to.  Unlike :attr:`unfinished`, requests
         replayed ahead of time with future arrivals don't count until the
-        clock reaches them."""
-        future = sum(1 for arrival_s, _, _ in self._pending
-                     if arrival_s > self.clock)
-        return self.unfinished - future
+        clock reaches them (an O(log n) kernel count, not a heap scan)."""
+        return self.unfinished - self._pending.count_after(self.clock)
 
     def step(self) -> bool:
         """Run one scheduling iteration.
@@ -215,14 +251,16 @@ class ServingEngine:
         self._before_step()
 
         # 1. arrivals up to the clock join the engine's queue
-        while self._pending and self._pending[0][0] <= self.clock:
-            _, _, req = heapq.heappop(self._pending)
-            self.on_arrival(req)
+        for event in self._pending.pop_due(self.clock):
+            self.on_arrival(event.request)
 
         if not self.running and not self.has_queued():
             if not self._pending:
                 return False
-            self.clock = max(self.clock, self._pending[0][0])
+            # idle-skip: jump to the next scheduled arrival (bounded to a
+            # quantum when the dense activity-scanning mode is selected)
+            self.clock = self._bounded_jump(
+                max(self.clock, self._pending.peek_time()))
             return True
 
         # 2-3. engine-specific admission (scheduling, swaps, KV control)
@@ -246,7 +284,7 @@ class ServingEngine:
             executed, iter_time = False, 0.0
         else:
             executed, iter_time = True, cost
-        self.clock += iter_time + load_time
+        self._sim.tick(iter_time + load_time)
         if executed:
             self.on_iteration(iter_time, load_time, admitted)
 
@@ -274,7 +312,13 @@ class ServingEngine:
             req.finish_s = self.clock
             self.finished.append(req)
         self.running = [r for r in self.running if not r.done]
-        self.clock += self.retire(newly_done)
+        self._sim.tick(self.retire(newly_done))
+        if executed and self.on_event is not None:
+            self.on_event(IterationDone(
+                time=self.clock, iter_time_s=iter_time,
+                load_time_s=load_time,
+                n_running=len(self.running), n_admitted=len(admitted),
+                n_finished=len(newly_done), source=self.name))
 
         if self.collect_timeline:
             for req in newly_done:
@@ -364,9 +408,19 @@ class ServingEngine:
 
     def _stall(self) -> bool:
         if self._pending:
-            self.clock = self._stall_clock(self._pending[0][0])
+            self.clock = self._bounded_jump(
+                self._stall_clock(self._pending.peek_time()))
             return True
         return False
+
+    def _bounded_jump(self, target: float) -> float:
+        """An idle jump to ``target``, quantized when dense stepping is
+        on.  The quantum subdivides the gap but never overshoots the
+        target, so both modes ingest every arrival at the same clock."""
+        quantum = self.config.idle_quantum_s
+        if quantum is None:
+            return target
+        return min(target, self.clock + quantum)
 
     def result_config(self) -> Dict[str, object]:
         """hook: the ``config`` dict attached to results."""

@@ -81,12 +81,13 @@ class VLLMSCBEngine(ServingEngine):
         if self.preload and not self._warmed:
             # warm start: pre-stage the first models the workload will ask
             # for (in arrival order over everything submitted so far)
-            for _, _, req in sorted(self._pending):
+            for event in self._pending.in_order():
                 if len(self._resident) >= self._max_resident:
                     break
-                if req.model_id not in self._resident:
-                    self._resident[req.model_id] = True
-                    self._in_cpu.add(req.model_id)
+                model_id = event.request.model_id
+                if model_id not in self._resident:
+                    self._resident[model_id] = True
+                    self._in_cpu.add(model_id)
         self._warmed = True
 
     def on_arrival(self, request: ServingRequest) -> None:
@@ -223,8 +224,8 @@ class DedicatedEngine(ServingEngine):
 
     @clock.setter
     def clock(self, value: float) -> None:
-        # the base reset() assigns clock = 0.0; per-group clocks are
-        # authoritative, so only a fresh reset is meaningful here
+        # per-group clocks are authoritative; only a fresh zero (a reset
+        # or a spawn onto an idle timeline) is meaningful here
         if value != 0.0:
             raise AttributeError("DedicatedEngine clock is derived from "
                                  "its per-variant groups")

@@ -16,10 +16,18 @@ single node.  This module scales that surface out:
   ``run_until_drained`` / ``replay`` surface as a single gateway, so
   clients are replica-count-agnostic.
 
-Replicas are independent discrete-event machines with their own simulated
-clocks; the cluster advances the least-advanced replica that has work, so
-per-replica results are identical to running each replica's request stream
-on a standalone gateway regardless of interleaving.
+Time is owned by the :mod:`repro.sim` kernel: the gateway holds a
+:class:`~repro.sim.SimKernel` whose monotone clock is the cluster
+*frontier* (the least busy-replica clock — the single "now" that
+routing, autoscaling, and the admission layer above all read), keeps
+unrouted trace requests as :class:`~repro.sim.Arrival` events in an
+:class:`~repro.sim.EventQueue`, and schedules the autoscaler as
+:class:`~repro.sim.AutoscalerTick` events instead of polling it after
+every step.  Replicas remain independent discrete-event machines with
+their own local clocks (each models its own hardware timeline); the
+cluster advances the least-advanced replica that has work, so
+per-replica results are identical to running each replica's request
+stream on a standalone gateway regardless of interleaving.
 
 Multi-tenant admission control (token buckets, per-tenant quotas, VTC
 fair queueing, SLO-aware shedding) sits *in front of* this gateway:
@@ -31,7 +39,6 @@ through :meth:`ClusterGateway.ingest`; completions flow back through
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from dataclasses import dataclass
 from typing import (Callable, Deque, Dict, List, Optional, Sequence, Type,
@@ -40,6 +47,8 @@ from typing import (Callable, Deque, Dict, List, Optional, Sequence, Type,
 import numpy as np
 
 from ..hardware.cluster import Cluster, GPUNode
+from ..sim import (Arrival, AutoscalerTick, EventQueue, ReplicaDrain,
+                   ReplicaSpawn, SimKernel)
 from ..workload.spec import Trace, TraceRequest
 from .base import ServingEngine
 from .gateway import CompletionCallback, ServingGateway, TokenCallback
@@ -213,8 +222,10 @@ def create_balancer(policy: Union[str, LoadBalancer], **kwargs) -> LoadBalancer:
 class AutoscalerConfig:
     """Watermark controller knobs.
 
-    Scale up when the arrived-but-unfinished backlog per active replica
-    exceeds ``high_queue_per_replica`` (or recent TTFT tail exceeds
+    Scale up when the *offered* backlog per active replica — engine
+    backlog plus any requests an admission layer holds at the cluster
+    frontier (see :meth:`ClusterGateway.set_admission_probe`) — exceeds
+    ``high_queue_per_replica`` (or recent TTFT tail exceeds
     ``ttft_high_s``); scale down when it drops below
     ``low_queue_per_replica``.  Cooldowns stop the controller from
     flapping on bursty arrivals.
@@ -253,9 +264,18 @@ class AutoscalerSample:
 class Autoscaler:
     """Queue-driven replica controller for a :class:`ClusterGateway`.
 
-    The gateway calls :meth:`control` after every scheduling step; the
-    controller samples at most once per ``check_interval_s`` of simulated
-    time and spawns/drains replicas through the gateway.
+    The gateway schedules the controller as
+    :class:`~repro.sim.AutoscalerTick` events on its sim kernel — one
+    tick every ``check_interval_s`` of simulated time — and each fired
+    tick calls :meth:`control`, which spawns/drains replicas through the
+    gateway.  Observations happen at the *kernel clock* (the cluster
+    frontier, :attr:`ClusterGateway.frontier`): the max-of-replicas
+    clock used previously runs ahead of the frontier whenever replica
+    clocks skew, which silently stretched check intervals and cooldowns
+    (see the skewed-clock regression test).  The queue signal is
+    admission-aware: requests a tenancy layer holds at the frontier
+    (:attr:`ClusterGateway.admission_queued`) count as offered load, so
+    the cluster scales before shedding kicks in rather than after.
     """
 
     def __init__(self, config: Optional[AutoscalerConfig] = None, **kwargs):
@@ -277,7 +297,12 @@ class Autoscaler:
         return max((s.n_replicas for s in self.history), default=0)
 
     def control(self, gateway: "ClusterGateway") -> Optional[str]:
-        now = gateway.clock
+        # observe at the monotone kernel clock (the ratcheted frontier),
+        # not the most-advanced replica: a replica that raced ahead must
+        # not fast-forward the controller's notion of elapsed time, and
+        # an idle-moment fallback to the max clock must not leave
+        # _last_check stamped ahead of later frontier observations
+        now = gateway.sim_now
         cfg = self.config
         if self._last_check is not None and \
                 now - self._last_check < cfg.check_interval_s:
@@ -288,8 +313,11 @@ class Autoscaler:
         n = len(active)
         # backlog, not unfinished: replayed traces submit far-future
         # arrivals up front, and the controller must not scale on load
-        # that has not been offered yet
-        queue_per = sum(r.backlog for r in active) / max(n, 1)
+        # that has not been offered yet.  Admission-held requests count:
+        # they are offered load the engines cannot see.
+        offered = sum(r.backlog for r in active) + \
+            getattr(gateway, "admission_queued", 0)
+        queue_per = offered / max(n, 1)
         ttft_tail = gateway.recent_ttft_percentile(cfg.ttft_quantile)
 
         action = None
@@ -342,9 +370,14 @@ class ClusterGateway:
                  on_token: Optional[TokenCallback] = None,
                  on_request_complete: Optional[CompletionCallback] = None,
                  collect_timeline: bool = False,
+                 journal: bool = False,
                  _replicas: Optional[List[Replica]] = None):
         if n_replicas < 1:
             raise ValueError("need at least one replica")
+        # the one clock: kernel time is the cluster frontier, and every
+        # cross-layer event (spawns, drains, autoscaler ticks, engine
+        # iterations when journaling) flows through it
+        self.kernel = SimKernel(journal=journal)
         self.balancer = create_balancer(balancer)
         self.autoscaler = autoscaler
         self._factory = engine_factory
@@ -352,12 +385,15 @@ class ClusterGateway:
         self._on_token = on_token
         self._on_complete = on_request_complete
         self._collect_timeline = collect_timeline
+        self._journal = journal
         self._next_id = 0
         self._next_replica_id = 0
         # trace requests awaiting routing: replay defers each routing
         # decision until the simulation frontier reaches the arrival, so
         # balancers and the autoscaler see the load actually offered so far
-        self._unrouted: List[tuple] = []   # heap of (arrival_s, id, request)
+        self._unrouted = EventQueue()     # Arrival events on the kernel
+        self._ticks = EventQueue()        # scheduled AutoscalerTicks
+        self._admission_probe: Optional[Callable[[], int]] = None
         self._listeners: List[CompletionCallback] = []
         self._recent_records: Deque[RequestRecord] = deque(maxlen=256)
         self.replicas: List[Replica] = []
@@ -381,6 +417,7 @@ class ClusterGateway:
                     f"{ceiling} replicas were requested")
             for _ in range(n_replicas):
                 self.spawn_replica()
+        self._schedule_tick(0.0)
 
     @classmethod
     def from_engines(cls, engines: Sequence[ServingEngine],
@@ -425,6 +462,9 @@ class ClusterGateway:
         if draining:
             revived = max(draining, key=lambda r: r.id)   # youngest first
             revived.draining = False
+            self.kernel.emit(ReplicaSpawn(time=self.kernel.now,
+                                          replica_id=revived.id,
+                                          revived=True))
             return revived
         if self._factory is None:
             raise RuntimeError(
@@ -433,7 +473,7 @@ class ClusterGateway:
         engine = self._factory(node) if node is not None \
             else self._factory(None)
         # the new replica joins *now*: its private clock starts at the
-        # cluster frontier so cold-start latencies are measured from spawn
+        # cluster clock so cold-start latencies are measured from spawn
         engine.clock = max(engine.clock, self.clock)
         return self._add_replica(engine, node=node)
 
@@ -449,6 +489,8 @@ class ClusterGateway:
             # youngest goes first (spawned last, drained first)
             replica = min(active, key=lambda r: (r.unfinished, -r.id))
         replica.draining = True
+        self.kernel.emit(ReplicaDrain(time=self.kernel.now,
+                                      replica_id=replica.id))
         self.balancer.on_removed(replica)
         self._reap_drained()
         return replica
@@ -462,6 +504,11 @@ class ClusterGateway:
                           collect_timeline=self._collect_timeline)
         self._next_replica_id += 1
         self.replicas.append(replica)
+        if self._journal:
+            # publish engine iterations into the cluster's event journal
+            engine.on_event = self.kernel.emit
+        self.kernel.emit(ReplicaSpawn(time=self.kernel.now,
+                                      replica_id=replica.id))
         return replica
 
     def _reap_drained(self) -> None:
@@ -477,9 +524,29 @@ class ClusterGateway:
     # ------------------------------------------------------------------ #
     @property
     def clock(self) -> float:
-        """Cluster simulated time: the most-advanced replica's clock."""
+        """The most-advanced replica's clock (the makespan frontier)."""
         return max((r.clock for r in self.replicas + self.retired),
                    default=0.0)
+
+    @property
+    def frontier(self) -> float:
+        """The least busy-replica clock — the point the simulation cannot
+        retreat behind while work is in flight.  Routing and the
+        admission layer above observe *this* "now": unlike :attr:`clock`
+        a single fast replica does not drag it forward.  With no busy
+        replica it falls back to :attr:`clock` (where the cluster last
+        stopped), which can sit ahead of where a lagging replica resumes;
+        consumers needing strict monotonicity use :attr:`sim_now`."""
+        busy = [r.clock for r in self.replicas if r.unfinished > 0]
+        return min(busy) if busy else self.clock
+
+    @property
+    def sim_now(self) -> float:
+        """The monotone kernel clock: :attr:`frontier` ratcheted forward.
+        This is the autoscaler's observation clock — it reflects frontier
+        progress even between steps, but never runs backward across an
+        idle fallback."""
+        return self.kernel.advance(self.frontier)
 
     @property
     def unfinished(self) -> int:
@@ -519,8 +586,7 @@ class ClusterGateway:
         :meth:`_route_due`), exactly like trace replay.  This is the entry
         point the admission layer releases requests through.
         """
-        heapq.heappush(self._unrouted,
-                       (request.arrival_s, request.request_id, request))
+        self._unrouted.push(Arrival(time=request.arrival_s, request=request))
         self._next_id = max(self._next_id, request.request_id + 1)
         return request.request_id
 
@@ -530,41 +596,89 @@ class ClusterGateway:
         layer in :mod:`repro.serving.tenancy`."""
         self._listeners.append(listener)
 
+    def set_admission_probe(self, probe: Callable[[], int]) -> None:
+        """Let an admission layer report requests held at its frontier.
+
+        The autoscaler adds the probe's count to the engine backlog, so
+        the cluster scales on *offered* load — requests an admission
+        controller is still holding back are otherwise invisible to the
+        engines and the controller would scale too late (only after
+        shedding already kicked in)."""
+        self._admission_probe = probe
+
+    @property
+    def admission_queued(self) -> int:
+        """Requests an admission layer holds at the cluster frontier."""
+        return self._admission_probe() if self._admission_probe is not None \
+            else 0
+
     def step(self) -> bool:
         """Advance the least-advanced replica that has work by one engine
         iteration; False once no replica can make progress (all drained,
         past their sim-time cap, or wedged on inadmissible requests)."""
         self._route_due()
-        busy = sorted((r for r in self.replicas if r.unfinished > 0
-                       and r.clock < r.engine.config.max_sim_seconds),
-                      key=lambda r: (r.clock, r.id))
-        for replica in busy:
-            if replica.gateway.step():
-                self._reap_drained()
-                if self.autoscaler is not None:
-                    self.autoscaler.control(self)
-                return True
+        best: Optional[Replica] = None
+        for r in self.replicas:
+            if r.unfinished > 0 and \
+                    r.clock < r.engine.config.max_sim_seconds and \
+                    (best is None or (r.clock, r.id) < (best.clock, best.id)):
+                best = r
+        if best is not None:
+            if best.gateway.step():
+                return self._made_progress()
+            # the least-advanced replica is wedged: fall through to the
+            # rest in (clock, id) order, matching the pre-kernel scan
+            rest = sorted(
+                (r for r in self.replicas
+                 if r is not best and r.unfinished > 0
+                 and r.clock < r.engine.config.max_sim_seconds),
+                key=lambda r: (r.clock, r.id))
+            for replica in rest:
+                if replica.gateway.step():
+                    return self._made_progress()
         self._reap_drained()
         return False
+
+    def _made_progress(self) -> bool:
+        """Post-step bookkeeping: advance the kernel clock to the new
+        frontier and fire any autoscaler tick it has reached."""
+        self._reap_drained()
+        now = self.kernel.advance(self.frontier)
+        if self.autoscaler is not None:
+            if not self._ticks:
+                # an autoscaler attached after construction still gets
+                # its first tick (due immediately, like at reset)
+                self._schedule_tick(now)
+            if self._ticks.peek_time() <= now:
+                for tick in self._ticks.pop_due(now):
+                    self.kernel.emit(tick)   # journal the fired tick
+                self.autoscaler.control(self)
+                self._schedule_tick(
+                    now + self.autoscaler.config.check_interval_s)
+        return True
+
+    def _schedule_tick(self, at: float) -> None:
+        if self.autoscaler is not None:
+            self._ticks.push(AutoscalerTick(time=at))
 
     def _route_due(self) -> None:
         """Route unrouted trace requests the frontier has reached.
 
-        The frontier is the least busy-replica clock — the cluster never
-        simulates a replica below it, so routing everything due by then
-        (in arrival order) gives each replica its requests before it could
-        step past their arrival, and no earlier.  With every replica idle
-        the next arrival group is released to restart the clocks.
+        The frontier is the kernel clock (least busy-replica clock) — the
+        cluster never simulates a replica below it, so routing everything
+        due by then (in arrival order) gives each replica its requests
+        before it could step past their arrival, and no earlier.  With
+        every replica idle the next arrival group is released to restart
+        the clocks: the cluster-level idle-skip.
         """
         if not self._unrouted:
             return
         busy = [r.clock for r in self.replicas if r.unfinished > 0]
-        frontier = min(busy) if busy else self._unrouted[0][0]
-        while self._unrouted and self._unrouted[0][0] <= frontier:
-            _, _, request = heapq.heappop(self._unrouted)
+        frontier = min(busy) if busy else self._unrouted.peek_time()
+        for event in self._unrouted.pop_due(frontier):
             active = self.active_replicas()
-            self.balancer.choose(request.model_id, active).gateway.ingest(
-                request)
+            self.balancer.choose(event.request.model_id,
+                                 active).gateway.ingest(event.request)
 
     def run_until_drained(self) -> ServingResult:
         """Serve until everything submitted so far has finished."""
@@ -603,8 +717,8 @@ class ClusterGateway:
         self.reset()
         max_id = -1
         for request in trace:
-            heapq.heappush(self._unrouted,
-                           (request.arrival_s, request.request_id, request))
+            self._unrouted.push(Arrival(time=request.arrival_s,
+                                        request=request))
             max_id = max(max_id, request.request_id)
         self._next_id = max_id + 1
         return self.run_until_drained()
@@ -615,7 +729,10 @@ class ClusterGateway:
         for replica in self.replicas:
             replica.engine.reset()
         self.retired.clear()
+        self.kernel.reset()
         self._unrouted.clear()
+        self._ticks.clear()
+        self._schedule_tick(0.0)
         self._recent_records.clear()
         self._next_id = 0
         self.balancer.reset()

@@ -11,13 +11,13 @@ per-variant GPU groups and a shared DeltaZip pool.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 from ..hardware.specs import GPUSpec
 from .metrics import ServingResult
 
 __all__ = ["GPU_HOURLY_USD", "DeploymentCost", "deployment_cost",
-           "compare_deployments"]
+           "compare_deployments", "cost_per_tenant"]
 
 # on-demand cloud list prices (USD / GPU / hour), indicative
 GPU_HOURLY_USD: Dict[str, float] = {
@@ -64,6 +64,32 @@ def deployment_cost(result: ServingResult, gpu: GPUSpec, n_gpus: int,
                           gpu_hours=gpu_hours, total_usd=total,
                           usd_per_1k_requests=per_1k,
                           mean_e2e_s=result.mean_e2e_latency_s())
+
+
+def cost_per_tenant(cost: DeploymentCost,
+                    tokens_by_tenant: Mapping[str, object]
+                    ) -> Dict[str, float]:
+    """Split one deployment's bill across tenants by metered tokens.
+
+    ``tokens_by_tenant`` maps tenant id to either a raw token count or a
+    :class:`~repro.serving.tenancy.TenantAdmissionStats` (whose
+    ``tokens_charged`` meter the admission controller maintains for
+    every accepted request).  Each tenant pays in proportion to the
+    tokens it pushed through the shared pool — the showback model behind
+    §8's "pack less-popular models on a limited pool of GPUs" claim.
+    Tenants that charged nothing owe nothing; if *no* tenant metered any
+    tokens the bill is split evenly (a pool kept warm for everyone).
+    """
+    tokens = {tid: float(getattr(v, "tokens_charged", v))
+              for tid, v in tokens_by_tenant.items()}
+    if not tokens:
+        return {}
+    total = sum(tokens.values())
+    if total <= 0:
+        share = cost.total_usd / len(tokens)
+        return {tid: share for tid in tokens}
+    return {tid: cost.total_usd * tok / total
+            for tid, tok in tokens.items()}
 
 
 def compare_deployments(shared: DeploymentCost,

@@ -24,6 +24,11 @@ SLO-aware shedding) is layered *in front of* this gateway by
 frontier and releases them through :meth:`ingest`; the
 :meth:`add_completion_listener` hook is how that admission layer observes
 completions without displacing user callbacks.
+
+Simulated time is owned by the :mod:`repro.sim` kernel underneath the
+engine; this gateway exposes it read-only through :attr:`clock` and
+:attr:`frontier` so stacked layers (cluster, tenancy) share one
+definition of "now" instead of re-deriving it.
 """
 
 from __future__ import annotations
@@ -125,6 +130,14 @@ class ServingGateway:
 
     @property
     def clock(self) -> float:
+        return self.engine.clock
+
+    @property
+    def frontier(self) -> float:
+        """The point simulated time cannot retreat behind — for a single
+        engine, its kernel clock.  Outer layers (cluster routing, the
+        admission frontier in :mod:`repro.serving.tenancy`) read this
+        instead of deriving their own notion of "now"."""
         return self.engine.clock
 
     @property

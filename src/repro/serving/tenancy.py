@@ -29,6 +29,21 @@ deployment; this module adds the control layer that makes sharing safe:
 With the default tenant, FCFS order, and no limits the layer is a pure
 pass-through: replaying an untenanted trace produces records identical to
 ``gateway.replay(trace)`` without admission control.
+
+Time comes from the :mod:`repro.sim` kernel: the admission clock is
+*derived* from the wrapped gateway's frontier (``inner.frontier`` — the
+single clock authority, owned by the cluster kernel or the engine's
+:class:`~repro.sim.SimClock`) rather than maintained here; offered
+requests queue as :class:`~repro.sim.Arrival` events, and the controller
+publishes a :class:`~repro.sim.BucketRefill` event whenever a token
+bucket defers a request (journal/subscriber instrumentation — the
+authoritative wake-up time remains
+:meth:`AdmissionController.next_eligible_s`, which the frontier polls).
+The tenancy layer also feeds :attr:`AdmissionController.total_queued`
+back into the cluster autoscaler
+(:meth:`~repro.serving.cluster.ClusterGateway.set_admission_probe`), so
+frontier-held requests count as offered load and the cluster scales
+before shedding starts.
 """
 
 from __future__ import annotations
@@ -39,6 +54,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..sim import Arrival, BucketRefill, EventQueue, SimKernel
 from ..workload.spec import Trace, TraceRequest
 from .cluster import ClusterGateway
 from .gateway import ServingGateway
@@ -141,6 +157,15 @@ class TokenBucket:
     negative, so successive deferred requests serialize at ``1/rate``
     spacing on the tenant's virtual timeline (a virtual-finish-time rate
     limiter, not a drop-tail one).
+
+    The bucket holds no clock of its own: ``_clock`` is merely the
+    kernel time of its last refill (state, like the token balance), and
+    every ``now`` it sees comes from the caller's timeline — ultimately
+    :attr:`TenantGateway._frontier`, i.e. the one :mod:`repro.sim`
+    clock.  When a charge defers, the controller publishes the wake-up
+    as a :class:`~repro.sim.BucketRefill` event for the journal and any
+    subscribers; the frontier's actual idle-skip target comes from
+    :meth:`AdmissionController.next_eligible_s`.
     """
 
     def __init__(self, rate: float, burst: float):
@@ -252,11 +277,23 @@ class AdmissionController:
         self.decode_weight = decode_weight
         self.counter_lift = counter_lift
         self.max_defer_s = max_defer_s
+        self._kernel: Optional[SimKernel] = None
         self._template = default_tenant or Tenant(DEFAULT_TENANT)
         self.tenants: Dict[str, Tenant] = {}
         for tenant in tenants:
             self.register(tenant)
         self.reset()
+
+    def bind(self, kernel: SimKernel) -> None:
+        """Attach the timeline this controller emits events into.
+
+        :class:`TenantGateway` binds its kernel here so bucket
+        deferrals surface as :class:`~repro.sim.BucketRefill` events
+        (journaled and subscribable) instead of staying private bucket
+        state.  The events are observability, not control flow: release
+        timing is still computed by :meth:`next_eligible_s`.
+        """
+        self._kernel = kernel
 
     # ------------------------------------------------------------------ #
     # tenant registry
@@ -365,9 +402,9 @@ class AdmissionController:
 
         arrival = request.arrival_s
         eligible = arrival
+        cost = float(request.prompt_tokens + request.output_tokens)
         bucket = self._buckets.get(tid)
         if bucket is not None:
-            cost = float(request.prompt_tokens + request.output_tokens)
             eligible = bucket.charge(cost, arrival)
             if self.max_defer_s is not None and \
                     eligible - arrival > self.max_defer_s:
@@ -376,7 +413,12 @@ class AdmissionController:
                 self.decisions[request.request_id] = \
                     AdmissionDecision.REJECTED
                 return AdmissionDecision.REJECTED
-            stats.tokens_charged += cost
+        # the billing meter: every accepted request's tokens are charged
+        # to its tenant (metered or not) — serving.economics prices them
+        stats.tokens_charged += cost
+        if eligible > arrival and self._kernel is not None:
+            self._kernel.emit(BucketRefill(time=eligible, tenant_id=tid,
+                                           request_id=request.request_id))
 
         if self.policy == "vtc" and self.counter_lift and \
                 self.load_of(tid) == 0:
@@ -492,14 +534,25 @@ class TenantGateway:
 
     def __init__(self, gateway: Union[ServingGateway, ClusterGateway],
                  controller: Optional[AdmissionController] = None,
-                 tenants: Sequence[Tenant] = (), **controller_kwargs):
+                 tenants: Sequence[Tenant] = (), journal: bool = False,
+                 **controller_kwargs):
         if controller is not None and (tenants or controller_kwargs):
             raise ValueError("pass either a controller or tenant/kwargs")
         self.inner = gateway
         self.controller = controller or AdmissionController(
             tenants=tenants, **controller_kwargs)
+        # the admission timeline: a separate journal from the cluster's
+        # (frontier events here, replica events there) on a clock that
+        # shadows the inner gateway's frontier; the controller publishes
+        # BucketRefill wake-ups into it
+        self.kernel = SimKernel(journal=journal)
+        self.controller.bind(self.kernel)
         gateway.add_completion_listener(self._completion_hook)
-        self._pending: List[Tuple[float, int, TraceRequest]] = []
+        if isinstance(gateway, ClusterGateway):
+            # admission-aware autoscaling: frontier-held requests count
+            # as offered load in the cluster's watermark signal
+            gateway.set_admission_probe(lambda: self.controller.total_queued)
+        self._pending = EventQueue()      # offered-but-not-due Arrivals
         self._next_id = 0
         self._floor = 0.0                 # admission-time frontier floor
         self._dispatched_unfinished = 0
@@ -542,8 +595,7 @@ class TenantGateway:
                                output_tokens=int(output_len),
                                tenant_id=tenant_id)
         self._next_id += 1
-        heapq.heappush(self._pending,
-                       (request.arrival_s, request.request_id, request))
+        self._pending.push(Arrival(time=request.arrival_s, request=request))
         now = self._frontier()
         self._offer_due(now)
         self._dispatch(now)
@@ -551,8 +603,7 @@ class TenantGateway:
 
     def ingest(self, request: TraceRequest) -> int:
         """Queue a fully-formed request (verbatim id and arrival)."""
-        heapq.heappush(self._pending,
-                       (request.arrival_s, request.request_id, request))
+        self._pending.push(Arrival(time=request.arrival_s, request=request))
         self._next_id = max(self._next_id, request.request_id + 1)
         return request.request_id
 
@@ -619,6 +670,16 @@ class TenantGateway:
             out[tid] = met / stats.offered if stats.offered else 1.0
         return out
 
+    def billing(self, gpu, n_gpus: int,
+                system: Optional[str] = None) -> Dict[str, float]:
+        """Per-tenant showback for the run so far: the deployment's bill
+        (:func:`~repro.serving.economics.deployment_cost`) split by each
+        tenant's metered ``tokens_charged``.  Returns tenant id → USD."""
+        from .economics import cost_per_tenant, deployment_cost
+        cost = deployment_cost(self.inner.result(), gpu, n_gpus,
+                               system=system)
+        return cost_per_tenant(cost, self.controller.stats)
+
     def replay(self, trace: Trace) -> ServingResult:
         """Serve a pre-materialized (optionally tenant-tagged) trace.
 
@@ -635,6 +696,7 @@ class TenantGateway:
     def reset(self) -> None:
         self.inner.reset()
         self.controller.reset()
+        self.kernel.reset()
         self._pending.clear()
         self._recent_finish.clear()
         self._next_id = 0
@@ -645,21 +707,22 @@ class TenantGateway:
     # frontier mechanics
     # ------------------------------------------------------------------ #
     def _frontier(self) -> float:
-        """The admission clock: the least busy-replica clock (the point
-        the simulation cannot retreat behind), floored by explicit
-        frontier jumps taken while everything was idle."""
-        inner = self.inner
-        if isinstance(inner, ClusterGateway):
-            busy = [r.clock for r in inner.replicas if r.unfinished > 0]
-            clock = min(busy) if busy else inner.clock
-        else:
-            clock = inner.engine.clock
-        return max(clock, self._floor)
+        """The admission clock: the wrapped gateway's kernel frontier
+        (the point the simulation cannot retreat behind), floored by
+        explicit frontier jumps taken while everything was idle.  The
+        inner gateway owns the clock; this layer only derives from it —
+        the admission kernel's own clock just ratchets along as the
+        monotone envelope, timestamping the journal."""
+        now = max(self.inner.frontier, self._floor)
+        self.kernel.clock.advance(now)
+        return now
 
     def _next_event_s(self) -> Optional[float]:
+        """Earliest future admission event: a queued arrival or a token
+        bucket refill (the BucketRefill wake-ups the controller tracks)."""
         events = []
         if self._pending:
-            events.append(self._pending[0][0])
+            events.append(self._pending.peek_time())
         eligible = self.controller.next_eligible_s()
         if eligible is not None:
             events.append(eligible)
@@ -667,8 +730,8 @@ class TenantGateway:
 
     def _offer_due(self, now: float) -> int:
         count = 0
-        while self._pending and self._pending[0][0] <= now:
-            _, _, request = heapq.heappop(self._pending)
+        for event in self._pending.pop_due(now):
+            request = event.request
             predicted = self._predicted_ttft_s(request.tenant_id)
             self.controller.offer(request, predicted_ttft_s=predicted)
             count += 1

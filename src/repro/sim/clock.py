@@ -1,0 +1,48 @@
+"""The simulated clock: one definition of "now" per timeline.
+
+Every serving layer used to keep a private float clock and its own rules
+for advancing it; :class:`SimClock` is the single primitive they now
+share.  A clock is deliberately tiny — a mutable point in simulated time
+with monotone ``advance`` and free-form ``tick`` — so that the *policy*
+of when time moves stays in the layer that owns the timeline (an engine
+iteration, a cluster frontier, an admission floor) while the *mechanism*
+is common and auditable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A point in simulated time.
+
+    ``advance`` is monotone (a no-op when the target lies in the past),
+    which is the invariant frontier clocks need; ``tick`` adds a strictly
+    relative duration (an iteration's cost).  Direct assignment to
+    :attr:`now` stays possible for the few places that legitimately
+    re-seat a timeline (engine reset, replica spawn at the cluster
+    frontier).
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, now: float = 0.0):
+        self.now = float(now)
+
+    def advance(self, to: float) -> float:
+        """Move forward to ``to`` (never backward); returns ``now``."""
+        if to > self.now:
+            self.now = to
+        return self.now
+
+    def tick(self, dt: float) -> float:
+        """Advance by a relative duration; returns the new ``now``."""
+        self.now += dt
+        return self.now
+
+    def reset(self, to: float = 0.0) -> None:
+        self.now = float(to)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock({self.now:.6f})"

@@ -1,0 +1,108 @@
+"""Typed simulation events shared by every serving layer.
+
+The serving stack is a discrete-event simulation; these dataclasses are
+the vocabulary of that simulation.  Each event carries the simulated
+``time`` it is scheduled for (or occurred at) and a ``sort_key`` used to
+break ties deterministically — request-carrying events tie-break on the
+request id, exactly matching the ``(arrival_s, request_id)`` heap tuples
+the layers used before the kernel existed, so replay order is unchanged.
+
+Producers and consumers:
+
+* :class:`Arrival` — a request approaching a queue frontier.  Engines
+  hold their not-yet-arrived submissions as ``Arrival`` events; the
+  cluster holds unrouted trace requests; the admission layer holds
+  offered-but-not-yet-due requests.
+* :class:`IterationDone` — one executed engine iteration.  Emitted by
+  :class:`~repro.serving.base.ServingEngine` through ``on_event`` for
+  cross-layer instrumentation (the kernel journal, tests, benchmarks).
+* :class:`BucketRefill` — a deferred request's token bucket becomes
+  solvent.  Emitted by the admission controller so the tenancy frontier
+  knows when to wake an otherwise idle system.
+* :class:`AutoscalerTick` — the next scheduled controller observation.
+  The cluster gateway schedules one tick ahead instead of polling the
+  controller after every step.
+* :class:`ReplicaSpawn` / :class:`ReplicaDrain` — replica-set changes,
+  journaled so a run's scaling history is reconstructible from events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "Event", "Arrival", "IterationDone", "BucketRefill",
+    "AutoscalerTick", "ReplicaSpawn", "ReplicaDrain",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class: anything with a scheduled simulated time."""
+
+    time: float
+
+    #: tie-break rank among events at the same time (requests use their id)
+    @property
+    def sort_key(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Arrival(Event):
+    """A request reaching a frontier (engine queue, router, admission)."""
+
+    request: Any = None   # TraceRequest or ServingRequest (duck-typed)
+
+    @property
+    def sort_key(self) -> float:
+        return self.request.request_id
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+
+@dataclass(frozen=True)
+class IterationDone(Event):
+    """One executed engine iteration (time = clock after the iteration)."""
+
+    iter_time_s: float = 0.0
+    load_time_s: float = 0.0
+    n_running: int = 0
+    n_admitted: int = 0
+    n_finished: int = 0
+    source: Optional[str] = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class BucketRefill(Event):
+    """A deferred request's per-tenant token bucket refills at ``time``."""
+
+    tenant_id: str = ""
+    request_id: Optional[int] = None
+
+    @property
+    def sort_key(self) -> float:
+        return -1.0 if self.request_id is None else self.request_id
+
+
+@dataclass(frozen=True)
+class AutoscalerTick(Event):
+    """The autoscaler's next scheduled observation of the cluster."""
+
+
+@dataclass(frozen=True)
+class ReplicaSpawn(Event):
+    """A replica joined (or was revived into) the active set."""
+
+    replica_id: int = -1
+    revived: bool = False
+
+
+@dataclass(frozen=True)
+class ReplicaDrain(Event):
+    """A replica stopped accepting new work and will retire when idle."""
+
+    replica_id: int = -1

@@ -1,0 +1,70 @@
+"""The simulation kernel: one clock, an event journal, subscribers.
+
+A :class:`SimKernel` is what a *timeline owner* (the cluster gateway, the
+tenancy frontier) holds: the authoritative monotone clock for that
+timeline plus an optional journal of every typed event that crossed it.
+Layers below the owner (engines, buckets, the autoscaler) don't keep
+their own notion of global time any more — they either read the kernel
+clock or emit events into it.
+
+The journal is the cross-layer instrumentation surface: with
+``journal=True`` every emitted event is recorded in order, so tests can
+assert that two runs (e.g. with idle-skip on and off) produced the same
+*simulated history*, not just the same final records, and benchmarks can
+count events instead of guessing at step counts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from .clock import SimClock
+from .events import Event
+
+__all__ = ["SimKernel"]
+
+Subscriber = Callable[[Event], None]
+
+
+class SimKernel:
+    """One timeline: a monotone clock + event emission/journaling."""
+
+    def __init__(self, journal: bool = False, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self.journal: Optional[List[Event]] = [] if journal else None
+        self._subscribers: Dict[Type[Event], List[Subscriber]] = {}
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def advance(self, to: float) -> float:
+        """Advance the kernel clock monotonically; returns ``now``."""
+        return self.clock.advance(to)
+
+    # ------------------------------------------------------------------ #
+    # events
+    # ------------------------------------------------------------------ #
+    def subscribe(self, event_type: Type[Event], fn: Subscriber) -> None:
+        """Call ``fn`` for every emitted event of (a subclass of) type."""
+        self._subscribers.setdefault(event_type, []).append(fn)
+
+    def emit(self, event: Event) -> None:
+        """Record an event on this timeline and notify subscribers."""
+        if self.journal is not None:
+            self.journal.append(event)
+        for event_type, fns in self._subscribers.items():
+            if isinstance(event, event_type):
+                for fn in fns:
+                    fn(event)
+
+    def reset(self) -> None:
+        """Fresh timeline: clock to zero, journal emptied (subscribers
+        survive — they are wiring, not state)."""
+        self.clock.reset()
+        if self.journal is not None:
+            self.journal.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n = len(self.journal) if self.journal is not None else 0
+        return f"SimKernel(now={self.now:.6f}, journaled={n})"

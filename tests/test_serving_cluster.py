@@ -400,6 +400,53 @@ class TestAutoscaler:
                             if name == gateway.active_replicas()[0].name]
         assert {r.request_id for r in survivor_records} >= set(range(6, 12))
 
+    def test_observes_frontier_not_max_replica_clock(self):
+        """Regression: the controller observes at the kernel clock (the
+        min-busy frontier).  Previously it read ``gateway.clock`` — the
+        *most-advanced* replica — so one replica racing ahead would
+        fast-forward the check-interval/cooldown clock: the controller
+        stamped its sample at the runaway clock and then debounced every
+        later check (frontier time minus that stamp stays negative),
+        starving the watermark while real backlog piled up."""
+        autoscaler = Autoscaler(min_replicas=1, max_replicas=4,
+                                high_queue_per_replica=2.0,
+                                low_queue_per_replica=0.5,
+                                check_interval_s=2.0)
+        gateway = make_gateway(n_replicas=2, autoscaler=autoscaler,
+                               max_nodes=4)
+        for i in range(12):
+            gateway.submit(f"variant-{i % N_MODELS:02d}", 32, 8,
+                           arrival_s=0.0)
+        # replica 1 raced 5000 simulated seconds ahead (still busy); the
+        # cluster frontier — the kernel clock — is still at 0
+        gateway.replicas[1].engine.clock = 5000.0
+        assert gateway.frontier == 0.0
+        assert gateway.clock == 5000.0
+        assert autoscaler.control(gateway) == "scale_up"
+        assert autoscaler.history[-1].clock_s == 0.0   # frontier, not max
+        # frontier advances past the check interval -> the controller
+        # samples again instead of staying debounced behind the runaway
+        gateway.replicas[0].engine.clock = 3.0
+        autoscaler.control(gateway)
+        assert len(autoscaler.history) == 2
+        assert autoscaler.history[-1].clock_s == 3.0
+
+    def test_autoscaler_attached_after_construction_still_ticks(self):
+        """Regression: the tick schedule is seeded at construction/reset,
+        so an autoscaler assigned to the public attribute afterwards must
+        still get its first (immediately due) tick."""
+        gateway = make_gateway(n_replicas=1, max_nodes=4)
+        gateway.autoscaler = Autoscaler(
+            min_replicas=1, max_replicas=4, high_queue_per_replica=2.0,
+            low_queue_per_replica=0.5, check_interval_s=1.0,
+            scale_up_cooldown_s=0.0)
+        for i in range(16):
+            gateway.submit(f"variant-{i % N_MODELS:02d}", 32, 8)
+        gateway.run_until_drained()
+        assert len(gateway.autoscaler.history) > 0
+        assert any(s.action == "scale_up"
+                   for s in gateway.autoscaler.history)
+
     def test_cooldown_limits_flapping(self):
         config = AutoscalerConfig(max_replicas=8, check_interval_s=1.0,
                                   scale_up_cooldown_s=1000.0)

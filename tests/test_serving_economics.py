@@ -4,8 +4,9 @@ import pytest
 
 from repro.hardware import A800, RTX3090
 from repro.serving.economics import (GPU_HOURLY_USD, compare_deployments,
-                                     deployment_cost)
+                                     cost_per_tenant, deployment_cost)
 from repro.serving.metrics import ServingResult
+from repro.serving.tenancy import TenantAdmissionStats
 from tests.test_serving_metrics import record
 
 
@@ -46,6 +47,41 @@ class TestDeploymentCost:
         res = make_result()
         row = deployment_cost(res, A800, n_gpus=4, system="x").row()
         assert "x" in row and "GPU-h" in row
+
+
+class TestCostPerTenant:
+    def cost(self, total_hours=1.0):
+        res = make_result(n=100, makespan=3600.0 * total_hours)
+        return deployment_cost(res, A800, n_gpus=1)
+
+    def test_splits_proportionally_to_tokens(self):
+        cost = self.cost()
+        bill = cost_per_tenant(cost, {"a": 300.0, "b": 100.0})
+        assert bill["a"] == pytest.approx(0.75 * cost.total_usd)
+        assert bill["b"] == pytest.approx(0.25 * cost.total_usd)
+        assert sum(bill.values()) == pytest.approx(cost.total_usd)
+
+    def test_accepts_admission_stats_objects(self):
+        cost = self.cost()
+        stats = {"gold": TenantAdmissionStats("gold", tokens_charged=900.0),
+                 "free": TenantAdmissionStats("free", tokens_charged=100.0)}
+        bill = cost_per_tenant(cost, stats)
+        assert bill["gold"] == pytest.approx(0.9 * cost.total_usd)
+        assert bill["free"] == pytest.approx(0.1 * cost.total_usd)
+
+    def test_zero_usage_splits_evenly(self):
+        cost = self.cost()
+        bill = cost_per_tenant(cost, {"a": 0.0, "b": 0.0})
+        assert bill["a"] == bill["b"] == pytest.approx(cost.total_usd / 2)
+
+    def test_empty_tenants(self):
+        assert cost_per_tenant(self.cost(), {}) == {}
+
+    def test_unmetered_tenant_owes_nothing(self):
+        cost = self.cost()
+        bill = cost_per_tenant(cost, {"busy": 500.0, "idle": 0.0})
+        assert bill["idle"] == 0.0
+        assert bill["busy"] == pytest.approx(cost.total_usd)
 
 
 class TestComparison:

@@ -421,6 +421,90 @@ class TestTenantGatewayPolicies:
             list(range(len(trace)))
 
 
+class TestAdmissionAwareAutoscaling:
+    def make_autoscaled_cluster(self, autoscaler):
+        from repro.serving import create_engine as mk
+
+        mgr = make_manager()
+
+        def factory(node):
+            return mk("deltazip", mgr,
+                      node or GPUNode(node_from_name("a800", 1)),
+                      scheduler_config=SchedulerConfig(
+                          max_batch_requests=8, max_concurrent_deltas=4),
+                      engine_config=EngineConfig(tp_degree=1))
+
+        return ClusterGateway(engine_factory=factory,
+                              cluster=Cluster.from_name("a800", 2, 1),
+                              n_replicas=1, autoscaler=autoscaler)
+
+    def test_frontier_held_load_drives_scale_up(self):
+        """ROADMAP follow-on: requests held at the admission frontier
+        count as offered load, so the cluster scales *before* shedding
+        kicks in — previously the autoscaler saw only engine backlog and
+        a tight engine_queue_depth made overload invisible to it."""
+        from repro.serving import Autoscaler
+
+        autoscaler = Autoscaler(min_replicas=1, max_replicas=2,
+                                high_queue_per_replica=4.0,
+                                low_queue_per_replica=1.0)
+        inner = self.make_autoscaled_cluster(autoscaler)
+        gateway = TenantGateway(inner, engine_queue_depth=1)
+        for _ in range(32):
+            gateway.submit("variant-00", 32, 8, tenant_id="t",
+                           arrival_s=0.0)
+        # the frontier holds everything beyond the shallow engine queue
+        assert inner.admission_queued == gateway.controller.total_queued
+        assert inner.admission_queued >= 30
+        assert inner.backlog <= 1                 # engines can't see it
+        assert autoscaler.control(inner) == "scale_up"
+        result = gateway.run_until_drained()
+        assert result.n_requests == 32
+
+    def test_engine_only_backlog_does_not_scale(self):
+        """Control case: same offered load with no admission layer held
+        at the engines is already visible — but with the shallow frontier
+        queue and *no* probe, the old signal would have seen backlog 1."""
+        from repro.serving import Autoscaler
+
+        autoscaler = Autoscaler(min_replicas=1, max_replicas=2,
+                                high_queue_per_replica=4.0,
+                                low_queue_per_replica=1.0)
+        inner = self.make_autoscaled_cluster(autoscaler)
+        assert inner.admission_queued == 0        # no probe attached
+        for _ in range(2):
+            inner.submit("variant-00", 32, 8, arrival_s=0.0)
+        assert autoscaler.control(inner) is None  # under the watermark
+
+
+class TestPerTenantBilling:
+    def test_tokens_charged_meters_every_accepted_request(self):
+        controller = AdmissionController()
+        controller.offer(req(0, "a", prompt=100, output=50))
+        controller.offer(req(1, "b", prompt=10, output=5))
+        assert controller.stats["a"].tokens_charged == 150.0
+        assert controller.stats["b"].tokens_charged == 15.0
+
+    def test_billing_splits_deployment_cost_by_tokens(self):
+        from repro.hardware import A800
+        from repro.serving import cost_per_tenant, deployment_cost
+
+        trace = overload_trace(duration_s=20.0)
+        gateway = TenantGateway(make_gateway(make_manager(trace.model_ids)))
+        result = gateway.replay(trace)
+        bill = gateway.billing(A800, n_gpus=1)
+        stats = gateway.controller.stats
+        assert set(bill) == {"agg", "gold", "silver"}
+        total = deployment_cost(result, A800, 1).total_usd
+        assert sum(bill.values()) == pytest.approx(total)
+        # proportionality: agg pushed the most tokens, pays the most
+        tokens = {t: s.tokens_charged for t, s in stats.items()}
+        assert bill["agg"] > bill["gold"] and bill["agg"] > bill["silver"]
+        for t in bill:
+            assert bill[t] == pytest.approx(
+                total * tokens[t] / sum(tokens.values()))
+
+
 class TestSessionIntegration:
     @pytest.fixture(scope="class")
     def system(self, base_model, finetuned):
