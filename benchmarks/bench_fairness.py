@@ -36,17 +36,23 @@ WORKLOADS = (
     TenantWorkload("gold", rate=LIGHT_RATE, n_models=2),
     TenantWorkload("silver", rate=LIGHT_RATE, n_models=2),
 )
-POLICIES = (("fcfs", False), ("vtc", False), ("vtc", True))
+#: (policy, shed, extra controller kwargs); the weighted run charges
+#: decode tokens 2x prefill in the VTC counters (FairServe-style stage
+#: weights: output tokens occupy the batch far longer than prompt ones)
+POLICIES = (("fcfs", False, {}), ("vtc", False, {}), ("vtc", True, {}),
+            ("vtc-weighted", True, {"prefill_weight": 0.5,
+                                    "decode_weight": 2.0}))
 
 
-def _run_policy(trace, mgr, policy, shed):
+def _run_policy(trace, mgr, policy, shed, controller_kwargs):
     engine = create_engine(
         "deltazip", mgr, a800_node(1),
         scheduler_config=SchedulerConfig(max_batch_requests=8,
                                          max_concurrent_deltas=4),
         engine_config=EngineConfig(tp_degree=1))
     gateway = TenantGateway(ServingGateway(engine), tenants=TENANTS,
-                            policy=policy, shed=shed)
+                            policy=policy.split("-")[0], shed=shed,
+                            **controller_kwargs)
     result = gateway.replay(trace)
     attainment = gateway.slo_attainment(result)
     rows = {}
@@ -71,8 +77,8 @@ def _experiment():
     for model_id in trace.model_ids:
         mgr.register_delta(model_id, "base", 8.0)
     out = {}
-    for policy, shed in POLICIES:
-        out[(policy, shed)] = _run_policy(trace, mgr, policy, shed)
+    for policy, shed, kwargs in POLICIES:
+        out[(policy, shed)] = _run_policy(trace, mgr, policy, shed, kwargs)
     return {"per_policy": out, "n_requests": len(trace)}
 
 
@@ -105,6 +111,11 @@ def test_fairness(benchmark):
     fcfs = per_policy[("fcfs", False)]
     vtc = per_policy[("vtc", False)]
     vtc_shed = per_policy[("vtc", True)]
+    weighted = per_policy[("vtc-weighted", True)]
+    # the weighted-stage run must keep the light tenants protected (it
+    # reweights the fair-share charge, it does not break fairness)
+    for light in ("gold", "silver"):
+        assert weighted[light]["attainment"] > fcfs[light]["attainment"]
     for light in ("gold", "silver"):
         # VTC must cut the light tenants' TTFT tail vs FCFS under overload
         assert vtc[light]["p99_ttft_s"] < fcfs[light]["p99_ttft_s"]

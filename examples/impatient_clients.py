@@ -1,0 +1,96 @@
+"""Impatient clients: abandonment lowers effective goodput.
+
+Every ``submit()`` now returns a ``RequestHandle`` — the client's view of
+one request: token streaming, status, ``cancel(at_s=...)``, deadlines.
+This example uses handles two ways:
+
+1. an interactive client streams its own tokens and cancels mid-response
+   (a disconnect), showing the abort freeing the batch slot;
+2. an overloaded replica serves the same trace under increasingly
+   impatient client populations (``impatient_cancel_schedule``), showing
+   goodput falling and the wasted-token fraction rising as patience
+   shrinks — while the surviving requests actually finish *faster*
+   because aborted work keeps releasing capacity;
+3. a handle-driven closed-loop session schedules each next turn from its
+   completion callback — as a fresh arrival event, no clock polling.
+
+Run: ``PYTHONPATH=src python examples/impatient_clients.py``
+"""
+
+from repro.hardware import GPUNode, node_from_name
+from repro.serving import (EngineConfig, LLAMA_7B, ModelManager,
+                           SchedulerConfig, ServingGateway, create_engine)
+from repro.workload import (ClosedLoopClient, PatienceModel,
+                            impatient_cancel_schedule, synthetic_trace)
+
+N_MODELS = 4
+
+
+def make_gateway():
+    mgr = ModelManager(LLAMA_7B)
+    mgr.register_base("base")
+    for i in range(N_MODELS):
+        mgr.register_delta(f"variant-{i:02d}", "base", 8.0)
+    engine = create_engine(
+        "deltazip", mgr, GPUNode(node_from_name("a800", 1)),
+        scheduler_config=SchedulerConfig(max_batch_requests=8,
+                                         max_concurrent_deltas=4),
+        engine_config=EngineConfig(tp_degree=1))
+    return ServingGateway(engine)
+
+
+def streaming_disconnect():
+    print("=== streaming + mid-response disconnect ===")
+    gateway = make_gateway()
+    handle = gateway.submit("variant-00", prompt_len=128, output_len=64)
+    for clock_s, n_generated in handle.tokens:
+        if n_generated == 8:          # the user closed the tab
+            handle.cancel()
+            break
+    record = handle.result()          # drains to the terminal record
+    print(f"request {handle.id}: status={handle.status.value}, "
+          f"served {record.tokens_served}/{record.output_tokens} tokens, "
+          f"finish={record.finish_s:.2f}s\n")
+
+
+def abandonment_sweep():
+    print("=== goodput vs client patience (overloaded replica) ===")
+    trace = synthetic_trace(N_MODELS, rate=3.0, duration_s=60.0, seed=7)
+    print(f"{'patience':>9s} {'finished':>8s} {'cancelled':>9s} "
+          f"{'goodput':>8s} {'wasted':>7s} {'mean_e2e':>9s}")
+    for patience_s in (None, 30.0, 10.0, 3.0):
+        gateway = make_gateway()
+        cancels = None
+        if patience_s is not None:
+            cancels = impatient_cancel_schedule(
+                trace, PatienceModel(mean_s=patience_s), seed=1)
+        result = gateway.replay(trace, cancels=cancels)
+        label = "inf" if patience_s is None else f"{patience_s:.0f}s"
+        print(f"{label:>9s} {result.n_finished:8d} "
+              f"{result.status_counts().get('cancelled', 0):9d} "
+              f"{result.goodput_rps():8.3f} "
+              f"{result.wasted_token_fraction():7.1%} "
+              f"{result.finished_only().mean_e2e_latency_s():9.2f}")
+    print()
+
+
+def closed_loop_session():
+    print("=== handle-driven closed-loop session ===")
+    gateway = make_gateway()
+    client = ClosedLoopClient(gateway, "variant-01", n_turns=4,
+                              prompt_tokens=96, output_tokens=24,
+                              think_time_s=3.0)
+    client.start()
+    while not client.done and gateway.step():
+        pass
+    for i, handle in enumerate(client.handles):
+        record = handle.record()
+        print(f"turn {i}: arrival={record.arrival_s:7.2f}s "
+              f"finish={record.finish_s:7.2f}s ({record.status})")
+    print("each turn arrived exactly think-time after the previous finish")
+
+
+if __name__ == "__main__":
+    streaming_disconnect()
+    abandonment_sweep()
+    closed_loop_session()

@@ -219,8 +219,17 @@ def _cmd_cluster(args) -> int:
 
         gateway = ClusterGateway(engine_factory=factory, cluster=cluster,
                                  n_replicas=n, balancer=args.balancer,
-                                 autoscaler=autoscaler)
+                                 autoscaler=autoscaler,
+                                 journal=bool(args.trace_out))
         res = gateway.replay(trace)
+        if args.trace_out:
+            from repro.sim import export_chrome_trace
+            # one file per swept replica count: spawn/drain/tick/cancel
+            # and per-iteration spans, viewable in chrome://tracing
+            out = args.trace_out if len(replica_counts) == 1 else \
+                f"{args.trace_out}.r{n}.json"
+            n_events = export_chrome_trace(gateway.kernel.journal, out)
+            print(f"  wrote {n_events} trace events -> {out}")
         s = summarize(res)
         peak = res.config.get("max_replicas_seen", n)
         print(f"{n:8d} {res.throughput_within(trace.duration_s):9.3f} "
@@ -419,6 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deltas", type=int, default=8)
     p.add_argument("--ratio", type=float, default=10.0,
                    help="assumed delta compression ratio")
+    p.add_argument("--trace-out", default=None,
+                   help="write the run's kernel journal as Chrome "
+                        "about:tracing JSON (one file per replica count)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_cluster)
 

@@ -313,11 +313,29 @@ class ServingSession:
 
     def submit(self, model_id: str, prompt_len: int, output_len: int,
                arrival_s: Optional[float] = None,
-               tenant_id: Optional[str] = None) -> int:
-        """Submit one online request; returns its request id."""
+               tenant_id: Optional[str] = None,
+               deadline_s: Optional[float] = None):
+        """Submit one online request; returns its
+        :class:`~repro.serving.handle.RequestHandle`.
+
+        The handle streams this request's tokens (``for t, n in
+        handle.tokens``), exposes ``status``/``record()``, supports
+        ``cancel(at_s=...)``, and still coerces to the integer request id
+        for pre-handle call sites.  ``deadline_s`` (seconds from
+        arrival) bounds the request's completion.
+        """
         self._ensure_registered(model_id)
         return self.gateway.submit(model_id, prompt_len, output_len,
-                                   arrival_s=arrival_s, tenant_id=tenant_id)
+                                   arrival_s=arrival_s, tenant_id=tenant_id,
+                                   deadline_s=deadline_s)
+
+    def cancel(self, request_id, at_s: Optional[float] = None) -> None:
+        """Cancel a submitted request (by handle or id) at ``at_s``."""
+        self.gateway.cancel(int(request_id), at_s=at_s)
+
+    def handle(self, request_id):
+        """The :class:`RequestHandle` for a submitted request id."""
+        return self.gateway.handle(int(request_id))
 
     def step(self) -> bool:
         return self.gateway.step()
@@ -328,11 +346,15 @@ class ServingSession:
     def result(self) -> ServingResult:
         return self.gateway.result()
 
-    def replay(self, trace: Trace) -> ServingResult:
-        """Replay an offline trace (bit-identical to legacy simulate)."""
+    def replay(self, trace: Trace, cancels=None) -> ServingResult:
+        """Replay an offline trace (bit-identical to legacy simulate).
+
+        ``cancels`` optionally schedules client cancellations as
+        ``(request_id, at_s)`` pairs (see
+        :func:`~repro.workload.clients.impatient_cancel_schedule`)."""
         for model_id in trace.model_ids:
             self._ensure_registered(model_id)
-        return self.gateway.replay(trace)
+        return self.gateway.replay(trace, cancels=cancels)
 
     @property
     def clock(self) -> float:

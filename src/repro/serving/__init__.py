@@ -12,6 +12,7 @@ from .economics import (DeploymentCost, GPU_HOURLY_USD, compare_deployments,
                         cost_per_tenant, deployment_cost)
 from .engine import DeltaZipEngine
 from .gateway import ServingGateway
+from .handle import HandleStatus, RequestHandle
 from .metrics import (EngineStats, ServingResult, UNTENANTED,
                       jain_fairness_index, slo_attainment,
                       slo_attainment_by_tenant, summarize,
@@ -33,6 +34,7 @@ from .tuning import ProfilePoint, pick_optimal_n, profile_concurrent_deltas
 
 __all__ = [
     "Admission", "ENGINES", "ServingEngine", "ServingGateway",
+    "HandleStatus", "RequestHandle",
     "create_engine", "register_engine",
     "DedicatedEngine", "VLLMSCBEngine",
     "Autoscaler", "AutoscalerConfig", "AutoscalerSample", "BALANCERS",

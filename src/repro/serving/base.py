@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Type
 
 from ..hardware.cluster import GPUNode
-from ..sim import Arrival, Event, EventQueue, IterationDone, SimClock
+from ..sim import Arrival, Cancel, Event, EventQueue, IterationDone, SimClock
 from ..workload.spec import Trace, TraceRequest
 from .metrics import EngineStats, ServingResult
 from .model_manager import ArtifactKind, ModelManager
@@ -202,6 +202,8 @@ class ServingEngine:
         """Clear all serving state (a fresh simulated timeline)."""
         self._sim = SimClock()
         self._pending = EventQueue()      # Arrival events on the sim clock
+        self._cancels = EventQueue()      # scheduled Cancel events
+        self._live: Dict[int, ServingRequest] = {}
         self._n_submitted = 0
         self.running: List[ServingRequest] = []
         self.finished: List[ServingRequest] = []
@@ -223,11 +225,43 @@ class ServingEngine:
     def submit(self, request: TraceRequest) -> ServingRequest:
         """Enqueue one request; it joins the queue once the clock reaches
         its ``arrival_s`` (which may be in the past: it joins immediately,
-        at the next :meth:`step`)."""
+        at the next :meth:`step`).  A request carrying a ``deadline_s``
+        schedules its own expiry as a :class:`~repro.sim.Cancel` event."""
         req = ServingRequest(trace=request)
         self._pending.push(Arrival(time=request.arrival_s, request=req))
         self._n_submitted += 1
+        self._live[request.request_id] = req
+        if request.deadline_s is not None:
+            self.schedule_cancel(request.request_id, request.deadline_s,
+                                 reason="deadline")
         return req
+
+    def lookup(self, request_id: int) -> Optional[ServingRequest]:
+        """The live (or terminal) serving state of a submitted request."""
+        return self._live.get(request_id)
+
+    def schedule_cancel(self, request_id: int, at_s: float,
+                        reason: str = "cancel") -> None:
+        """Schedule a cancellation at simulated time ``at_s``.
+
+        The cancel applies at the first iteration boundary at or after
+        ``at_s`` (an in-flight iteration always completes); idle engines
+        wake at ``at_s`` exactly, so application time is deterministic
+        and identical across idle-skip modes.  A cancel whose target has
+        already finished is stale and ignored.
+        """
+        self._cancels.push(Cancel(time=float(at_s), request_id=request_id,
+                                  reason=reason))
+
+    def abort(self, request_id: int,
+              reason: str = "cancel") -> Optional[ServingRequest]:
+        """Remove a request *now* (at the current clock), wherever it is:
+        mid-batch (freeing its scheduler slot and KV share), queued, or
+        not yet arrived.  Only tokens actually generated are charged —
+        the request's record carries ``served_tokens`` and a
+        ``cancelled``/``expired`` status.  Returns the aborted request,
+        or None when the id is unknown or already terminal."""
+        return self._apply_cancel(request_id, reason)
 
     @property
     def unfinished(self) -> int:
@@ -250,17 +284,21 @@ class ServingEngine:
         """
         self._before_step()
 
+        # 0. due cancellations/deadline expiries apply at the boundary
+        for event in self._cancels.pop_due(self.clock):
+            self._apply_cancel(event.request_id, event.reason)
+
         # 1. arrivals up to the clock join the engine's queue
         for event in self._pending.pop_due(self.clock):
             self.on_arrival(event.request)
 
         if not self.running and not self.has_queued():
-            if not self._pending:
+            wake = self._next_wake()
+            if wake is None:
                 return False
-            # idle-skip: jump to the next scheduled arrival (bounded to a
-            # quantum when the dense activity-scanning mode is selected)
-            self.clock = self._bounded_jump(
-                max(self.clock, self._pending.peek_time()))
+            # idle-skip: jump to the next scheduled arrival or cancel
+            # (bounded to a quantum when dense activity-scanning is on)
+            self.clock = self._bounded_jump(max(self.clock, wake))
             return True
 
         # 2-3. engine-specific admission (scheduling, swaps, KV control)
@@ -406,10 +444,26 @@ class ServingEngine:
         """hook: where the clock jumps when nothing was runnable."""
         return max(self.clock, next_arrival_s)
 
+    def _next_wake(self) -> Optional[float]:
+        """The earliest scheduled event: an arrival or a *live* cancel.
+        A pending deadline can therefore unwedge an engine stuck on an
+        inadmissible request — its expiry frees the queue slot.  Stale
+        cancels (target already terminal) are discarded here rather than
+        waited on: jumping an idle clock to a dead event's time would
+        perturb the frontier for no simulated effect."""
+        while self._cancels:
+            event = self._cancels.peek()
+            target = self._live.get(event.request_id)
+            if target is not None and not target.terminal:
+                break
+            self._cancels.pop()
+        times = [q.peek_time() for q in (self._pending, self._cancels) if q]
+        return min(times) if times else None
+
     def _stall(self) -> bool:
-        if self._pending:
-            self.clock = self._bounded_jump(
-                self._stall_clock(self._pending.peek_time()))
+        wake = self._next_wake()
+        if wake is not None:
+            self.clock = self._bounded_jump(self._stall_clock(wake))
             return True
         return False
 
@@ -425,6 +479,39 @@ class ServingEngine:
     def result_config(self) -> Dict[str, object]:
         """hook: the ``config`` dict attached to results."""
         return {"tp_degree": self.config.tp_degree}
+
+    def remove_queued(self, request_id: int) -> Optional[ServingRequest]:
+        """hook: withdraw a request from the engine's admission queue
+        (returns it), or None when it is not queued there."""
+        return None
+
+    # ------------------------------------------------------------------ #
+    # cancellation mechanics
+    # ------------------------------------------------------------------ #
+    def _apply_cancel(self, request_id: int,
+                      reason: str) -> Optional[ServingRequest]:
+        req = self._live.get(request_id)
+        if req is None or req.terminal:
+            return None              # unknown or stale: already terminal
+        was_running = any(r is req for r in self.running)
+        if was_running:
+            # frees the batch slot and the KV share immediately: the next
+            # admit() sees one fewer running request
+            self.running = [r for r in self.running if r is not req]
+        elif self.remove_queued(request_id) is None:
+            # not queued either: still a pending (future) arrival
+            self._pending.remove_request(request_id)
+        req.state = RequestState.EXPIRED if reason == "deadline" \
+            else RequestState.CANCELLED
+        req.finish_s = max(self.clock, req.arrival_s)
+        self.finished.append(req)
+        self.stats.aborts += 1
+        if self.on_event is not None:
+            self.on_event(Cancel(time=req.finish_s, request_id=request_id,
+                                 reason=reason))
+        if self.on_finish is not None:
+            self.on_finish(req, self.clock)
+        return req
 
 
 # ------------------------------------------------------------------ #

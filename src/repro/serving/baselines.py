@@ -96,6 +96,12 @@ class VLLMSCBEngine(ServingEngine):
     def has_queued(self) -> bool:
         return bool(self._queue)
 
+    def remove_queued(self, request_id):
+        for i, req in enumerate(self._queue):
+            if req.request_id == request_id:
+                return self._queue.pop(i)
+        return None
+
     def admit(self) -> Admission:
         # swap for the queue head if its model is missing (weights are
         # read-only: eviction just frees the slot, the load pays the
@@ -199,20 +205,45 @@ class DedicatedEngine(ServingEngine):
     # ------------------------------------------------------------------ #
     def _reset_engine(self) -> None:
         self._groups: Dict[str, VLLMSCBEngine] = {}
+        self._request_group: Dict[int, VLLMSCBEngine] = {}
 
     def _group_for(self, model_id: str) -> VLLMSCBEngine:
         group = self._groups.get(model_id)
         if group is None:
             group = VLLMSCBEngine(self.manager, self.node, self.config,
                                   self.max_batch_requests, preload=True)
+            self._groups[model_id] = group
+        self._sync_hooks()
+        return group
+
+    def _sync_hooks(self) -> None:
+        # groups must see callback (re)assignments made after creation —
+        # e.g. a gateway token listener registered mid-session
+        for group in self._groups.values():
             group.on_token = self.on_token
             group.on_finish = self.on_finish
-            self._groups[model_id] = group
-        return group
+            group.on_event = self.on_event
 
     def submit(self, request) -> ServingRequest:
         self._n_submitted += 1
-        return self._group_for(request.model_id).submit(request)
+        group = self._group_for(request.model_id)
+        self._request_group[request.request_id] = group
+        return group.submit(request)
+
+    def lookup(self, request_id):
+        group = self._request_group.get(request_id)
+        return group.lookup(request_id) if group is not None else None
+
+    def schedule_cancel(self, request_id, at_s, reason="cancel"):
+        group = self._request_group.get(request_id)
+        if group is None:
+            raise KeyError(f"unknown request {request_id}")
+        group.schedule_cancel(request_id, at_s, reason=reason)
+
+    def abort(self, request_id, reason="cancel"):
+        group = self._request_group.get(request_id)
+        return group.abort(request_id, reason=reason) \
+            if group is not None else None
 
     @property
     def unfinished(self) -> int:
@@ -231,6 +262,7 @@ class DedicatedEngine(ServingEngine):
                                  "its per-variant groups")
 
     def step(self) -> bool:
+        self._sync_hooks()
         progressed = False
         for model_id in sorted(self._groups):
             group = self._groups[model_id]
@@ -241,6 +273,7 @@ class DedicatedEngine(ServingEngine):
 
     def run_until_drained(self) -> None:
         # groups are independent GPU sets: drain each on its own timeline
+        self._sync_hooks()
         for model_id in sorted(self._groups):
             self._groups[model_id].run_until_drained()
 

@@ -41,8 +41,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import (Callable, Deque, Dict, List, Optional, Sequence, Type,
-                    Union)
+from typing import (Callable, Deque, Dict, List, Optional, Sequence, Tuple,
+                    Type, Union)
 
 import numpy as np
 
@@ -51,9 +51,11 @@ from ..sim import (Arrival, AutoscalerTick, EventQueue, ReplicaDrain,
                    ReplicaSpawn, SimKernel)
 from ..workload.spec import Trace, TraceRequest
 from .base import ServingEngine
-from .gateway import CompletionCallback, ServingGateway, TokenCallback
+from .gateway import (CancelSchedule, CompletionCallback, ServingGateway,
+                      TokenCallback)
+from .handle import HandleStatus, RequestHandle
 from .metrics import ServingResult
-from .request import RequestRecord
+from .request import RequestRecord, synthesized_abort_record
 
 __all__ = [
     "Replica", "LoadBalancer", "RoundRobinBalancer",
@@ -120,6 +122,11 @@ class LoadBalancer:
 
     def on_removed(self, replica: Replica) -> None:
         """A replica left the set (drained); drop any state pinned to it."""
+
+    def on_abandoned(self, model_id: str) -> None:
+        """A request for this model was cancelled/expired; policies that
+        learned an affinity from it may drop that state so abandoned
+        work does not keep a variant pinned to a replica."""
 
     def reset(self) -> None:
         """Forget per-run routing state (rotation position, learned
@@ -194,6 +201,11 @@ class LineageAffinityBalancer(LoadBalancer):
                         if r is not replica}
         self._home = {k: r for k, r in self._home.items()
                       if r is not replica}
+
+    def on_abandoned(self, model_id: str) -> None:
+        # a cancelled request must not keep its variant's learned home
+        # alive: the next request re-homes by load (explicit pins stay)
+        self._home.pop(self._owner_of(model_id), None)
 
     def reset(self) -> None:
         self._home.clear()
@@ -395,6 +407,12 @@ class ClusterGateway:
         self._ticks = EventQueue()        # scheduled AutoscalerTicks
         self._admission_probe: Optional[Callable[[], int]] = None
         self._listeners: List[CompletionCallback] = []
+        self._token_listeners: List[TokenCallback] = []
+        self._token_tap = False           # replica token fanout installed?
+        self._handles: Dict[int, RequestHandle] = {}
+        self._owner: Dict[int, Replica] = {}       # routed request -> replica
+        self._pending_cancels: Dict[int, Tuple[float, str]] = {}
+        self._orphans: List[RequestRecord] = []    # cancelled before routing
         self._recent_records: Deque[RequestRecord] = deque(maxlen=256)
         self.replicas: List[Replica] = []
         self.retired: List[Replica] = []
@@ -504,8 +522,10 @@ class ClusterGateway:
                           collect_timeline=self._collect_timeline)
         self._next_replica_id += 1
         self.replicas.append(replica)
+        if self._token_tap:
+            replica.gateway.add_token_listener(self._token_fanout)
         if self._journal:
-            # publish engine iterations into the cluster's event journal
+            # publish engine iterations (and cancels) into the journal
             engine.on_event = self.kernel.emit
         self.kernel.emit(ReplicaSpawn(time=self.kernel.now,
                                       replica_id=replica.id))
@@ -560,23 +580,65 @@ class ClusterGateway:
 
     def submit(self, model_id: str, prompt_len: int, output_len: int,
                arrival_s: Optional[float] = None,
-               tenant_id: Optional[str] = None) -> int:
-        """Submit one request; the balancer picks its replica."""
+               tenant_id: Optional[str] = None,
+               deadline_s: Optional[float] = None) -> RequestHandle:
+        """Submit one request; the balancer picks its replica.
+
+        Returns a :class:`~repro.serving.handle.RequestHandle` streaming
+        this request's tokens across whichever replica serves it;
+        ``deadline_s`` (relative to arrival) bounds its completion.
+        """
         if prompt_len < 1 or output_len < 1:
             raise ValueError("prompt_len and output_len must be >= 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0 when set")
         active = self.active_replicas()
         if not active:
             raise RuntimeError("no active replicas")
         if arrival_s is None:
             arrival_s = self.clock
+        absolute_deadline = None if deadline_s is None \
+            else float(arrival_s) + float(deadline_s)
         request = TraceRequest(request_id=self._next_id, model_id=model_id,
                                arrival_s=float(arrival_s),
                                prompt_tokens=int(prompt_len),
                                output_tokens=int(output_len),
-                               tenant_id=tenant_id)
+                               tenant_id=tenant_id,
+                               deadline_s=absolute_deadline)
         self._next_id += 1
-        self.balancer.choose(model_id, active).gateway.ingest(request)
-        return request.request_id
+        handle = RequestHandle(request.request_id, self, model_id,
+                               tenant_id=tenant_id,
+                               deadline_s=absolute_deadline)
+        self._handles[request.request_id] = handle
+        self._install_token_tap()
+        replica = self.balancer.choose(model_id, active)
+        replica.gateway.ingest(request)
+        self._owner[request.request_id] = replica
+        return handle
+
+    def cancel(self, request_id: int, at_s: Optional[float] = None,
+               reason: str = "cancel") -> None:
+        """Cancel one request at simulated time ``at_s`` (default: now).
+
+        Routed requests forward the cancel to their owning replica's
+        engine (freeing its batch slot there); not-yet-routed requests
+        carry the cancel with them — applied by the owning engine after
+        routing, or retired as an orphaned record when the cancel time
+        precedes the arrival (the request never enters a replica, and
+        the lineage balancer never pins its abandoned work).
+        """
+        rid = int(request_id)
+        if at_s is None:
+            at_s = self.sim_now
+        owner = self._owner.get(rid)
+        if owner is not None:
+            owner.gateway.cancel(rid, at_s=at_s, reason=reason)
+        else:
+            self._pending_cancels[rid] = (float(at_s), reason)
+
+    def handle(self, request_id: int) -> Optional[RequestHandle]:
+        """The handle for a request submitted through this gateway."""
+        return self._handles.get(int(request_id))
 
     def ingest(self, request: TraceRequest) -> int:
         """Accept a fully-formed :class:`TraceRequest` verbatim.
@@ -595,6 +657,31 @@ class ClusterGateway:
         the constructor's ``on_request_complete``); used by the admission
         layer in :mod:`repro.serving.tenancy`."""
         self._listeners.append(listener)
+
+    def add_token_listener(self, listener: TokenCallback) -> None:
+        """Register a per-token callback spanning every replica — the
+        streaming parity of :meth:`add_completion_listener`.  Survives
+        :meth:`reset`."""
+        self._token_listeners.append(listener)
+        self._install_token_tap()
+
+    def _install_token_tap(self) -> None:
+        """Lazily fan replica token callbacks into cluster-level
+        listeners and handles (installed on demand so replay paths
+        without handles pay no per-token overhead)."""
+        if self._token_tap:
+            return
+        self._token_tap = True
+        for replica in self.replicas + self.retired:
+            replica.gateway.add_token_listener(self._token_fanout)
+
+    def _token_fanout(self, request_id: int, model_id: str,
+                      n_generated: int, clock: float) -> None:
+        for listener in self._token_listeners:
+            listener(request_id, model_id, n_generated, clock)
+        handle = self._handles.get(request_id)
+        if handle is not None:
+            handle._push_token(clock, n_generated)
 
     def set_admission_probe(self, probe: Callable[[], int]) -> None:
         """Let an admission layer report requests held at its frontier.
@@ -670,15 +757,40 @@ class ClusterGateway:
         before it could step past their arrival, and no earlier.  With
         every replica idle the next arrival group is released to restart
         the clocks: the cluster-level idle-skip.
+
+        A request whose scheduled cancel precedes its arrival never
+        reaches a replica: it retires as an orphaned cancelled/expired
+        record, consumes no balancer choice, and — when every due request
+        was such an orphan while all replicas idle — the next arrival
+        group is released immediately so the drain cannot wedge.
         """
-        if not self._unrouted:
-            return
-        busy = [r.clock for r in self.replicas if r.unfinished > 0]
-        frontier = min(busy) if busy else self._unrouted.peek_time()
-        for event in self._unrouted.pop_due(frontier):
-            active = self.active_replicas()
-            self.balancer.choose(event.request.model_id,
-                                 active).gateway.ingest(event.request)
+        while self._unrouted:
+            busy = [r.clock for r in self.replicas if r.unfinished > 0]
+            frontier = min(busy) if busy else self._unrouted.peek_time()
+            routed_any = False
+            for event in self._unrouted.pop_due(frontier):
+                request = event.request
+                pending = self._pending_cancels.pop(request.request_id, None)
+                if pending is not None and pending[0] <= request.arrival_s:
+                    self._retire_orphan(request, pending[1])
+                    continue
+                active = self.active_replicas()
+                replica = self.balancer.choose(request.model_id, active)
+                replica.gateway.ingest(request)
+                self._owner[request.request_id] = replica
+                if pending is not None:
+                    replica.gateway.cancel(request.request_id,
+                                           at_s=pending[0], reason=pending[1])
+                routed_any = True
+            if routed_any or busy:
+                return
+
+    def _retire_orphan(self, request: TraceRequest, reason: str) -> None:
+        """Terminal record for a request cancelled before it was routed."""
+        status = "expired" if reason == "deadline" else "cancelled"
+        record = synthesized_abort_record(request, request.arrival_s, status)
+        self._orphans.append(record)
+        self._record_completion(record)
 
     def run_until_drained(self) -> ServingResult:
         """Serve until everything submitted so far has finished."""
@@ -687,9 +799,15 @@ class ClusterGateway:
         return self.result()
 
     def result(self) -> ServingResult:
-        """Merged cluster-level snapshot of completions so far."""
+        """Merged cluster-level snapshot of completions so far (records
+        of requests cancelled before routing included)."""
+        parts = list(self.results_by_replica().values())
+        if self._orphans:
+            parts.append(ServingResult(engine="cluster",
+                                       records=list(self._orphans),
+                                       makespan_s=1e-9))
         merged = ServingResult.merge(
-            list(self.results_by_replica().values()), engine="cluster",
+            parts, engine="cluster",
             config={"replicas": len(self.replicas) + len(self.retired),
                     "balancer": self.balancer.name})
         if self.autoscaler is not None:
@@ -702,7 +820,8 @@ class ClusterGateway:
         return {r.name: r.gateway.result()
                 for r in self.retired + self.replicas}
 
-    def replay(self, trace: Trace) -> ServingResult:
+    def replay(self, trace: Trace,
+               cancels: Optional[CancelSchedule] = None) -> ServingResult:
         """Serve a pre-materialized trace as if it arrived live.
 
         Each request is routed only once the simulation frontier reaches
@@ -712,7 +831,9 @@ class ClusterGateway:
         preserved verbatim, and routing happens in arrival order — with
         one replica (or a pinned lineage balancer) per-replica records
         are bit-identical to ``engine.run(sub_trace)`` on the matching
-        partition.
+        partition.  ``cancels`` schedules client cancellations as
+        ``(request_id, at_s)`` pairs; ``None`` replays bit-identically to
+        a pre-cancellation run.
         """
         self.reset()
         max_id = -1
@@ -721,11 +842,15 @@ class ClusterGateway:
                                         request=request))
             max_id = max(max_id, request.request_id)
         self._next_id = max_id + 1
+        if cancels is not None:
+            for request_id, at_s in cancels:
+                self.cancel(request_id, at_s=at_s)
         return self.run_until_drained()
 
     def reset(self) -> None:
         """Fresh simulated timeline on the current replica set (replicas
-        retired by earlier scale-downs are dropped, not resurrected)."""
+        retired by earlier scale-downs are dropped, not resurrected).
+        Registered listeners survive; per-request handles do not."""
         for replica in self.replicas:
             replica.engine.reset()
         self.retired.clear()
@@ -734,6 +859,10 @@ class ClusterGateway:
         self._ticks.clear()
         self._schedule_tick(0.0)
         self._recent_records.clear()
+        self._handles.clear()
+        self._owner.clear()
+        self._pending_cancels.clear()
+        self._orphans.clear()
         self._next_id = 0
         self.balancer.reset()
         if self.autoscaler is not None:
@@ -752,7 +881,21 @@ class ClusterGateway:
 
     def _record_completion(self, record: RequestRecord) -> None:
         self._recent_records.append(record)
+        if not record.finished:
+            self.balancer.on_abandoned(record.model_id)
+            self._owner.pop(record.request_id, None)
         if self._on_complete is not None:
             self._on_complete(record)
         for listener in self._listeners:
             listener(record)
+        handle = self._handles.get(record.request_id)
+        if handle is not None:
+            handle._finish(record)
+
+    def _status_of(self, request_id: int) -> HandleStatus:
+        """Live status for a handle: delegate to the owning replica, or
+        QUEUED while the request is still unrouted."""
+        owner = self._owner.get(request_id)
+        if owner is not None:
+            return owner.gateway._status_of(request_id)
+        return HandleStatus.QUEUED

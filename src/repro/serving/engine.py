@@ -96,6 +96,9 @@ class DeltaZipEngine(ServingEngine):
     def has_queued(self) -> bool:
         return len(self.scheduler) > 0
 
+    def remove_queued(self, request_id):
+        return self.scheduler.remove(request_id)
+
     def admit(self) -> Admission:
         decision = self.scheduler.schedule(self.running, list(self._resident))
         admitted = decision.admitted

@@ -37,6 +37,7 @@ class EngineStats:
     batched_requests: int = 0       # sum of batch sizes over iterations
     batched_deltas: int = 0         # sum of distinct variants per iteration
     blocked_admissions: int = 0     # KV/memory admission rejections
+    aborts: int = 0                 # cancelled/expired requests removed
 
     @property
     def mean_batch_size(self) -> float:
@@ -116,6 +117,49 @@ class ServingResult:
         """Per-tenant slices keyed by tenant id."""
         return {t: self.for_tenant(t) for t in self.tenant_ids}
 
+    # ------------------------------------------------------------------ #
+    # terminal-status views (cancellation/deadline runs)
+    # ------------------------------------------------------------------ #
+    def status_counts(self) -> Dict[str, int]:
+        """Records per terminal status (``finished`` / ``cancelled`` /
+        ``expired``; pre-cancellation runs are all ``finished``)."""
+        counts: Dict[str, int] = {}
+        for rec in self.records:
+            counts[rec.status] = counts.get(rec.status, 0) + 1
+        return counts
+
+    @property
+    def n_finished(self) -> int:
+        return sum(1 for r in self.records if r.finished)
+
+    def finished_only(self) -> "ServingResult":
+        """This result restricted to requests that ran to completion —
+        the slice latency/SLO math should usually see under abandonment."""
+        sliced = ServingResult.merge(
+            [ServingResult(engine=self.engine,
+                           records=[r for r in self.records if r.finished],
+                           makespan_s=self.makespan_s)],
+            engine=self.engine, config=dict(self.config))
+        if not sliced.records:
+            sliced.makespan_s = self.makespan_s
+        return sliced
+
+    def goodput_rps(self) -> float:
+        """*Finished* requests per second of makespan: throughput that
+        excludes work clients abandoned (cancelled/expired)."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.n_finished / self.makespan_s
+
+    def wasted_token_fraction(self) -> float:
+        """Share of generated output tokens spent on requests that never
+        finished — the capacity impatient clients burn."""
+        served = sum(r.tokens_served for r in self.records)
+        if served == 0:
+            return 0.0
+        wasted = sum(r.tokens_served for r in self.records if not r.finished)
+        return wasted / served
+
     def throughput_rps(self) -> float:
         """Completed requests per second of makespan."""
         if self.makespan_s <= 0:
@@ -136,9 +180,11 @@ class ServingResult:
         return done / horizon_s
 
     def token_throughput(self) -> float:
+        """Output tokens actually generated per second of makespan
+        (identical to the requested-token rate when nothing aborted)."""
         if self.makespan_s <= 0:
             return 0.0
-        return sum(r.output_tokens for r in self.records) / self.makespan_s
+        return sum(r.tokens_served for r in self.records) / self.makespan_s
 
     def mean_e2e_latency_s(self) -> float:
         return float(np.mean([r.e2e_latency_s for r in self.records])) \
@@ -181,7 +227,10 @@ def slo_attainment(records: Sequence[RequestRecord], slo_s: float,
 def summarize(result: ServingResult) -> Dict[str, float]:
     return {
         "n_requests": float(result.n_requests),
+        "n_finished": float(result.n_finished),
         "throughput_rps": result.throughput_rps(),
+        "goodput_rps": result.goodput_rps(),
+        "wasted_token_fraction": result.wasted_token_fraction(),
         "token_throughput": result.token_throughput(),
         "mean_e2e_s": result.mean_e2e_latency_s(),
         "p50_e2e_s": result.percentile_e2e_s(50),

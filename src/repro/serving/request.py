@@ -8,8 +8,8 @@ from typing import Optional
 
 from ..workload.spec import TraceRequest
 
-__all__ = ["DEFAULT_TENANT", "RequestState", "ServingRequest",
-           "RequestRecord"]
+__all__ = ["DEFAULT_TENANT", "RequestState", "TERMINAL_STATES",
+           "ServingRequest", "RequestRecord", "synthesized_abort_record"]
 
 #: the tenant that requests without a ``tenant_id`` bill against — shared
 #: by per-tenant metrics grouping and the admission layer so the two can
@@ -22,6 +22,14 @@ class RequestState(str, Enum):
     RUNNING = "running"      # prefilled, decoding
     PREEMPTED = "preempted"  # skip-the-line request bumped by parent finish
     FINISHED = "finished"
+    CANCELLED = "cancelled"  # client withdrew it (partial completion)
+    EXPIRED = "expired"      # deadline passed before it finished
+
+
+#: states a request never leaves; the set the abort machinery checks to
+#: treat late Cancel events as stale
+TERMINAL_STATES = frozenset((RequestState.FINISHED, RequestState.CANCELLED,
+                             RequestState.EXPIRED))
 
 
 @dataclass
@@ -60,6 +68,10 @@ class ServingRequest:
         return self.trace.arrival_s
 
     @property
+    def deadline_s(self) -> Optional[float]:
+        return self.trace.deadline_s
+
+    @property
     def remaining_tokens(self) -> int:
         return self.trace.output_tokens - self.generated_tokens
 
@@ -68,12 +80,19 @@ class ServingRequest:
         return self.generated_tokens >= self.trace.output_tokens
 
     @property
+    def terminal(self) -> bool:
+        """Finished, cancelled, or expired — no further transitions."""
+        return self.state in TERMINAL_STATES
+
+    @property
     def context_length(self) -> int:
         return self.trace.prompt_tokens + self.generated_tokens
 
     def record(self) -> "RequestRecord":
         if self.finish_s is None:
             raise ValueError(f"request {self.request_id} not finished")
+        status = self.state.value if self.terminal \
+            else RequestState.FINISHED.value
         return RequestRecord(
             request_id=self.request_id,
             model_id=self.model_id,
@@ -88,12 +107,22 @@ class ServingRequest:
             skipped_line=self.skipped_line,
             preemptions=self.preemptions,
             tenant_id=self.tenant_id,
+            status=status,
+            served_tokens=self.generated_tokens,
         )
 
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """Immutable per-request result row (the unit of every Fig 11-19 metric)."""
+    """Immutable per-request result row (the unit of every Fig 11-19 metric).
+
+    ``status`` distinguishes the terminal state: ``"finished"`` (the only
+    value pre-cancellation runs produce), ``"cancelled"``, ``"expired"``,
+    or — for records synthesized at the admission frontier and surfaced
+    only through request handles — ``"shed"``.  ``served_tokens`` counts
+    the output tokens actually generated; ``None`` (legacy records) means
+    all ``output_tokens`` were served.
+    """
 
     request_id: int
     model_id: str
@@ -108,6 +137,20 @@ class RequestRecord:
     skipped_line: bool
     preemptions: int
     tenant_id: Optional[str] = None
+    status: str = "finished"
+    served_tokens: Optional[int] = None
+
+    @property
+    def finished(self) -> bool:
+        """True when the request ran to completion (not aborted)."""
+        return self.status == "finished"
+
+    @property
+    def tokens_served(self) -> int:
+        """Output tokens actually generated (= requested when finished)."""
+        if self.served_tokens is not None:
+            return self.served_tokens
+        return self.output_tokens
 
     @property
     def e2e_latency_s(self) -> float:
@@ -122,3 +165,25 @@ class RequestRecord:
     @property
     def time_per_token_s(self) -> float:
         return self.e2e_latency_s / max(self.output_tokens, 1)
+
+
+def synthesized_abort_record(request: TraceRequest, finish_s: float,
+                             status: str) -> RequestRecord:
+    """Terminal record for a request that never reached an engine.
+
+    The shared constructor behind every layer-synthesized abort: a
+    cluster request cancelled before routing, a tenancy request
+    cancelled/expired at the admission frontier, or a shed/rejected
+    request surfaced only through its handle.  Zero tokens were served;
+    ``finish_s`` is floored at the arrival so latency never goes
+    negative, and the whole wait (if any) is queue time.
+    """
+    finish = max(finish_s, request.arrival_s)
+    return RequestRecord(
+        request_id=request.request_id, model_id=request.model_id,
+        arrival_s=request.arrival_s, first_token_s=None, finish_s=finish,
+        prompt_tokens=request.prompt_tokens,
+        output_tokens=request.output_tokens,
+        queue_wait_s=finish - request.arrival_s,
+        loading_s=0.0, inference_s=0.0, skipped_line=False, preemptions=0,
+        tenant_id=request.tenant_id, status=status, served_tokens=0)

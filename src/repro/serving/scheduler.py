@@ -96,6 +96,13 @@ class ContinuousBatchScheduler:
         self._queue.append(request)
         self._queue.sort(key=self._fcfs_key)
 
+    def remove(self, request_id: int) -> Optional[ServingRequest]:
+        """Withdraw a queued request (cancellation); None if not queued."""
+        for i, req in enumerate(self._queue):
+            if req.request_id == request_id:
+                return self._queue.pop(i)
+        return None
+
     @property
     def queued(self) -> List[ServingRequest]:
         return list(self._queue)

@@ -30,6 +30,14 @@ With the default tenant, FCFS order, and no limits the layer is a pure
 pass-through: replaying an untenanted trace produces records identical to
 ``gateway.replay(trace)`` without admission control.
 
+Cancellation is first-class: ``submit`` returns a
+:class:`~repro.serving.handle.RequestHandle`, and a request withdrawn
+(or deadline-expired) at any point gets its un-served token-bucket
+charge refunded, its quota slot released, its VTC counter lifted back
+down by the un-served weighted work, and a ``cancelled``/``expired``
+count in its tenant's :class:`TenantAdmissionStats` — abandoning work
+never costs a tenant future admission capacity or scheduling priority.
+
 Time comes from the :mod:`repro.sim` kernel: the admission clock is
 *derived* from the wrapped gateway's frontier (``inner.frontier`` — the
 single clock authority, owned by the cluster kernel or the engine's
@@ -54,12 +62,14 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..sim import Arrival, BucketRefill, EventQueue, SimKernel
+from ..sim import Arrival, BucketRefill, Cancel, EventQueue, SimKernel
 from ..workload.spec import Trace, TraceRequest
 from .cluster import ClusterGateway
-from .gateway import ServingGateway
+from .gateway import CancelSchedule, ServingGateway, TokenCallback
+from .handle import HandleStatus, RequestHandle
 from .metrics import ServingResult
-from .request import DEFAULT_TENANT, RequestRecord
+from .request import (DEFAULT_TENANT, RequestRecord,
+                      synthesized_abort_record)
 
 __all__ = [
     "DEFAULT_TENANT", "SLO_CLASSES", "Tenant", "TokenBucket",
@@ -224,7 +234,13 @@ class AdmissionDecision(str, Enum):
 
 @dataclass
 class TenantAdmissionStats:
-    """Per-tenant admission counters (the denominator SLO math needs)."""
+    """Per-tenant admission counters (the denominator SLO math needs).
+
+    ``cancelled`` / ``expired`` count requests the tenant's clients
+    withdrew (or whose deadlines passed) after acceptance — at the
+    frontier or mid-batch; their un-served token charge is refunded, so
+    ``tokens_charged`` meters only work actually performed.
+    """
 
     tenant_id: str
     offered: int = 0
@@ -232,6 +248,8 @@ class TenantAdmissionStats:
     deferred: int = 0
     shed: int = 0
     rejected: int = 0
+    cancelled: int = 0
+    expired: int = 0
     tokens_charged: float = 0.0
 
     @property
@@ -242,6 +260,11 @@ class TenantAdmissionStats:
     @property
     def dropped(self) -> int:
         return self.shed + self.rejected
+
+    @property
+    def withdrawn(self) -> int:
+        """Accepted requests that did not run to completion."""
+        return self.cancelled + self.expired
 
 
 class AdmissionController:
@@ -496,8 +519,91 @@ class AdmissionController:
             self._inflight[tid] -= 1
 
     # ------------------------------------------------------------------ #
+    # cancellation: withdrawals and refunds
+    # ------------------------------------------------------------------ #
+    def cancel(self, request_id: int,
+               reason: str = "cancel") -> Optional[TraceRequest]:
+        """Withdraw a frontier-queued request before dispatch.
+
+        Removes it from the admission order (FCFS heap or its tenant's
+        VTC queue), refunds its full token-bucket charge and billing
+        meter (no work was performed), and counts the withdrawal in the
+        tenant's stats.  The VTC counter needs no lift: counters are
+        charged at :meth:`pop`, which this request never reached.
+        Returns the withdrawn request, or None if it is not queued here.
+        """
+        request = None
+        for i, entry in enumerate(self._fcfs):
+            if entry[2] == request_id:
+                request = entry[3]
+                del self._fcfs[i]
+                heapq.heapify(self._fcfs)
+                break
+        if request is None:
+            for queue in self._vtc.values():
+                for i, (_, queued) in enumerate(queue):
+                    if queued.request_id == request_id:
+                        request = queued
+                        del queue[i]
+                        break
+                if request is not None:
+                    break
+        if request is None:
+            return None
+        tid = request.tenant_id or DEFAULT_TENANT
+        self._queued[tid] -= 1
+        cost = float(request.prompt_tokens + request.output_tokens)
+        bucket = self._buckets.get(tid)
+        if bucket is not None:
+            bucket.refund(cost)
+        self.stats[tid].tokens_charged -= cost
+        self.note_withdrawn(tid, reason)
+        return request
+
+    def refund_unserved(self, record: RequestRecord) -> float:
+        """Refund the un-served share of a dispatched request's charge.
+
+        Called when a dispatched request aborts (``cancelled`` /
+        ``expired``): the tokens never generated — the whole prompt if
+        prefill never ran, plus the un-generated output — flow back into
+        the tenant's token bucket and off its billing meter, and under
+        VTC the tenant's fair-share counter is lifted back down by the
+        weighted un-served work, so abandoning work never costs future
+        scheduling priority.  Returns the refunded token count.
+        """
+        tid = record.tenant_id or DEFAULT_TENANT
+        self.tenant(tid)                      # auto-register if needed
+        unserved_prompt = record.prompt_tokens \
+            if record.first_token_s is None else 0
+        unserved_output = max(0, record.output_tokens - record.tokens_served)
+        refund = float(unserved_prompt + unserved_output)
+        if refund > 0:
+            bucket = self._buckets.get(tid)
+            if bucket is not None:
+                bucket.refund(refund)
+            self.stats[tid].tokens_charged -= refund
+            if self.policy == "vtc":
+                lift = (self.prefill_weight * unserved_prompt +
+                        self.decode_weight * unserved_output) / \
+                    self.tenant(tid).weight
+                self._counters[tid] = max(0.0, self._counters[tid] - lift)
+        self.note_withdrawn(tid, "deadline" if record.status == "expired"
+                            else "cancel")
+        return refund
+
+    def note_withdrawn(self, tenant_id: Optional[str], reason: str) -> None:
+        """Count one cancellation/expiry in the tenant's stats."""
+        tid = tenant_id or DEFAULT_TENANT
+        self._init_tenant_state(tid, self.tenant(tid))
+        if reason == "deadline":
+            self.stats[tid].expired += 1
+        else:
+            self.stats[tid].cancelled += 1
+
+    # ------------------------------------------------------------------ #
     def counters(self) -> Dict[str, float]:
-        """Current VTC counters (monotone per tenant; for tests/plots)."""
+        """Current VTC counters (per tenant; monotone except for
+        cancellation refunds — for tests/plots)."""
         return dict(self._counters)
 
     def summary(self) -> Dict[str, object]:
@@ -505,12 +611,16 @@ class AdmissionController:
             "policy": self.policy,
             "shed": self.shed,
             "engine_queue_depth": self.engine_queue_depth,
+            "prefill_weight": self.prefill_weight,
+            "decode_weight": self.decode_weight,
             "tenants": sorted(self.tenants),
             "offered": sum(s.offered for s in self.stats.values()),
             "admitted": sum(s.admitted for s in self.stats.values()),
             "deferred": sum(s.deferred for s in self.stats.values()),
             "shed_requests": sum(s.shed for s in self.stats.values()),
             "rejected": sum(s.rejected for s in self.stats.values()),
+            "cancelled": sum(s.cancelled for s in self.stats.values()),
+            "expired": sum(s.expired for s in self.stats.values()),
         }
 
 
@@ -553,6 +663,15 @@ class TenantGateway:
             # as offered load in the cluster's watermark signal
             gateway.set_admission_probe(lambda: self.controller.total_queued)
         self._pending = EventQueue()      # offered-but-not-due Arrivals
+        self._token_listeners: List[TokenCallback] = []
+        self._token_tap = False           # inner token fanout installed?
+        self._cancels = EventQueue()      # frontier-level Cancel events
+        #: reason="cancel" schedules to forward when a request dispatches
+        self._scheduled_cancels: Dict[int, Tuple[float, str]] = {}
+        self._dispatched_ids: set = set()
+        self._terminal_ids: set = set()   # resolved at this layer/below
+        self._frontier_records: List[RequestRecord] = []
+        self._handles: Dict[int, RequestHandle] = {}
         self._next_id = 0
         self._floor = 0.0                 # admission-time frontier floor
         self._dispatched_unfinished = 0
@@ -579,33 +698,115 @@ class TenantGateway:
 
     def submit(self, model_id: str, prompt_len: int, output_len: int,
                arrival_s: Optional[float] = None,
-               tenant_id: Optional[str] = None) -> int:
-        """Submit one request for a tenant; returns its request id.
+               tenant_id: Optional[str] = None,
+               deadline_s: Optional[float] = None) -> RequestHandle:
+        """Submit one request for a tenant; returns its
+        :class:`~repro.serving.handle.RequestHandle`.
 
         The admission decision for a request arriving "now" is made
-        immediately and is readable via :meth:`decision`.
+        immediately and is readable via :meth:`decision` (a shed or
+        rejected request's handle is terminal at once, status ``SHED``).
+        ``deadline_s`` (relative to arrival) bounds completion: a
+        request still held at the admission frontier when its deadline
+        passes expires there — its bucket charge refunded, its quota
+        slot released — and a dispatched one is aborted mid-batch by the
+        owning engine.
         """
         if prompt_len < 1 or output_len < 1:
             raise ValueError("prompt_len and output_len must be >= 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0 when set")
         if arrival_s is None:
             arrival_s = max(self.inner.clock, self._floor)
+        absolute_deadline = None if deadline_s is None \
+            else float(arrival_s) + float(deadline_s)
         request = TraceRequest(request_id=self._next_id, model_id=model_id,
                                arrival_s=float(arrival_s),
                                prompt_tokens=int(prompt_len),
                                output_tokens=int(output_len),
-                               tenant_id=tenant_id)
+                               tenant_id=tenant_id,
+                               deadline_s=absolute_deadline)
         self._next_id += 1
-        self._pending.push(Arrival(time=request.arrival_s, request=request))
+        handle = RequestHandle(request.request_id, self, model_id,
+                               tenant_id=tenant_id,
+                               deadline_s=absolute_deadline)
+        self._handles[request.request_id] = handle
+        self._install_token_tap()
+        self._admit_request(request)
         now = self._frontier()
+        self._apply_due_cancels(now)
         self._offer_due(now)
         self._dispatch(now)
-        return request.request_id
+        return handle
 
     def ingest(self, request: TraceRequest) -> int:
         """Queue a fully-formed request (verbatim id and arrival)."""
-        self._pending.push(Arrival(time=request.arrival_s, request=request))
+        self._admit_request(request)
         self._next_id = max(self._next_id, request.request_id + 1)
         return request.request_id
+
+    def _admit_request(self, request: TraceRequest) -> None:
+        self._pending.push(Arrival(time=request.arrival_s, request=request))
+        if request.deadline_s is not None:
+            # frontier-side expiry watch; once dispatched, the owning
+            # engine schedules its own deadline Cancel from the trace
+            self._cancels.push(Cancel(time=request.deadline_s,
+                                      request_id=request.request_id,
+                                      reason="deadline"))
+
+    def cancel(self, request_id: int, at_s: Optional[float] = None,
+               reason: str = "cancel") -> None:
+        """Cancel one request at simulated time ``at_s`` (default: now).
+
+        Wherever the request currently is: still pending (not yet
+        offered), queued at the admission frontier (it is withdrawn with
+        a full bucket/billing refund), or dispatched (the cancel is
+        forwarded to the wrapped gateway and the un-served charge is
+        refunded when the abort record comes back)."""
+        rid = int(request_id)
+        if rid in self._terminal_ids:
+            return
+        if at_s is None:
+            at_s = self._frontier()
+        if rid in self._dispatched_ids:
+            self.inner.cancel(rid, at_s=at_s, reason=reason)
+            return
+        self._cancels.push(Cancel(time=float(at_s), request_id=rid,
+                                  reason=reason))
+        # every *explicit* cancel is forwarded if the request dispatches
+        # first (earliest wins); only the implicit trace-deadline watch
+        # stays behind, because the owning engine re-derives it from
+        # ``TraceRequest.deadline_s`` at submit
+        existing = self._scheduled_cancels.get(rid)
+        if existing is None or at_s < existing[0]:
+            self._scheduled_cancels[rid] = (float(at_s), reason)
+
+    def handle(self, request_id: int) -> Optional[RequestHandle]:
+        """The handle for a request submitted through this gateway."""
+        return self._handles.get(int(request_id))
+
+    def add_token_listener(self, listener: TokenCallback) -> None:
+        """Register a per-token callback spanning the wrapped gateway —
+        the streaming parity of ``add_completion_listener``.  Survives
+        :meth:`reset`."""
+        self._token_listeners.append(listener)
+        self._install_token_tap()
+
+    def _install_token_tap(self) -> None:
+        """Lazily fan inner token events into this layer's listeners and
+        handles (on demand, so replay paths stay hook-free)."""
+        if self._token_tap:
+            return
+        self._token_tap = True
+        self.inner.add_token_listener(self._token_fanout)
+
+    def _token_fanout(self, request_id: int, model_id: str,
+                      n_generated: int, clock: float) -> None:
+        for listener in self._token_listeners:
+            listener(request_id, model_id, n_generated, clock)
+        handle = self._handles.get(request_id)
+        if handle is not None:
+            handle._push_token(clock, n_generated)
 
     def decision(self, request_id: int) -> Optional[AdmissionDecision]:
         """The admission decision for a request (None while pending)."""
@@ -614,10 +815,11 @@ class TenantGateway:
     def step(self) -> bool:
         """Advance the system one scheduling event.
 
-        Offers arrivals the frontier has reached, releases eligible
-        queued work in admission order, then steps the wrapped gateway.
-        When the gateway is idle but admission still holds future work
-        (a deferred request waiting on its bucket, a future arrival),
+        Applies due cancellations/expiries, offers arrivals the frontier
+        has reached, releases eligible queued work in admission order,
+        then steps the wrapped gateway.  When the gateway is idle but
+        admission still holds future work (a deferred request waiting on
+        its bucket, a future arrival, a scheduled cancel or deadline),
         the frontier jumps to the next admission event.
         """
         inner = self.inner
@@ -625,6 +827,7 @@ class TenantGateway:
                 inner.engine.clock >= inner.engine.config.max_sim_seconds:
             return False
         now = self._frontier()
+        self._apply_due_cancels(now)
         self._offer_due(now)
         self._dispatch(now)
         if inner.step():
@@ -635,11 +838,12 @@ class TenantGateway:
             return False
         self._floor = max(self._floor, nxt)
         now = self._frontier()
+        cancelled = self._apply_due_cancels(now)
         offered = self._offer_due(now)
         dispatched = self._dispatch(now)
         if inner.step():
             return True
-        return bool(offered or dispatched) and \
+        return bool(offered or dispatched or cancelled) and \
             self._next_event_s() is not None
 
     def run_until_drained(self) -> ServingResult:
@@ -648,8 +852,21 @@ class TenantGateway:
         return self.result()
 
     def result(self) -> ServingResult:
-        """The wrapped gateway's result plus admission telemetry."""
+        """The wrapped gateway's result plus admission telemetry.
+
+        Requests cancelled or expired while still held at the admission
+        frontier appear as ``cancelled``/``expired`` records alongside
+        the engine-side ones; shed and rejected requests stay out (they
+        are visible through handles and the admission stats)."""
         result = self.inner.result()
+        if self._frontier_records:
+            merged = ServingResult.merge(
+                [result, ServingResult(engine=result.engine,
+                                       records=list(self._frontier_records),
+                                       makespan_s=1e-9)],
+                engine=result.engine, config=result.config)
+            merged.stats = result.stats
+            result = merged
         result.config["admission"] = self.controller.summary()
         return result
 
@@ -659,14 +876,18 @@ class TenantGateway:
         """Per-tenant fraction of *offered* requests that finished within
         the tenant's TTFT SLO — shed and rejected requests count as
         misses, which is what makes shedding a trade and not a cheat.
-        A tenant that was never offered anything attains trivially (1.0).
+        Cancelled/expired requests meet the SLO only if their first
+        token actually arrived in time before the abort.  A tenant that
+        was never offered anything attains trivially (1.0).
         """
         result = result if result is not None else self.result()
         out: Dict[str, float] = {}
         for tid, stats in sorted(self.controller.stats.items()):
             tenant = self.controller.tenant(tid)
             sliced = result.for_tenant(tid)
-            met = sum(1 for r in sliced.records if r.ttft_s <= tenant.slo_s)
+            met = sum(1 for r in sliced.records
+                      if (r.finished or r.first_token_s is not None)
+                      and r.ttft_s <= tenant.slo_s)
             out[tid] = met / stats.offered if stats.offered else 1.0
         return out
 
@@ -680,17 +901,24 @@ class TenantGateway:
                                system=system)
         return cost_per_tenant(cost, self.controller.stats)
 
-    def replay(self, trace: Trace) -> ServingResult:
+    def replay(self, trace: Trace,
+               cancels: Optional[CancelSchedule] = None) -> ServingResult:
         """Serve a pre-materialized (optionally tenant-tagged) trace.
 
         Every request faces admission when the simulation frontier
         reaches its arrival.  In the pass-through configuration (default
         tenant, FCFS, no limits) the records are identical to replaying
-        the trace on the wrapped gateway directly.
+        the trace on the wrapped gateway directly.  ``cancels`` schedules
+        client cancellations as ``(request_id, at_s)`` pairs — the
+        impatient-client model; ``None`` replays bit-identically to a
+        pre-cancellation run.
         """
         self.reset()
         for request in trace:
             self.ingest(request)
+        if cancels is not None:
+            for request_id, at_s in cancels:
+                self.cancel(request_id, at_s=at_s)
         return self.run_until_drained()
 
     def reset(self) -> None:
@@ -698,10 +926,33 @@ class TenantGateway:
         self.controller.reset()
         self.kernel.reset()
         self._pending.clear()
+        self._cancels.clear()
+        self._scheduled_cancels.clear()
+        self._dispatched_ids.clear()
+        self._terminal_ids.clear()
+        self._frontier_records.clear()
+        self._handles.clear()
         self._recent_finish.clear()
         self._next_id = 0
         self._floor = 0.0
         self._dispatched_unfinished = 0
+
+    # ------------------------------------------------------------------ #
+    # handle plumbing
+    # ------------------------------------------------------------------ #
+    def _status_of(self, request_id: int) -> HandleStatus:
+        """Live status for a handle: QUEUED before admission, ADMITTED
+        while accepted-and-waiting at the frontier, then the wrapped
+        gateway's view once dispatched."""
+        if request_id in self._dispatched_ids:
+            return self.inner._status_of(request_id)
+        decision = self.controller.decisions.get(request_id)
+        if decision in (AdmissionDecision.ADMITTED,
+                        AdmissionDecision.DEFERRED):
+            return HandleStatus.ADMITTED
+        if decision in (AdmissionDecision.SHED, AdmissionDecision.REJECTED):
+            return HandleStatus.SHED
+        return HandleStatus.QUEUED
 
     # ------------------------------------------------------------------ #
     # frontier mechanics
@@ -718,24 +969,83 @@ class TenantGateway:
         return now
 
     def _next_event_s(self) -> Optional[float]:
-        """Earliest future admission event: a queued arrival or a token
-        bucket refill (the BucketRefill wake-ups the controller tracks)."""
+        """Earliest future admission event: a queued arrival, a token
+        bucket refill (the BucketRefill wake-ups the controller tracks),
+        or a scheduled cancel/deadline for frontier-held work."""
         events = []
         if self._pending:
             events.append(self._pending.peek_time())
+        if self._cancels:
+            events.append(self._cancels.peek_time())
         eligible = self.controller.next_eligible_s()
         if eligible is not None:
             events.append(eligible)
         return min(events) if events else None
+
+    def _apply_due_cancels(self, now: float) -> int:
+        """Apply cancels/expiries whose time the frontier has reached to
+        requests still held at this layer.  Cancels targeting dispatched
+        or already-terminal requests are stale here: dispatched ones are
+        handled by the owning engine (deadlines) or were forwarded at
+        dispatch (client cancels).  Returns the number of events popped
+        (stale included — popping one is frontier progress)."""
+        count = 0
+        for event in self._cancels.pop_due(now):
+            count += 1
+            rid = event.request_id
+            if rid in self._terminal_ids or rid in self._dispatched_ids:
+                continue
+            self._scheduled_cancels.pop(rid, None)
+            request = self.controller.cancel(rid, reason=event.reason)
+            if request is None:
+                arrival = self._pending.remove_request(rid)
+                if arrival is None:
+                    continue          # unknown or resolved elsewhere
+                request = arrival.request
+                # withdrawn before it was even offered: no charge to
+                # refund, but the withdrawal still counts in stats
+                self.controller.note_withdrawn(request.tenant_id,
+                                               event.reason)
+            self._retire_at_frontier(request, event.time, event.reason)
+        return count
+
+    def _retire_at_frontier(self, request: TraceRequest, at_s: float,
+                            reason: str) -> None:
+        """Terminal record for a request withdrawn at the frontier."""
+        status = "expired" if reason == "deadline" else "cancelled"
+        record = synthesized_abort_record(request, at_s, status)
+        self._frontier_records.append(record)
+        self._terminal_ids.add(request.request_id)
+        handle = self._handles.get(request.request_id)
+        if handle is not None:
+            handle._finish(record)
 
     def _offer_due(self, now: float) -> int:
         count = 0
         for event in self._pending.pop_due(now):
             request = event.request
             predicted = self._predicted_ttft_s(request.tenant_id)
-            self.controller.offer(request, predicted_ttft_s=predicted)
+            decision = self.controller.offer(request,
+                                             predicted_ttft_s=predicted)
+            if decision in (AdmissionDecision.SHED,
+                            AdmissionDecision.REJECTED):
+                self._resolve_dropped(request)
             count += 1
         return count
+
+    def _resolve_dropped(self, request: TraceRequest) -> None:
+        """A shed/rejected request is terminal immediately: its handle
+        (if any) gets a synthesized ``shed`` record.  Dropped requests
+        never enter :meth:`result` — they are visible through handles
+        and :attr:`AdmissionController.stats`, keeping served-side
+        metrics identical to the pre-handle behavior."""
+        rid = request.request_id
+        self._terminal_ids.add(rid)
+        self._scheduled_cancels.pop(rid, None)
+        handle = self._handles.get(rid)
+        if handle is not None:
+            handle._finish(synthesized_abort_record(
+                request, request.arrival_s, "shed"))
 
     def _dispatch(self, now: float) -> int:
         controller = self.controller
@@ -752,8 +1062,19 @@ class TenantGateway:
                 # `now`; idle engines must not serve it in their past
                 self._bump_idle_engines(now)
                 bumped = True
+            rid = request.request_id
             self.inner.ingest(request)
             self._dispatched_unfinished += 1
+            self._dispatched_ids.add(rid)
+            # the request left the frontier: its deadline watch moves to
+            # the owning engine (scheduled from the trace at submit), and
+            # a pending client cancel is forwarded to the wrapped gateway
+            while self._cancels.remove_request(rid) is not None:
+                pass
+            scheduled = self._scheduled_cancels.pop(rid, None)
+            if scheduled is not None:
+                self.inner.cancel(rid, at_s=scheduled[0],
+                                  reason=scheduled[1])
             count += 1
         return count
 
@@ -825,5 +1146,15 @@ class TenantGateway:
 
     def _completion_hook(self, record: RequestRecord) -> None:
         self._dispatched_unfinished = max(0, self._dispatched_unfinished - 1)
-        self._recent_finish.append(record.finish_s)
+        self._dispatched_ids.discard(record.request_id)
+        self._terminal_ids.add(record.request_id)
+        if record.finished:
+            # aborted completions are excluded from the service-rate
+            # window: they did not finish a unit of work
+            self._recent_finish.append(record.finish_s)
         self.controller.on_complete(record)
+        if not record.finished:
+            self.controller.refund_unserved(record)
+        handle = self._handles.get(record.request_id)
+        if handle is not None:
+            handle._finish(record)

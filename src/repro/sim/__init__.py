@@ -26,13 +26,15 @@ arrivals and stall-jumps from an :class:`EventQueue` on a
 """
 
 from .clock import SimClock
-from .events import (Arrival, AutoscalerTick, BucketRefill, Event,
+from .events import (Arrival, AutoscalerTick, BucketRefill, Cancel, Event,
                      IterationDone, ReplicaDrain, ReplicaSpawn)
 from .kernel import SimKernel
 from .queue import EventQueue
+from .trace_export import chrome_trace_events, export_chrome_trace
 
 __all__ = [
     "SimClock", "EventQueue", "SimKernel",
-    "Event", "Arrival", "IterationDone", "BucketRefill",
+    "Event", "Arrival", "Cancel", "IterationDone", "BucketRefill",
     "AutoscalerTick", "ReplicaSpawn", "ReplicaDrain",
+    "chrome_trace_events", "export_chrome_trace",
 ]

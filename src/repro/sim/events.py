@@ -19,6 +19,14 @@ Producers and consumers:
 * :class:`BucketRefill` — a deferred request's token bucket becomes
   solvent.  Emitted by the admission controller so the tenancy frontier
   knows when to wake an otherwise idle system.
+* :class:`Cancel` — a request leaves the system before finishing, either
+  because its client gave up (``reason="cancel"``) or because its
+  deadline passed (``reason="deadline"``).  Engines hold scheduled
+  cancellations in an :class:`~repro.sim.EventQueue` next to their
+  arrivals, so cancellation and deadline expiry happen at deterministic
+  simulated times — replay with the same cancel schedule is
+  record-identical, and replay with no cancels is bit-identical to a
+  pre-cancellation run.
 * :class:`AutoscalerTick` — the next scheduled controller observation.
   The cluster gateway schedules one tick ahead instead of polling the
   controller after every step.
@@ -32,7 +40,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 __all__ = [
-    "Event", "Arrival", "IterationDone", "BucketRefill",
+    "Event", "Arrival", "Cancel", "IterationDone", "BucketRefill",
     "AutoscalerTick", "ReplicaSpawn", "ReplicaDrain",
 ]
 
@@ -62,6 +70,25 @@ class Arrival(Event):
     @property
     def request_id(self) -> int:
         return self.request.request_id
+
+
+@dataclass(frozen=True)
+class Cancel(Event):
+    """A request is withdrawn at ``time``: client cancel or deadline.
+
+    ``reason`` is ``"cancel"`` (the client gave up — the impatient-client
+    workload model, an explicit :meth:`RequestHandle.cancel`) or
+    ``"deadline"`` (the request's ``deadline_s`` passed before it
+    finished).  A ``Cancel`` whose target already reached a terminal
+    state is *stale* and ignored wherever it surfaces.
+    """
+
+    request_id: int = -1
+    reason: str = "cancel"       # "cancel" | "deadline"
+
+    @property
+    def sort_key(self) -> float:
+        return self.request_id
 
 
 @dataclass(frozen=True)

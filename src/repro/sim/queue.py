@@ -12,7 +12,7 @@ backlog signal — costs O(log n) instead of a full scan.
 from __future__ import annotations
 
 import heapq
-from bisect import bisect_right, insort_right
+from bisect import bisect_left, bisect_right, insort_right
 from typing import Iterator, List, Optional, Tuple
 
 from .events import Event
@@ -84,6 +84,23 @@ class EventQueue:
     def count_after(self, t: float) -> int:
         """Events scheduled strictly after ``t`` — O(log n)."""
         return len(self._times) - bisect_right(self._times, t, lo=self._head)
+
+    def remove_request(self, request_id: int) -> Optional[Event]:
+        """Withdraw the event carrying ``request_id`` (cancellation).
+
+        Matches any event exposing a ``request_id`` attribute (Arrival,
+        Cancel, BucketRefill).  O(n) — cancellations are rare relative
+        to pushes/pops, so the heap is rebuilt rather than tombstoned.
+        Returns the removed event, or None if no event matches.
+        """
+        for i, entry in enumerate(self._heap):
+            if getattr(entry[3], "request_id", None) == request_id:
+                del self._heap[i]
+                heapq.heapify(self._heap)
+                idx = bisect_left(self._times, entry[0], lo=self._head)
+                del self._times[idx]
+                return entry[3]
+        return None
 
     def in_order(self) -> List[Event]:
         """All queued events in pop order, without consuming them."""

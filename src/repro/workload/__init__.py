@@ -2,6 +2,8 @@
 
 from .arrival import (as_rng, gamma_burst_arrivals, piecewise_rate_arrivals,
                       poisson_arrivals, ramp_arrivals)
+from .clients import (ClosedLoopClient, PatienceModel,
+                      impatient_cancel_schedule)
 from .generators import (azure_like_trace, ramp_trace, synthetic_trace,
                          trace_from_distribution)
 from .lmsys import ARENA_MODEL_NAMES, arena_trace
@@ -19,4 +21,5 @@ __all__ = [
     "make_model_ids", "sample_models", "uniform_popularity", "zipf_popularity",
     "LengthSampler", "Trace", "TraceRequest",
     "TenantWorkload", "multi_tenant_trace",
+    "ClosedLoopClient", "PatienceModel", "impatient_cancel_schedule",
 ]

@@ -1,0 +1,210 @@
+"""Client behavior models: impatience (cancellation) and closed loops.
+
+Real serving traffic is not fire-and-forget: clients disconnect, give up
+when responses stall, and come back for another turn once the previous
+one finishes.  This module materializes both behaviors on top of the
+request-handle API:
+
+* :class:`PatienceModel` + :func:`impatient_cancel_schedule` — per-tenant
+  patience distributions turned into a deterministic cancel schedule
+  (``(request_id, cancel_at_s)`` pairs): each request is abandoned
+  ``patience`` seconds after its arrival unless it finishes first.  The
+  schedule feeds ``gateway.replay(trace, cancels=...)`` (or per-handle
+  ``cancel(at_s=...)``), which turns it into typed
+  :class:`~repro.sim.Cancel` events — so abandonment happens at
+  deterministic simulated times and replay stays record-identical.
+* :class:`ClosedLoopClient` — a handle-driven multi-turn session: it
+  submits a turn, registers ``add_done_callback`` on the handle, and —
+  when the turn completes — schedules its next submission as a fresh
+  :class:`~repro.sim.Arrival` at ``finish + think_time`` (no clock
+  polling).  Optional per-turn ``patience_s``/``deadline_s`` make the
+  client impatient; by default an abandoned turn ends the session, the
+  way a user who gave up does not send a follow-up.
+
+Per-tenant randomness derives from ``(seed, tenant)`` spawn keys like
+:func:`~repro.workload.tenants.multi_tenant_trace`, so one tenant's
+patience draws never perturb another's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .spec import Trace
+
+__all__ = ["PatienceModel", "impatient_cancel_schedule", "ClosedLoopClient"]
+
+_DEFAULT_KEY = "default"
+
+
+@dataclass(frozen=True)
+class PatienceModel:
+    """How long a client waits before abandoning a request.
+
+    ``mean_s`` is the mean patience; ``distribution`` is
+    ``"exponential"`` (memoryless give-ups), ``"lognormal"`` (a long
+    patient tail, ``sigma`` controlling its width), or ``"fixed"``.
+    ``min_s`` floors every draw so pathological zero-patience samples
+    cannot cancel a request the instant it arrives.
+    """
+
+    mean_s: float
+    distribution: str = "exponential"   # "exponential"|"lognormal"|"fixed"
+    sigma: float = 0.5
+    min_s: float = 0.1
+
+    def __post_init__(self):
+        if self.mean_s <= 0:
+            raise ValueError("mean_s must be > 0")
+        if self.distribution not in ("exponential", "lognormal", "fixed"):
+            raise ValueError(
+                f"unknown patience distribution {self.distribution!r}")
+        if self.min_s < 0:
+            raise ValueError("min_s must be >= 0")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.distribution == "fixed":
+            draw = self.mean_s
+        elif self.distribution == "exponential":
+            draw = float(rng.exponential(self.mean_s))
+        else:
+            # parameterize the lognormal so its mean is mean_s
+            mu = np.log(self.mean_s) - 0.5 * self.sigma ** 2
+            draw = float(rng.lognormal(mu, self.sigma))
+        return max(draw, self.min_s)
+
+
+def impatient_cancel_schedule(
+        trace: Trace,
+        patience: Union[PatienceModel, Dict[str, PatienceModel]],
+        seed: int = 0) -> List[Tuple[int, float]]:
+    """Turn per-tenant patience into a deterministic cancel schedule.
+
+    ``patience`` is one :class:`PatienceModel` for every request or a
+    ``tenant_id -> PatienceModel`` mapping (untenanted requests use the
+    ``"default"`` key; tenants with no entry are infinitely patient).
+    Returns ``(request_id, cancel_at_s)`` pairs with ``cancel_at =
+    arrival + patience draw``, ordered by cancel time.  Draws use a
+    per-tenant spawn-keyed rng over the tenant's requests in arrival
+    order, so adding a tenant's model never changes another tenant's
+    schedule.
+    """
+    if isinstance(patience, PatienceModel):
+        models: Dict[str, Optional[PatienceModel]] = {}
+        fallback: Optional[PatienceModel] = patience
+    else:
+        models = dict(patience)
+        fallback = None
+
+    by_tenant: Dict[str, List] = {}
+    for request in trace:
+        by_tenant.setdefault(request.tenant_id or _DEFAULT_KEY,
+                             []).append(request)
+
+    schedule: List[Tuple[int, float]] = []
+    for tenant_id in sorted(by_tenant):
+        model = models.get(tenant_id, fallback)
+        if model is None:
+            continue
+        rng = np.random.default_rng(
+            [seed, *(ord(c) for c in tenant_id)])
+        for request in by_tenant[tenant_id]:
+            schedule.append((request.request_id,
+                             request.arrival_s + model.sample(rng)))
+    schedule.sort(key=lambda pair: (pair[1], pair[0]))
+    return schedule
+
+
+class ClosedLoopClient:
+    """A multi-turn session driven by request-handle completions.
+
+    Each turn is one ``gateway.submit(...)``; when its handle reports
+    done, the next turn is submitted with ``arrival_s = finish +
+    think_time`` — i.e. scheduled as an :class:`~repro.sim.Arrival`
+    event on the gateway's timeline, never by polling the clock.  The
+    gateway can be any layer (engine-, cluster-, or tenant-backed): the
+    handle API is identical.
+
+    ``patience_s`` abandons a turn that long after its arrival (a
+    :class:`PatienceModel` samples per turn; a float is fixed patience);
+    ``deadline_s`` submits deadline-bounded turns instead.  When a turn
+    is cancelled/expired/shed the session stops unless
+    ``continue_after_abandon=True``.
+
+    Drive the owning gateway (``step()`` / ``run_until_drained``) after
+    :meth:`start`; inspect :attr:`handles` afterwards.
+    """
+
+    def __init__(self, gateway, model_id: str, n_turns: int,
+                 prompt_tokens: int = 64, output_tokens: int = 32,
+                 think_time_s: float = 1.0,
+                 tenant_id: Optional[str] = None,
+                 patience_s: Union[None, float, PatienceModel] = None,
+                 deadline_s: Optional[float] = None,
+                 continue_after_abandon: bool = False,
+                 first_arrival_s: Optional[float] = None,
+                 seed: int = 0):
+        if n_turns < 1:
+            raise ValueError("n_turns must be >= 1")
+        self.gateway = gateway
+        self.model_id = model_id
+        self.n_turns = n_turns
+        self.prompt_tokens = prompt_tokens
+        self.output_tokens = output_tokens
+        self.think_time_s = think_time_s
+        self.tenant_id = tenant_id
+        self.deadline_s = deadline_s
+        self.continue_after_abandon = continue_after_abandon
+        self._first_arrival_s = first_arrival_s
+        if isinstance(patience_s, (int, float)):
+            patience_s = PatienceModel(float(patience_s),
+                                       distribution="fixed")
+        self._patience = patience_s
+        self._rng = np.random.default_rng(seed)
+        self.handles: List = []
+        self.abandoned = False
+
+    @property
+    def turns_submitted(self) -> int:
+        return len(self.handles)
+
+    @property
+    def done(self) -> bool:
+        """All turns submitted and terminal, or the session abandoned."""
+        if self.abandoned and not self.continue_after_abandon:
+            return bool(self.handles) and self.handles[-1].done
+        return len(self.handles) == self.n_turns and \
+            all(h.done for h in self.handles)
+
+    def start(self) -> None:
+        """Submit the first turn (at ``first_arrival_s`` or "now")."""
+        if self.handles:
+            raise RuntimeError("session already started")
+        self._submit_turn(self._first_arrival_s)
+
+    def _submit_turn(self, arrival_s: Optional[float]) -> None:
+        handle = self.gateway.submit(
+            self.model_id, self.prompt_tokens, self.output_tokens,
+            arrival_s=arrival_s, tenant_id=self.tenant_id,
+            deadline_s=self.deadline_s)
+        self.handles.append(handle)
+        if self._patience is not None:
+            arrival = arrival_s if arrival_s is not None \
+                else self.gateway.clock
+            handle.cancel(at_s=arrival + self._patience.sample(self._rng))
+        handle.add_done_callback(self._on_turn_done)
+
+    def _on_turn_done(self, handle) -> None:
+        record = handle.record()
+        if not record.finished:
+            self.abandoned = True
+            if not self.continue_after_abandon:
+                return
+        if len(self.handles) >= self.n_turns:
+            return
+        # the next turn joins the timeline as a fresh Arrival event at
+        # finish + think time — event-driven, no clock polling
+        self._submit_turn(record.finish_s + self.think_time_s)

@@ -24,9 +24,11 @@ def save_trace(trace: Trace, path: str) -> None:
                 "prompt_tokens": req.prompt_tokens,
                 "output_tokens": req.output_tokens,
             }
-            # untenanted traces keep the exact legacy byte format
+            # untenanted/undeadlined traces keep the exact legacy byte format
             if req.tenant_id is not None:
                 row["tenant_id"] = req.tenant_id
+            if req.deadline_s is not None:
+                row["deadline_s"] = req.deadline_s
             f.write(json.dumps(row) + "\n")
 
 

@@ -18,7 +18,11 @@ class TraceRequest:
     output lengths are in tokens, sampled to match LMSys chat statistics.
     ``tenant_id`` optionally names the tenant the request bills to; ``None``
     (untenanted, the default for every pre-existing trace) is treated as
-    the default tenant by the admission layer.
+    the default tenant by the admission layer.  ``deadline_s`` is an
+    *absolute* simulated time (same timeline as ``arrival_s``) by which
+    the request must finish; past it the serving stack aborts the request
+    as ``expired``, charging only the tokens actually generated.  ``None``
+    (the default for every pre-existing trace) means no deadline.
     """
 
     request_id: int
@@ -27,6 +31,7 @@ class TraceRequest:
     prompt_tokens: int
     output_tokens: int
     tenant_id: Optional[str] = None
+    deadline_s: Optional[float] = None
 
 
 @dataclass
