@@ -1,0 +1,277 @@
+"""simlint configuration: exclusions, rule selection, inline pragmas.
+
+Three layers, strongest last:
+
+1. **pyproject.toml** — ``[tool.simlint]`` holds ``select`` / ``ignore``
+   and a ``[tool.simlint.per-path-ignore]`` table mapping a path prefix
+   to the rules ignored under it.  The *exclusion* list is deliberately
+   NOT a simlint key: simlint reads ``[tool.ruff] extend-exclude`` so
+   ruff and simlint share one list (benchmarks/examples) and cannot
+   drift — a unit test pins the sharing.
+2. **CLI / API arguments** — ``--select`` / ``--ignore`` narrow the
+   loaded config.
+3. **Inline pragmas** — ``# simlint: disable=SIM001,SIM004`` suppresses
+   those rules on its physical line (anchor line of the flagged AST
+   node), bare ``# simlint: disable`` suppresses all rules on the line,
+   and ``# simlint: disable-file=SIM005`` anywhere in a file suppresses
+   the rules for the whole file.  Pragmas are parsed from real COMMENT
+   tokens (``tokenize``), so a pragma-shaped string literal is inert.
+
+TOML parsing uses :mod:`tomllib` when available (Python ≥ 3.11) and
+falls back to a tiny line-oriented parser that understands the subset
+this repo's pyproject actually uses (tables, strings, string arrays) —
+the repo supports 3.10 and must not grow dependencies.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+__all__ = ["LintConfig", "Pragmas", "parse_pragmas", "load_pyproject",
+           "DEFAULT_EXCLUDE"]
+
+#: exclusions that always apply, on top of the shared pyproject list
+DEFAULT_EXCLUDE: Tuple[str, ...] = (
+    ".git", "__pycache__", ".hypothesis", ".pytest_cache", "build", "dist",
+)
+
+#: the shared exclusion list used when no pyproject.toml is found
+FALLBACK_SHARED_EXCLUDE: Tuple[str, ...] = ("benchmarks", "examples")
+
+_ALL_RULES_SENTINEL = "ALL"
+
+
+# --------------------------------------------------------------------- #
+# minimal TOML loading (tomllib when present, subset parser otherwise)
+# --------------------------------------------------------------------- #
+def _tiny_toml(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse the TOML subset simlint needs: ``[table]`` headers, string
+    values, booleans, and (possibly multiline) arrays of strings.  Lines
+    it does not understand are skipped — unknown value types in other
+    tools' tables must not break lint config loading."""
+    tables: Dict[str, Dict[str, object]] = {}
+    current: Dict[str, object] = tables.setdefault("", {})
+    pending_key: Optional[str] = None
+    pending_buf = ""
+    for raw in text.splitlines():
+        line = raw.strip()
+        if pending_key is not None:
+            pending_buf += " " + line
+            if _array_closed(pending_buf):
+                current[pending_key] = _parse_array(pending_buf)
+                pending_key = None
+            continue
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line.strip("[]").strip().strip('"')
+            current = tables.setdefault(name, {})
+            continue
+        if "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip().strip('"')
+        value = value.strip()
+        if value.startswith("["):
+            if _array_closed(value):
+                current[key] = _parse_array(value)
+            else:
+                pending_key, pending_buf = key, value
+        elif value.startswith('"'):
+            current[key] = value[1:].split('"', 1)[0]
+        elif value.split("#", 1)[0].strip() in ("true", "false"):
+            current[key] = value.split("#", 1)[0].strip() == "true"
+        # other value kinds (numbers, inline tables) are skipped
+    return tables
+
+
+def _array_closed(buf: str) -> bool:
+    return buf.count("[") <= buf.count("]")
+
+
+def _parse_array(buf: str) -> List[str]:
+    return re.findall(r'"([^"]*)"', buf)
+
+
+def load_pyproject(path: Path) -> Dict[str, Dict[str, object]]:
+    """Load a pyproject.toml into ``{dotted-table-name: {key: value}}``."""
+    text = path.read_text()
+    try:
+        import tomllib
+        data = tomllib.loads(text)
+        flat: Dict[str, Dict[str, object]] = {}
+        _flatten(data, "", flat)
+        return flat
+    except ImportError:  # Python 3.10: the baked-in subset parser
+        return _tiny_toml(text)
+
+
+def _flatten(node: Mapping[str, object], prefix: str,
+             out: Dict[str, Dict[str, object]]) -> None:
+    scalars: Dict[str, object] = {}
+    for key, value in node.items():
+        if isinstance(value, dict):
+            _flatten(value, f"{prefix}.{key}" if prefix else key, out)
+        else:
+            scalars[key] = value
+    if scalars or prefix:
+        out.setdefault(prefix, {}).update(scalars)
+
+
+# --------------------------------------------------------------------- #
+# config
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LintConfig:
+    """Effective simlint configuration for one run."""
+
+    #: path components / posix prefixes excluded from linting entirely
+    #: (shared with ruff via ``[tool.ruff] extend-exclude``)
+    exclude: Tuple[str, ...] = FALLBACK_SHARED_EXCLUDE + DEFAULT_EXCLUDE
+    #: only these rules run (None = all registered rules)
+    select: Optional[FrozenSet[str]] = None
+    #: these rules never run
+    ignore: FrozenSet[str] = frozenset()
+    #: (path-prefix, rules-ignored-under-it) pairs, most specific wins
+    per_path_ignore: Tuple[Tuple[str, FrozenSet[str]], ...] = ()
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, start: Optional[Path] = None,
+             select: Optional[Set[str]] = None,
+             ignore: Optional[Set[str]] = None) -> "LintConfig":
+        """Build the config from the nearest pyproject.toml (searching
+        ``start`` and its parents) plus explicit select/ignore."""
+        pyproject = _find_pyproject(start or Path.cwd())
+        exclude: Tuple[str, ...] = FALLBACK_SHARED_EXCLUDE
+        file_select: Optional[FrozenSet[str]] = None
+        file_ignore: FrozenSet[str] = frozenset()
+        per_path: Tuple[Tuple[str, FrozenSet[str]], ...] = ()
+        if pyproject is not None:
+            tables = load_pyproject(pyproject)
+            ruff = tables.get("tool.ruff", {})
+            shared = ruff.get("extend-exclude")
+            if isinstance(shared, list):
+                exclude = tuple(str(e) for e in shared)
+            simlint = tables.get("tool.simlint", {})
+            raw_select = simlint.get("select")
+            if isinstance(raw_select, list) and raw_select:
+                file_select = frozenset(str(r) for r in raw_select)
+            raw_ignore = simlint.get("ignore")
+            if isinstance(raw_ignore, list):
+                file_ignore = frozenset(str(r) for r in raw_ignore)
+            table = tables.get("tool.simlint.per-path-ignore", {})
+            per_path = tuple(
+                (prefix, frozenset(_rule_list(rules)))
+                for prefix, rules in sorted(table.items())
+                if _rule_list(rules))
+        if select:
+            file_select = frozenset(select)
+        if ignore:
+            file_ignore = file_ignore | frozenset(ignore)
+        return cls(exclude=exclude + DEFAULT_EXCLUDE, select=file_select,
+                   ignore=file_ignore, per_path_ignore=per_path)
+
+    # ------------------------------------------------------------------ #
+    def excluded(self, path: str) -> bool:
+        """Is this (posix, repo-relative) path excluded from linting?"""
+        parts = path.split("/")
+        for entry in self.exclude:
+            entry = entry.rstrip("/")
+            if "/" in entry:
+                if path.startswith(entry + "/") or path == entry or \
+                        ("/" + entry + "/") in path or \
+                        path.endswith("/" + entry):
+                    return True
+            elif entry in parts:
+                return True
+        return False
+
+    def rule_enabled(self, rule_id: str, path: str) -> bool:
+        """Does ``rule_id`` apply to ``path`` under this config?"""
+        if self.select is not None and rule_id not in self.select:
+            return False
+        if rule_id in self.ignore:
+            return False
+        for prefix, rules in self.per_path_ignore:
+            if path.startswith(prefix) and rule_id in rules:
+                return False
+        return True
+
+
+def _rule_list(value: object) -> List[str]:
+    if isinstance(value, list):
+        return [str(v) for v in value]
+    if isinstance(value, str):
+        return [r.strip() for r in value.split(",") if r.strip()]
+    return []
+
+
+def _find_pyproject(start: Path) -> Optional[Path]:
+    node = start if start.is_dir() else start.parent
+    for candidate in (node, *node.parents):
+        path = candidate / "pyproject.toml"
+        if path.is_file():
+            return path
+    return None
+
+
+# --------------------------------------------------------------------- #
+# pragmas
+# --------------------------------------------------------------------- #
+_PRAGMA = re.compile(
+    r"#\s*simlint:\s*(disable-file|disable)\s*(?:=\s*([A-Za-z0-9_,\s]+))?")
+
+
+@dataclass
+class Pragmas:
+    """Inline suppressions for one file."""
+
+    #: rules disabled for the whole file (None element = all rules)
+    file_rules: Set[str] = field(default_factory=set)
+    file_all: bool = False
+    #: line -> rules disabled on that line
+    line_rules: Dict[int, Set[str]] = field(default_factory=dict)
+    #: lines where all rules are disabled
+    line_all: Set[int] = field(default_factory=set)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        if self.file_all or rule_id in self.file_rules:
+            return True
+        if line in self.line_all:
+            return True
+        return rule_id in self.line_rules.get(line, ())
+
+
+def parse_pragmas(source: str) -> Pragmas:
+    """Extract ``# simlint:`` pragmas from real comment tokens."""
+    pragmas = Pragmas()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return pragmas
+    for line, comment in comments:
+        match = _PRAGMA.search(comment)
+        if not match:
+            continue
+        kind, raw_rules = match.groups()
+        rules = {r.strip().upper() for r in (raw_rules or "").split(",")
+                 if r.strip()}
+        if kind == "disable-file":
+            if rules:
+                pragmas.file_rules |= rules
+            else:
+                pragmas.file_all = True
+        else:
+            if rules:
+                pragmas.line_rules.setdefault(line, set()).update(rules)
+            else:
+                pragmas.line_all.add(line)
+    return pragmas

@@ -40,7 +40,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Type
 
 from ..hardware.cluster import GPUNode
-from ..sim import Arrival, Cancel, Event, EventQueue, IterationDone, SimClock
+from ..sim import (Arrival, Cancel, Event, EventQueue, IterationDone,
+                   new_clock)
 from ..workload.spec import Trace, TraceRequest
 from .metrics import EngineStats, ServingResult
 from .model_manager import ArtifactKind, ModelManager
@@ -200,7 +201,7 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
         """Clear all serving state (a fresh simulated timeline)."""
-        self._sim = SimClock()
+        self._sim = new_clock()           # SanitizedClock when enabled
         self._pending = EventQueue()      # Arrival events on the sim clock
         self._cancels = EventQueue()      # scheduled Cancel events
         self._live: Dict[int, ServingRequest] = {}
@@ -220,7 +221,7 @@ class ServingEngine:
     def clock(self, value: float) -> None:
         # outer layers legitimately re-seat an idle engine's timeline
         # (replica spawn at the cluster frontier, admission-floor bumps)
-        self._sim.now = float(value)
+        self._sim.reseat(value)
 
     def submit(self, request: TraceRequest) -> ServingRequest:
         """Enqueue one request; it joins the queue once the clock reaches

@@ -730,18 +730,24 @@ class ClusterGateway:
         """Post-step bookkeeping: advance the kernel clock to the new
         frontier and fire any autoscaler tick it has reached."""
         self._reap_drained()
-        now = self.kernel.advance(self.frontier)
+        now = max(self.kernel.now, self.frontier)
+        fired = False
         if self.autoscaler is not None:
             if not self._ticks:
                 # an autoscaler attached after construction still gets
                 # its first tick (due immediately, like at reset)
                 self._schedule_tick(now)
             if self._ticks.peek_time() <= now:
+                # journal fired ticks *before* advancing the kernel past
+                # them: a tick is never emitted behind the kernel clock
+                # (the sanitizer's no-past-events invariant)
                 for tick in self._ticks.pop_due(now):
-                    self.kernel.emit(tick)   # journal the fired tick
-                self.autoscaler.control(self)
-                self._schedule_tick(
-                    now + self.autoscaler.config.check_interval_s)
+                    self.kernel.emit(tick)
+                fired = True
+        self.kernel.advance(now)
+        if fired:
+            self.autoscaler.control(self)
+            self._schedule_tick(now + self.autoscaler.config.check_interval_s)
         return True
 
     def _schedule_tick(self, at: float) -> None:

@@ -156,8 +156,10 @@ class IterationCostModel:
 
         base = self._base_pass(m_total)
         rows = []
-        for delta_id in set(batch.decode_per_delta) | \
-                set(batch.prefill_tokens_per_delta):
+        # sorted: set order is hash-randomized across processes, and the
+        # row order feeds non-associative float sums in the variant pass
+        for delta_id in sorted(set(batch.decode_per_delta) |
+                               set(batch.prefill_tokens_per_delta)):
             rows.append(batch.decode_per_delta.get(delta_id, 0)
                         + batch.prefill_tokens_per_delta.get(delta_id, 0))
         if variant_kind == "delta":

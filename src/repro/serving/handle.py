@@ -31,11 +31,12 @@ callers that want to silence the transition explicitly.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Protocol, Tuple
 
+from ..sim import sanitizer as _sanitizer
 from .request import RequestRecord
 
-__all__ = ["HandleStatus", "RequestHandle", "TokenEvent"]
+__all__ = ["HandleStatus", "RequestHandle", "TokenEvent", "HandleGateway"]
 
 #: one streamed token observation: (simulated clock, tokens generated so far)
 TokenEvent = Tuple[float, int]
@@ -61,6 +62,22 @@ class HandleStatus(str, Enum):
                         HandleStatus.EXPIRED, HandleStatus.SHED)
 
 
+class HandleGateway(Protocol):
+    """What a handle needs from the gateway that issued it: stepping,
+    cancellation routing, and live status lookup.  All three gateways
+    (:class:`~repro.serving.gateway.ServingGateway`,
+    :class:`~repro.serving.cluster.ClusterGateway`,
+    :class:`~repro.serving.tenancy.TenantGateway`) satisfy this."""
+
+    def step(self) -> bool: ...  # pragma: no cover - protocol
+
+    def cancel(self, request_id: int,
+               at_s: Optional[float] = None) -> None: ...  # pragma: no cover
+
+    def _status_of(
+            self, request_id: int) -> "HandleStatus": ...  # pragma: no cover
+
+
 #: RequestRecord.status value -> terminal HandleStatus
 _RECORD_STATUS = {
     "finished": HandleStatus.FINISHED,
@@ -82,9 +99,9 @@ class RequestHandle:
     __slots__ = ("_id", "_gateway", "_model_id", "_tenant_id", "_deadline_s",
                  "_events", "_record", "_callbacks")
 
-    def __init__(self, request_id: int, gateway, model_id: str,
-                 tenant_id: Optional[str] = None,
-                 deadline_s: Optional[float] = None):
+    def __init__(self, request_id: int, gateway: HandleGateway,
+                 model_id: str, tenant_id: Optional[str] = None,
+                 deadline_s: Optional[float] = None) -> None:
         self._id = int(request_id)
         self._gateway = gateway
         self._model_id = model_id
@@ -210,29 +227,29 @@ class RequestHandle:
     def __index__(self) -> int:
         return self._id
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, RequestHandle):
             return self._id == other._id and self._gateway is other._gateway
         if isinstance(other, int):
             return self._id == other
         return NotImplemented
 
-    def __lt__(self, other) -> bool:
+    def __lt__(self, other: object) -> bool:
         if isinstance(other, (RequestHandle, int)):
             return self._id < int(other)
         return NotImplemented
 
-    def __le__(self, other) -> bool:
+    def __le__(self, other: object) -> bool:
         if isinstance(other, (RequestHandle, int)):
             return self._id <= int(other)
         return NotImplemented
 
-    def __gt__(self, other) -> bool:
+    def __gt__(self, other: object) -> bool:
         if isinstance(other, (RequestHandle, int)):
             return self._id > int(other)
         return NotImplemented
 
-    def __ge__(self, other) -> bool:
+    def __ge__(self, other: object) -> bool:
         if isinstance(other, (RequestHandle, int)):
             return self._id >= int(other)
         return NotImplemented
@@ -257,6 +274,10 @@ class RequestHandle:
 
     def _finish(self, record: RequestRecord) -> None:
         if self._record is not None:
+            # a second terminal transition is a status-machine bug; the
+            # sanitizer turns the silent drop into a hard failure
+            if _sanitizer.enabled():
+                _sanitizer.check_handle_finish(self._id, True)
             return
         self._record = record
         callbacks, self._callbacks = self._callbacks, []
@@ -269,7 +290,7 @@ class _TokenStream:
 
     __slots__ = ("_handle", "_i")
 
-    def __init__(self, handle: RequestHandle):
+    def __init__(self, handle: RequestHandle) -> None:
         self._handle = handle
         self._i = 0
 

@@ -56,13 +56,14 @@ before shedding starts.
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..sim import Arrival, BucketRefill, Cancel, EventQueue, SimKernel
+from ..sim import (Arrival, BucketRefill, Cancel, EventQueue, KeyedHeap,
+                   SimKernel)
+from ..sim import sanitizer as _sanitizer
 from ..workload.spec import Trace, TraceRequest
 from .cluster import ClusterGateway
 from .gateway import CancelSchedule, ServingGateway, TokenCallback
@@ -168,7 +169,7 @@ class TokenBucket:
     spacing on the tenant's virtual timeline (a virtual-finish-time rate
     limiter, not a drop-tail one).
 
-    The bucket holds no clock of its own: ``_clock`` is merely the
+    The bucket holds no clock of its own: ``_refilled_s`` is merely the
     kernel time of its last refill (state, like the token balance), and
     every ``now`` it sees comes from the caller's timeline — ultimately
     :attr:`TenantGateway._frontier`, i.e. the one :mod:`repro.sim`
@@ -189,23 +190,27 @@ class TokenBucket:
 
     def reset(self) -> None:
         self._tokens = self.burst
-        self._clock = 0.0
+        self._refilled_s = 0.0        # kernel time of the last refill
+        # conservation meters for the runtime sanitizer (cancel-refund
+        # symmetry is checked against these when REPRO_SIM_SANITIZE=1)
+        self._charged_total = 0.0
+        self._refunded_total = 0.0
 
     @property
     def tokens(self) -> float:
         return self._tokens
 
     def _advance(self, now: float) -> None:
-        now = max(now, self._clock)   # simulated time never rewinds
+        now = max(now, self._refilled_s)   # simulated time never rewinds
         self._tokens = min(self.burst,
-                           self._tokens + (now - self._clock) * self.rate)
-        self._clock = now
+                           self._tokens + (now - self._refilled_s) * self.rate)
+        self._refilled_s = now
 
     def eligible_at(self, cost: float, now: float) -> float:
         """When a charge of ``cost`` would become eligible (no mutation)."""
-        now = max(now, self._clock)
+        now = max(now, self._refilled_s)
         tokens = min(self.burst,
-                     self._tokens + (now - self._clock) * self.rate)
+                     self._tokens + (now - self._refilled_s) * self.rate)
         if tokens >= cost:
             return now
         return now + (cost - tokens) / self.rate
@@ -214,15 +219,26 @@ class TokenBucket:
         """Consume ``cost`` tokens at ``now``; returns the eligible time."""
         self._advance(now)
         if self._tokens >= cost:
-            eligible = self._clock
+            eligible = self._refilled_s
         else:
-            eligible = self._clock + (cost - self._tokens) / self.rate
+            eligible = self._refilled_s + (cost - self._tokens) / self.rate
         self._tokens -= cost
+        self._charged_total += cost
+        if _sanitizer.enabled():
+            _sanitizer.check_bucket_charge(cost, now, eligible)
         return eligible
 
     def refund(self, cost: float) -> None:
         """Return tokens from a charge that was ultimately not admitted."""
+        before = self._tokens
         self._tokens = min(self.burst, self._tokens + cost)
+        # symmetry is metered on tokens actually restored: the burst cap
+        # may absorb part of a refund by contract (see the unit tests)
+        self._refunded_total += self._tokens - before
+        if _sanitizer.enabled():
+            _sanitizer.check_bucket_refund(cost, self._tokens, self.burst,
+                                           self._charged_total,
+                                           self._refunded_total)
 
 
 class AdmissionDecision(str, Enum):
@@ -350,7 +366,10 @@ class AdmissionController:
     # lifecycle
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
-        self._fcfs: List[Tuple[float, float, int, TraceRequest]] = []
+        # FCFS admission order: a deterministic keyed heap on
+        # (eligible_s, arrival_s, request_id) — the sim kernel's heap
+        # primitive, so no layer-private heapq survives here (SIM005)
+        self._fcfs: KeyedHeap[TraceRequest] = KeyedHeap()
         self._vtc: Dict[str, Deque[Tuple[float, TraceRequest]]] = {}
         self._counters: Dict[str, float] = {}
         self._buckets: Dict[str, TokenBucket] = {}
@@ -457,8 +476,7 @@ class AdmissionController:
         if self.policy == "vtc":
             self._vtc[tid].append((eligible, request))
         else:
-            heapq.heappush(self._fcfs, (eligible, arrival,
-                                        request.request_id, request))
+            self._fcfs.push((eligible, arrival, request.request_id), request)
         self._queued[tid] = self._queued.get(tid, 0) + 1
 
         decision = AdmissionDecision.ADMITTED if eligible <= arrival \
@@ -476,14 +494,14 @@ class AdmissionController:
     def has_eligible(self, now: float) -> bool:
         if self.policy == "vtc":
             return any(q and q[0][0] <= now for q in self._vtc.values())
-        return bool(self._fcfs) and self._fcfs[0][0] <= now
+        return bool(self._fcfs) and self._fcfs.peek_key()[0] <= now
 
     def next_eligible_s(self) -> Optional[float]:
         """Earliest time any queued request becomes releasable."""
         if self.policy == "vtc":
             heads = [q[0][0] for q in self._vtc.values() if q]
             return min(heads) if heads else None
-        return self._fcfs[0][0] if self._fcfs else None
+        return self._fcfs.peek_key()[0] if self._fcfs else None
 
     def pop(self, now: float) -> Optional[TraceRequest]:
         """Release the next request in admission order (or None).
@@ -493,9 +511,9 @@ class AdmissionController:
         charges the counter for the released request's work.
         """
         if self.policy == "fcfs":
-            if not self._fcfs or self._fcfs[0][0] > now:
+            if not self._fcfs or self._fcfs.peek_key()[0] > now:
                 return None
-            _, _, _, request = heapq.heappop(self._fcfs)
+            request = self._fcfs.pop()
             tid = request.tenant_id or DEFAULT_TENANT
         else:
             candidates = [tid for tid, q in self._vtc.items()
@@ -532,13 +550,8 @@ class AdmissionController:
         charged at :meth:`pop`, which this request never reached.
         Returns the withdrawn request, or None if it is not queued here.
         """
-        request = None
-        for i, entry in enumerate(self._fcfs):
-            if entry[2] == request_id:
-                request = entry[3]
-                del self._fcfs[i]
-                heapq.heapify(self._fcfs)
-                break
+        request = self._fcfs.remove_where(
+            lambda r: r.request_id == request_id)
         if request is None:
             for queue in self._vtc.values():
                 for i, (_, queued) in enumerate(queue):
@@ -557,6 +570,8 @@ class AdmissionController:
         if bucket is not None:
             bucket.refund(cost)
         self.stats[tid].tokens_charged -= cost
+        if _sanitizer.enabled():
+            _sanitizer.check_meter(self.stats[tid].tokens_charged, tid)
         self.note_withdrawn(tid, reason)
         return request
 
@@ -582,6 +597,8 @@ class AdmissionController:
             if bucket is not None:
                 bucket.refund(refund)
             self.stats[tid].tokens_charged -= refund
+            if _sanitizer.enabled():
+                _sanitizer.check_meter(self.stats[tid].tokens_charged, tid)
             if self.policy == "vtc":
                 lift = (self.prefill_weight * unserved_prompt +
                         self.decode_weight * unserved_output) / \

@@ -29,12 +29,14 @@ from .clock import SimClock
 from .events import (Arrival, AutoscalerTick, BucketRefill, Cancel, Event,
                      IterationDone, ReplicaDrain, ReplicaSpawn)
 from .kernel import SimKernel
-from .queue import EventQueue
+from .queue import EventQueue, KeyedHeap
+from .sanitizer import SimSanitizerError, new_clock
 from .trace_export import chrome_trace_events, export_chrome_trace
 
 __all__ = [
-    "SimClock", "EventQueue", "SimKernel",
+    "SimClock", "EventQueue", "KeyedHeap", "SimKernel",
     "Event", "Arrival", "Cancel", "IterationDone", "BucketRefill",
     "AutoscalerTick", "ReplicaSpawn", "ReplicaDrain",
+    "SimSanitizerError", "new_clock",
     "chrome_trace_events", "export_chrome_trace",
 ]

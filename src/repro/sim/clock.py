@@ -19,15 +19,18 @@ class SimClock:
 
     ``advance`` is monotone (a no-op when the target lies in the past),
     which is the invariant frontier clocks need; ``tick`` adds a strictly
-    relative duration (an iteration's cost).  Direct assignment to
-    :attr:`now` stays possible for the few places that legitimately
-    re-seat a timeline (engine reset, replica spawn at the cluster
-    frontier).
+    relative duration (an iteration's cost); ``reseat`` is the one
+    sanctioned non-monotone mutation, for the few places that
+    legitimately re-seat a timeline (engine reset, replica spawn at the
+    cluster frontier).  Code outside this module must use these three
+    methods rather than assigning :attr:`now` directly — simlint's
+    SIM004 rule enforces that statically, and the runtime sanitizer
+    (:mod:`repro.sim.sanitizer`) checks the dynamic counterpart.
     """
 
     __slots__ = ("now",)
 
-    def __init__(self, now: float = 0.0):
+    def __init__(self, now: float = 0.0) -> None:
         self.now = float(now)
 
     def advance(self, to: float) -> float:
@@ -39,6 +42,18 @@ class SimClock:
     def tick(self, dt: float) -> float:
         """Advance by a relative duration; returns the new ``now``."""
         self.now += dt
+        return self.now
+
+    def reseat(self, to: float) -> float:
+        """Re-seat the timeline at ``to`` (may move backward).
+
+        This is the explicit escape hatch for timeline owners: an engine
+        reset, a replica spawned at the cluster frontier, an idle
+        engine's clock bumped by the admission layer.  Keeping it a named
+        method (instead of ``clock.now = x``) makes every non-monotone
+        time mutation grep-able and lintable.
+        """
+        self.now = float(to)
         return self.now
 
     def reset(self, to: float = 0.0) -> None:

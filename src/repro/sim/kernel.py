@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Type
 
+from . import sanitizer as _sanitizer
 from .clock import SimClock
 from .events import Event
 
@@ -29,10 +30,16 @@ Subscriber = Callable[[Event], None]
 class SimKernel:
     """One timeline: a monotone clock + event emission/journaling."""
 
-    def __init__(self, journal: bool = False, clock: Optional[SimClock] = None):
+    #: set by :func:`repro.sim.sanitizer.install` (idempotence marker)
+    _sanitizer_installed: bool = False
+
+    def __init__(self, journal: bool = False,
+                 clock: Optional[SimClock] = None) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.journal: Optional[List[Event]] = [] if journal else None
         self._subscribers: Dict[Type[Event], List[Subscriber]] = {}
+        if _sanitizer.enabled():
+            _sanitizer.install(self)
 
     @property
     def now(self) -> float:

@@ -13,11 +13,14 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_left, bisect_right, insort_right
-from typing import Iterator, List, Optional, Tuple
+from typing import (Any, Callable, Generic, Iterator, List, Optional, Tuple,
+                    TypeVar)
 
 from .events import Event
 
-__all__ = ["EventQueue"]
+__all__ = ["EventQueue", "KeyedHeap"]
+
+T = TypeVar("T")
 
 #: compact the lazily-popped prefix of the sorted-times index once the
 #: dead prefix outweighs the live suffix (amortized O(1) per pop)
@@ -44,7 +47,7 @@ class EventQueue:
 
     __slots__ = ("_heap", "_times", "_head", "_seq")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._heap: List[Tuple[float, float, int, Event]] = []
         self._times: List[float] = []
         self._head = 0
@@ -129,3 +132,65 @@ class EventQueue:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         nxt = self.peek_time()
         return f"EventQueue(n={len(self._heap)}, next={nxt})"
+
+
+class KeyedHeap(Generic[T]):
+    """A deterministic min-heap of ``(key, item)`` pairs.
+
+    The generic sibling of :class:`EventQueue` for payloads that are not
+    typed sim events (the admission layer's frontier queue, keyed by
+    ``(eligible_s, arrival_s, request_id)``).  An insertion counter
+    breaks any remaining key ties, so items themselves are never
+    compared — ordering is a pure function of the keys callers supply,
+    which is what keeps pop order deterministic.
+
+    This class (and :class:`EventQueue`) are the only places in the tree
+    allowed to touch :mod:`heapq` directly; simlint's SIM005 rule points
+    everyone else here.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Any, int, T]] = []
+        self._seq = 0
+
+    def push(self, key: Any, item: T) -> None:
+        """Schedule ``item`` under a totally-ordered ``key`` (tuple)."""
+        heapq.heappush(self._heap, (key, self._seq, item))
+        self._seq += 1
+
+    def peek_key(self) -> Optional[Any]:
+        """The smallest key (None when empty)."""
+        return self._heap[0][0] if self._heap else None
+
+    def peek(self) -> Optional[T]:
+        """The item under the smallest key (None when empty)."""
+        return self._heap[0][2] if self._heap else None
+
+    def pop(self) -> T:
+        """Remove and return the item with the smallest key."""
+        return heapq.heappop(self._heap)[2]
+
+    def remove_where(self, predicate: Callable[[T], bool]) -> Optional[T]:
+        """Withdraw the first item (in heap-internal order) matching
+        ``predicate``; O(n) with a rebuild, like
+        :meth:`EventQueue.remove_request`.  Returns it, or None."""
+        for i, (_, _, item) in enumerate(self._heap):
+            if predicate(item):
+                del self._heap[i]
+                heapq.heapify(self._heap)
+                return item
+        return None
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeyedHeap(n={len(self._heap)}, next={self.peek_key()})"

@@ -1,0 +1,241 @@
+"""Runtime sim-sanitizer: dynamic determinism checks for the sim kernel.
+
+simlint (:mod:`repro.analysis`) enforces the repo's determinism rules
+*statically*; this module asserts their dynamic counterparts while a
+simulation runs.  Enable it with ``REPRO_SIM_SANITIZE=1`` (read at
+import; tests can toggle with the :func:`sanitized` context manager) and
+every :class:`~repro.sim.SimKernel` self-installs the checks at
+construction:
+
+* **monotone clock per timeline** — a sanitized clock rejects negative
+  ``tick`` durations; ``advance`` is structurally monotone and
+  ``reseat`` is the one audited escape hatch (SIM004's runtime twin);
+* **no event scheduled in the past** — ``kernel.emit`` rejects
+  kernel-timeline events (autoscaler ticks, replica spawns/drains)
+  whose time precedes the kernel clock, and requires every event time
+  to be finite; events published from *replica* timelines may lag the
+  ratcheted kernel clock by design, so their monotonicity is enforced
+  by the sanitized per-timeline clocks instead;
+* **no second terminal transition** — a :class:`Cancel` crossing the
+  kernel for a request that already terminated raises, as does a
+  :class:`~repro.serving.handle.RequestHandle` finishing twice;
+* **token-bucket conservation** — charge/refund amounts are finite and
+  non-negative, the level never exceeds ``burst``, cumulative refunds
+  never exceed cumulative charges (cancel-refund symmetry), and a
+  charge never yields an eligibility earlier than the charge time.
+
+Violations raise :class:`SimSanitizerError` carrying the offending
+value *and* the publishing call site (the first stack frame outside
+``repro/sim``), so a stray mutation three layers up is attributed to
+the line that performed it, not to the kernel that noticed.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional, Set
+
+from .clock import SimClock
+from .events import (AutoscalerTick, Cancel, Event, ReplicaDrain,
+                     ReplicaSpawn)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernel import SimKernel
+
+__all__ = [
+    "ENV_VAR", "SimSanitizerError", "enabled", "sanitized",
+    "SanitizedClock", "new_clock", "install",
+]
+
+#: environment variable that turns the sanitizer on (``1``/``true``/…)
+ENV_VAR = "REPRO_SIM_SANITIZE"
+
+#: absolute tolerance for "in the past" time comparisons
+_TIME_EPS = 1e-9
+#: absolute tolerance for token-bucket conservation checks
+_TOKEN_EPS = 1e-6
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_VAR, "").strip().lower() not in (
+        "", "0", "false", "no", "off")
+
+
+_active: bool = _env_enabled()
+
+
+def enabled() -> bool:
+    """Is the sanitizer active for newly constructed kernels/buckets?"""
+    return _active
+
+
+@contextmanager
+def sanitized(active: bool = True) -> Iterator[None]:
+    """Force the sanitizer on (or off) within a ``with`` block — the
+    test hook; production use goes through ``REPRO_SIM_SANITIZE=1``."""
+    global _active
+    previous, _active = _active, active
+    try:
+        yield
+    finally:
+        _active = previous
+
+
+class SimSanitizerError(AssertionError):
+    """A dynamic determinism invariant was violated.
+
+    Subclasses :class:`AssertionError` deliberately: these are the
+    runtime *assertions* behind the SIM lint rules, and any test or
+    harness treating assertion failures as fatal does the right thing.
+    """
+
+
+def _call_site() -> str:
+    """The publishing call site: the innermost frame outside repro/sim."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    for frame in reversed(traceback.extract_stack()):
+        frame_dir = os.path.dirname(os.path.abspath(frame.filename))
+        if frame_dir != here:
+            return f"{frame.filename}:{frame.lineno} in {frame.name}"
+    return "<unknown call site>"
+
+
+def _violation(message: str) -> SimSanitizerError:
+    return SimSanitizerError(f"{message} [published at {_call_site()}]")
+
+
+# --------------------------------------------------------------------- #
+# clock
+# --------------------------------------------------------------------- #
+class SanitizedClock(SimClock):
+    """A :class:`SimClock` that rejects backward ``tick`` durations.
+
+    ``advance`` is monotone by construction and ``reseat`` is the
+    sanctioned non-monotone mutation, so the only way a timeline can
+    silently run backward is a negative tick — which this rejects."""
+
+    __slots__ = ()
+
+    def tick(self, dt: float) -> float:
+        if dt < 0.0 or dt != dt:  # negative or NaN
+            raise _violation(
+                f"clock tick of {dt!r}s would move timeline backward "
+                f"(now={self.now:.9f})")
+        return super().tick(dt)
+
+
+def new_clock(now: float = 0.0) -> SimClock:
+    """The clock factory timeline owners use: sanitized when enabled."""
+    return SanitizedClock(now) if _active else SimClock(now)
+
+
+# --------------------------------------------------------------------- #
+# kernel
+# --------------------------------------------------------------------- #
+def install(kernel: "SimKernel") -> "SimKernel":
+    """Wrap one kernel's ``emit``/``reset`` with the dynamic checks.
+
+    Called automatically from :class:`~repro.sim.SimKernel` construction
+    when the sanitizer is enabled; idempotent, and callable explicitly
+    on any kernel regardless of the environment flag.
+    """
+    if getattr(kernel, "_sanitizer_installed", False):
+        return kernel
+    kernel._sanitizer_installed = True
+    kernel.clock = SanitizedClock(kernel.clock.now)
+    terminal: Set[int] = set()
+    inner_emit = kernel.emit
+    inner_reset = kernel.reset
+
+    def emit(event: Event) -> None:
+        check_event(kernel, event, terminal)
+        inner_emit(event)
+
+    def reset() -> None:
+        terminal.clear()
+        inner_reset()
+        kernel.clock = SanitizedClock(kernel.clock.now)
+
+    kernel.emit = emit       # type: ignore[method-assign]
+    kernel.reset = reset     # type: ignore[method-assign]
+    return kernel
+
+
+#: event types scheduled on the kernel's *own* timeline, for which
+#: "never in the past" is checkable against the kernel clock.  Events
+#: published from replica timelines (IterationDone, Cancel) may
+#: legitimately lag the ratcheted kernel observation clock — a
+#: late-routed arrival lands on an idle replica whose own clock trails
+#: the frontier — and their monotonicity is enforced per-timeline by
+#: :class:`SanitizedClock`.  BucketRefill eligibility is computed at a
+#: request's arrival and may already have passed when a late-offered
+#: request is charged retroactively.
+_KERNEL_TIMELINE_EVENTS = (AutoscalerTick, ReplicaSpawn, ReplicaDrain)
+
+
+def check_event(kernel: "SimKernel", event: Event,
+                terminal: Set[int]) -> None:
+    """The per-emit assertions: no past events, no double-terminal."""
+    if event.time != event.time or event.time == float("inf"):
+        raise _violation(
+            f"{type(event).__name__} carries a non-finite time "
+            f"{event.time!r}")
+    if isinstance(event, _KERNEL_TIMELINE_EVENTS) and \
+            event.time < kernel.now - _TIME_EPS:
+        raise _violation(
+            f"{type(event).__name__} scheduled in the past: "
+            f"event.time={event.time:.9f} < kernel.now={kernel.now:.9f}")
+    if isinstance(event, Cancel):
+        if event.request_id in terminal:
+            raise _violation(
+                f"request {event.request_id} received a second terminal "
+                f"transition (Cancel reason={event.reason!r} at "
+                f"t={event.time:.9f})")
+        terminal.add(event.request_id)
+
+
+# --------------------------------------------------------------------- #
+# token buckets / handles (checks invoked from the serving layer)
+# --------------------------------------------------------------------- #
+def check_bucket_charge(cost: float, now: float, eligible: float) -> None:
+    """A charge must be finite, non-negative, and never wake in the past."""
+    if not (cost >= 0.0) or cost != cost or cost == float("inf"):
+        raise _violation(f"token-bucket charge of {cost!r} tokens")
+    if eligible < now - _TIME_EPS:
+        raise _violation(
+            f"token-bucket charge became eligible in the past: "
+            f"eligible={eligible:.9f} < now={now:.9f}")
+
+
+def check_bucket_refund(cost: float, tokens: float, burst: float,
+                        charged_total: float, refunded_total: float) -> None:
+    """Refunds are bounded by prior charges and never overfill the bucket."""
+    if not (cost >= 0.0) or cost != cost or cost == float("inf"):
+        raise _violation(f"token-bucket refund of {cost!r} tokens")
+    if tokens > burst + _TOKEN_EPS:
+        raise _violation(
+            f"token-bucket level {tokens:.6f} exceeds burst {burst:.6f} "
+            f"after refund")
+    if refunded_total > charged_total + _TOKEN_EPS:
+        raise _violation(
+            f"cancel-refund asymmetry: cumulative refunds "
+            f"{refunded_total:.6f} exceed cumulative charges "
+            f"{charged_total:.6f}")
+
+
+def check_meter(tokens_charged: float, tenant_id: Optional[str]) -> None:
+    """A tenant's billing meter can never go negative."""
+    if tokens_charged < -_TOKEN_EPS:
+        raise _violation(
+            f"billing meter for tenant {tenant_id!r} went negative: "
+            f"{tokens_charged:.6f} tokens")
+
+
+def check_handle_finish(request_id: int, already_terminal: bool) -> None:
+    """A handle may reach a terminal status exactly once."""
+    if already_terminal:
+        raise _violation(
+            f"request handle {request_id} finished twice (status "
+            f"transition out of a terminal state)")

@@ -26,7 +26,7 @@ __all__ = ["chrome_trace_events", "export_chrome_trace"]
 _US = 1e6      # simulated seconds -> trace microseconds
 
 
-def _instant(name: str, time_s: float, tid: str, **args) -> dict:
+def _instant(name: str, time_s: float, tid: str, **args: object) -> dict:
     return {"name": name, "ph": "i", "ts": time_s * _US, "pid": 0,
             "tid": tid, "s": "t", "args": args}
 

@@ -1,0 +1,19 @@
+"""The repo's self-cleanliness contract: simlint runs clean over src/.
+
+Every SIM-rule violation in the tree is either fixed or carries an
+inline ``# simlint: disable=...`` pragma with a justification comment.
+This test is the local twin of CI's lint-analysis job.
+"""
+
+from pathlib import Path
+
+from repro.analysis import check_paths
+from repro.analysis.config import LintConfig
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_src_tree_is_simlint_clean():
+    config = LintConfig.load(start=REPO / "src")
+    findings = check_paths([str(REPO / "src")], config=config)
+    assert findings == [], "\n".join(f.render() for f in findings)

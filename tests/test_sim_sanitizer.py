@@ -1,0 +1,249 @@
+"""The runtime sim-sanitizer: every dynamic check fires on a seeded
+violation and stays silent on clean runs (REPRO_SIM_SANITIZE=1)."""
+
+import pytest
+
+from repro.serving import LLAMA_7B, ModelManager, ServingGateway
+from repro.serving.tenancy import TokenBucket
+from repro.sim import (Arrival, AutoscalerTick, Cancel, SimClock, SimKernel,
+                       SimSanitizerError, new_clock)
+from repro.sim import sanitizer
+from repro.sim.sanitizer import SanitizedClock, install, sanitized
+from repro.workload import synthetic_trace
+from test_serving_gateway import make_engine
+
+
+# --------------------------------------------------------------------- #
+# enable/installation plumbing
+# --------------------------------------------------------------------- #
+class TestActivation:
+    def test_context_manager_toggles(self):
+        base = sanitizer.enabled()
+        with sanitized(True):
+            assert sanitizer.enabled()
+            with sanitized(False):
+                assert not sanitizer.enabled()
+            assert sanitizer.enabled()
+        assert sanitizer.enabled() == base
+
+    def test_new_clock_is_sanitized_only_when_active(self):
+        with sanitized(True):
+            assert isinstance(new_clock(), SanitizedClock)
+        with sanitized(False):
+            clock = new_clock(3.0)
+            assert isinstance(clock, SimClock)
+            assert not isinstance(clock, SanitizedClock)
+            assert clock.now == 3.0
+
+    def test_kernel_self_installs_when_active(self):
+        with sanitized(True):
+            kernel = SimKernel()
+            assert kernel._sanitizer_installed
+            assert isinstance(kernel.clock, SanitizedClock)
+        with sanitized(False):
+            assert not SimKernel()._sanitizer_installed
+
+    def test_install_is_idempotent(self):
+        kernel = SimKernel(journal=True)
+        install(kernel)
+        emit = kernel.emit
+        install(kernel)
+        assert kernel.emit is emit
+
+    def test_env_var_spelling(self):
+        assert sanitizer.ENV_VAR == "REPRO_SIM_SANITIZE"
+
+
+# --------------------------------------------------------------------- #
+# clock checks
+# --------------------------------------------------------------------- #
+class TestSanitizedClock:
+    def test_negative_tick_raises(self):
+        clock = SanitizedClock(5.0)
+        with pytest.raises(SimSanitizerError, match="backward"):
+            clock.tick(-0.1)
+
+    def test_nan_tick_raises(self):
+        with pytest.raises(SimSanitizerError):
+            SanitizedClock().tick(float("nan"))
+
+    def test_forward_tick_and_reseat_pass(self):
+        clock = SanitizedClock(1.0)
+        assert clock.tick(0.5) == pytest.approx(1.5)
+        assert clock.reseat(0.0) == 0.0
+
+
+# --------------------------------------------------------------------- #
+# kernel event checks
+# --------------------------------------------------------------------- #
+class TestKernelChecks:
+    def _kernel(self):
+        kernel = SimKernel(journal=True)
+        return install(kernel)
+
+    def test_past_kernel_timeline_event_raises(self):
+        kernel = self._kernel()
+        kernel.advance(10.0)
+        with pytest.raises(SimSanitizerError, match="in the past"):
+            kernel.emit(AutoscalerTick(time=9.0))
+
+    def test_future_kernel_timeline_event_passes(self):
+        kernel = self._kernel()
+        kernel.advance(10.0)
+        kernel.emit(AutoscalerTick(time=10.0))
+        assert len(kernel.journal) == 1
+
+    def test_replica_timeline_event_may_lag(self):
+        # a late-routed arrival lands on an idle replica whose own clock
+        # trails the ratcheted kernel frontier — legal by design
+        from repro.sim import IterationDone
+        kernel = self._kernel()
+        kernel.advance(10.0)
+        kernel.emit(IterationDone(time=9.0))
+        assert len(kernel.journal) == 1
+
+    def test_non_finite_event_time_raises(self):
+        kernel = self._kernel()
+        with pytest.raises(SimSanitizerError, match="non-finite"):
+            kernel.emit(Cancel(time=float("nan"), request_id=1))
+        with pytest.raises(SimSanitizerError, match="non-finite"):
+            kernel.emit(AutoscalerTick(time=float("inf")))
+
+    def test_double_terminal_transition_raises(self):
+        kernel = self._kernel()
+        kernel.emit(Cancel(time=1.0, request_id=7))
+        with pytest.raises(SimSanitizerError, match="second terminal"):
+            kernel.emit(Cancel(time=2.0, request_id=7, reason="deadline"))
+
+    def test_reset_clears_terminal_memory(self):
+        kernel = self._kernel()
+        kernel.emit(Cancel(time=1.0, request_id=7))
+        kernel.reset()
+        kernel.emit(Cancel(time=1.0, request_id=7))
+        assert len(kernel.journal) == 1
+
+    def test_violation_names_the_call_site(self):
+        kernel = self._kernel()
+        kernel.advance(5.0)
+        with pytest.raises(SimSanitizerError,
+                           match="test_sim_sanitizer"):
+            kernel.emit(AutoscalerTick(time=1.0))
+
+    def test_arrival_passthrough(self):
+        kernel = self._kernel()
+        kernel.emit(Arrival(time=0.5))
+        assert len(kernel.journal) == 1
+
+
+# --------------------------------------------------------------------- #
+# token-bucket checks
+# --------------------------------------------------------------------- #
+class TestBucketChecks:
+    def test_negative_charge_raises(self):
+        bucket = TokenBucket(rate=10.0, burst=20.0)
+        with sanitized(True):
+            with pytest.raises(SimSanitizerError, match="charge"):
+                bucket.charge(-1.0, now=0.0)
+
+    def test_negative_refund_raises(self):
+        bucket = TokenBucket(rate=10.0, burst=20.0)
+        with sanitized(True):
+            bucket.charge(5.0, now=0.0)
+            with pytest.raises(SimSanitizerError, match="refund"):
+                bucket.refund(-1.0)
+
+    def test_refund_asymmetry_check_raises(self):
+        # via the bucket API the burst cap absorbs over-refunds (only
+        # effectively-restored tokens are metered), so seed the meter
+        # directly: restoring more than was ever charged must raise
+        with sanitized(True):
+            with pytest.raises(SimSanitizerError, match="asymmetry"):
+                sanitizer.check_bucket_refund(
+                    cost=10.0, tokens=15.0, burst=20.0,
+                    charged_total=5.0, refunded_total=10.0)
+
+    def test_overfull_bucket_check_raises(self):
+        with sanitized(True):
+            with pytest.raises(SimSanitizerError, match="exceeds burst"):
+                sanitizer.check_bucket_refund(
+                    cost=1.0, tokens=25.0, burst=20.0,
+                    charged_total=5.0, refunded_total=1.0)
+
+    def test_burst_cap_absorption_is_legal(self):
+        # refunding more than the bucket can hold is absorbed by the
+        # burst cap (documented contract) — only *effectively restored*
+        # tokens count toward the symmetry meter
+        bucket = TokenBucket(rate=10.0, burst=20.0)
+        with sanitized(True):
+            bucket.charge(6.0, now=0.0)
+            bucket.refund(6.0)
+            assert bucket.tokens <= bucket.burst + 1e-9
+
+    def test_borrow_ahead_stays_legal(self):
+        # the bucket lends below zero by design; that must not trip
+        bucket = TokenBucket(rate=1.0, burst=4.0)
+        with sanitized(True):
+            eligible = bucket.charge(10.0, now=0.0)
+            assert bucket.tokens < 0.0
+            assert eligible > 0.0
+
+    def test_meter_check_raises_when_negative(self):
+        with sanitized(True):
+            with pytest.raises(SimSanitizerError, match="meter"):
+                sanitizer.check_meter(-1.0, "acme")
+            sanitizer.check_meter(0.0, "acme")
+
+    def test_handle_finish_check(self):
+        with sanitized(True):
+            sanitizer.check_handle_finish(3, already_terminal=False)
+            with pytest.raises(SimSanitizerError, match="finished twice"):
+                sanitizer.check_handle_finish(3, already_terminal=True)
+
+
+# --------------------------------------------------------------------- #
+# end-to-end: a clean run under the sanitizer is silent and identical
+# --------------------------------------------------------------------- #
+class TestEndToEnd:
+    def test_gateway_run_identical_under_sanitizer(self):
+        trace = synthetic_trace(3, rate=2.0, duration_s=10.0, seed=5)
+
+        def run():
+            gateway = ServingGateway(
+                make_engine("deltazip", sorted({r.model_id for r in trace})))
+            handles = [gateway.submit(r.model_id, r.prompt_tokens,
+                                      r.output_tokens, arrival_s=r.arrival_s)
+                       for r in trace]
+            result = gateway.run_until_drained()
+            assert all(h.done for h in handles)
+            return [(r.request_id, r.finish_s, r.served_tokens)
+                    for r in result.records]
+
+        plain = run()
+        with sanitized(True):
+            checked = run()
+        assert plain == checked
+
+    def test_handle_double_finish_raises_under_sanitizer(self):
+        from repro.serving.handle import RequestHandle
+        from repro.serving.request import RequestRecord
+
+        class _Gateway:
+            def step(self):
+                return False
+
+            def cancel(self, request_id, at_s=None):
+                pass
+
+            def _status_of(self, request_id):
+                raise AssertionError("unused")
+
+        record = RequestRecord(
+            request_id=1, model_id="m", arrival_s=0.0, first_token_s=0.1,
+            finish_s=0.2, prompt_tokens=1, output_tokens=1,
+            queue_wait_s=0.0, loading_s=0.0, inference_s=0.2,
+            skipped_line=False, preemptions=0)
+        handle = RequestHandle(1, _Gateway(), "m")
+        handle._finish(record)
+        with sanitized(True):
+            with pytest.raises(SimSanitizerError, match="finished twice"):
+                handle._finish(record)
