@@ -1,0 +1,337 @@
+"""Million-request scale: streaming sketches vs. keep-everything records.
+
+Serving simulators are judged on the regime papers actually sweep —
+10^5..10^6 requests across replica fleets — and at that scale the
+*metrics pipeline* becomes the bottleneck, not the engine.  The classic
+failure mode (the MetaSys "always-on dashboard" scenario): an operator
+dashboard polls ``summarize()`` every few thousand completions while the
+run is in flight.  With ``RecordPolicy.KEEP_ALL`` every poll rebuilds
+percentile arrays from the ever-growing record list — O(total) per
+refresh, O(total^2 / interval) over the run — and the process drags a
+million live ``ServingRequest``/``RequestRecord`` objects through every
+gen-2 GC pass.  With ``RecordPolicy.DROP`` the same queries answer from
+constant-size DDSketch bins and per-tenant counters: O(active) memory,
+O(bins) per refresh, identical answers within the documented
+±``SKETCH_RELATIVE_ERROR`` relative error.
+
+This benchmark prices exactly that contrast:
+
+* **scale sweep** — 10^4 -> 10^6 requests on one replica, DROP vs
+  KEEP_ALL, an always-busy closed loop (bounded in-flight population)
+  with a dashboard refresh (``summarize`` + ``slo_attainment``) every
+  ``CHECKPOINT_EVERY`` retirements;
+* **memory pass** — the same loop under ``tracemalloc``: DROP's peak
+  must stay ~flat as the request count grows 10x (O(active), not
+  O(total)); KEEP_ALL's peak must grow with it;
+* **replica sweep** — 1 -> 64 replicas under DROP, demonstrating the
+  sketch path composes through ``ClusterGateway`` result merging;
+* **accuracy gate** — sketch quantiles bracketed by the exact order
+  statistics within the documented relative error, asserted on a
+  KEEP_ALL run where both answers are available.
+
+Results land in ``BENCH_scale.json``.  Run:
+``PYTHONPATH=src python benchmarks/bench_scale.py [--quick]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.hardware import Cluster, GPUNode, node_from_name
+from repro.serving import (ClusterGateway, EngineConfig, LLAMA_7B,
+                           ModelManager, RecordPolicy, SchedulerConfig,
+                           ServingGateway, SKETCH_RELATIVE_ERROR,
+                           create_engine, summarize)
+from repro.workload.spec import TraceRequest
+
+N_MODELS = 8
+PROMPT_TOKENS = 64
+#: dashboard refresh cadence (retirements between ``summarize`` polls)
+CHECKPOINT_EVERY = 2_500
+#: closed-loop in-flight population per replica (keeps batches full
+#: without letting the queue itself grow O(total))
+INFLIGHT_PER_REPLICA = 2_048
+#: full-mode floors (quick mode uses the gentler ``QUICK_*`` values)
+MIN_DROP_SPEEDUP = 3.0
+MAX_DROP_PEAK_GROWTH = 2.5
+MIN_KEEPALL_PEAK_RATIO = 3.0
+QUICK_MIN_DROP_SPEEDUP = 1.15
+QUICK_MAX_DROP_PEAK_GROWTH = 3.0
+QUICK_MIN_KEEPALL_PEAK_RATIO = 1.5
+
+
+def make_manager() -> ModelManager:
+    mgr = ModelManager(LLAMA_7B)
+    mgr.register_base("base")
+    for i in range(N_MODELS):
+        mgr.register_delta(f"variant-{i:02d}", "base", 8.0)
+    return mgr
+
+
+def build_gateway(mgr: ModelManager, n_replicas: int,
+                  policy: RecordPolicy):
+    config = EngineConfig(tp_degree=1, record_policy=policy)
+
+    def factory(node):
+        return create_engine(
+            "deltazip", mgr, node or GPUNode(node_from_name("a800", 1)),
+            scheduler_config=SchedulerConfig(max_batch_requests=32,
+                                             max_concurrent_deltas=8),
+            engine_config=config)
+
+    if n_replicas == 1:
+        return ServingGateway(factory(None))
+    return ClusterGateway(engine_factory=factory,
+                          cluster=Cluster.from_name("a800", n_replicas, 1),
+                          n_replicas=n_replicas)
+
+
+def _request(i: int) -> TraceRequest:
+    """Deterministic request shapes — no RNG, so every cell replays the
+    identical workload regardless of policy or ordering."""
+    return TraceRequest(request_id=i,
+                        model_id=f"variant-{i % N_MODELS:02d}",
+                        arrival_s=0.0,  # placeholder; set at ingest time
+                        prompt_tokens=PROMPT_TOKENS,
+                        output_tokens=4 + (i * 7) % 8,
+                        tenant_id=f"tenant-{i % 4}")
+
+
+def drive(gateway, n_requests: int, n_replicas: int = 1) -> dict:
+    """Closed-loop overload drive with live dashboard polls.
+
+    Keeps a bounded in-flight population (always-busy engine, O(active)
+    queue), retires ``n_requests`` total, and every
+    ``CHECKPOINT_EVERY`` retirements refreshes the "dashboard":
+    ``summarize(result)`` plus an SLO attainment query — the pattern an
+    operator UI or autoscaler produces while the run is in flight.
+    """
+    target = INFLIGHT_PER_REPLICA * n_replicas
+    retired = [0]
+    gateway.add_completion_listener(
+        lambda rec: retired.__setitem__(0, retired[0] + 1))
+    submitted = 0
+    next_checkpoint = CHECKPOINT_EVERY
+    n_checkpoints = 0
+    last_summary: dict = {}
+    while retired[0] < n_requests:
+        while submitted < n_requests and submitted - retired[0] < target:
+            req = _request(submitted)
+            gateway.ingest(TraceRequest(
+                request_id=req.request_id, model_id=req.model_id,
+                arrival_s=gateway.clock, prompt_tokens=req.prompt_tokens,
+                output_tokens=req.output_tokens, tenant_id=req.tenant_id))
+            submitted += 1
+        if not gateway.step():
+            if retired[0] < n_requests:
+                raise RuntimeError(
+                    f"engine drained early: {retired[0]}/{n_requests}")
+            break
+        if retired[0] >= next_checkpoint:
+            snapshot = gateway.result()
+            last_summary = summarize(snapshot)
+            last_summary["slo_attainment"] = snapshot.slo_attainment(0.5)
+            n_checkpoints += 1
+            next_checkpoint += CHECKPOINT_EVERY
+    return {"retired": retired[0], "n_checkpoints": n_checkpoints,
+            "summary": last_summary}
+
+
+def timing_cell(mgr, n_requests: int, policy: RecordPolicy,
+                n_replicas: int = 1) -> dict:
+    gateway = build_gateway(mgr, n_replicas, policy)
+    start = time.perf_counter()
+    stats = drive(gateway, n_requests, n_replicas)
+    wall_s = time.perf_counter() - start
+    return {"n_requests": n_requests, "policy": policy.value,
+            "n_replicas": n_replicas, "wall_s": round(wall_s, 3),
+            "rps": round(n_requests / wall_s, 1),
+            "n_checkpoints": stats["n_checkpoints"],
+            "ru_maxrss_mb": round(
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+                1)}
+
+
+def memory_cell(mgr, n_requests: int, policy: RecordPolicy) -> dict:
+    """Peak *traced* allocation for one cell.  ``tracemalloc`` slows the
+    run several-fold, so memory and timing are separate passes; the
+    stop/start pair resets the trace so cells don't contaminate each
+    other the way the process-wide ``ru_maxrss`` watermark does."""
+    gateway = build_gateway(mgr, 1, policy)
+    tracemalloc.start()
+    try:
+        drive(gateway, n_requests)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return {"n_requests": n_requests, "policy": policy.value,
+            "peak_traced_mb": round(peak / (1024.0 * 1024.0), 2)}
+
+
+def accuracy_check(mgr, n_requests: int = 5_000) -> dict:
+    """Sketch quantiles vs. exact order statistics on a KEEP_ALL run.
+
+    The DDSketch contract: for percentile q over n samples, with
+    ``lo = x[floor(q/100*(n-1))]`` and ``hi = x[ceil(q/100*(n-1))]``,
+    the estimate lies in ``[lo*(1-a), hi*(1+a)]`` for
+    ``a = SKETCH_RELATIVE_ERROR``.  KEEP_ALL runs carry both the exact
+    records and the sketches, so the bracket is checkable directly.
+    """
+    gateway = build_gateway(mgr, 1, RecordPolicy.KEEP_ALL)
+    drive(gateway, n_requests)
+    result = gateway.result()
+    stream = result.stream
+    assert stream is not None and stream.complete
+    alpha = SKETCH_RELATIVE_ERROR
+    report: dict = {"alpha": alpha, "n": n_requests, "ok": True,
+                    "quantiles": []}
+    for metric in ("e2e", "ttft"):
+        exact = np.sort(np.array(
+            [getattr(rec, "e2e_latency_s" if metric == "e2e" else "ttft_s")
+             for rec in result.records if rec.finished]))
+        for q in (50.0, 90.0, 99.0):
+            est = (stream.percentile_e2e_s(q) if metric == "e2e"
+                   else stream.percentile_ttft_s(q))
+            rank = q / 100.0 * (len(exact) - 1)
+            lo = float(exact[int(np.floor(rank))])
+            hi = float(exact[int(np.ceil(rank))])
+            ok = lo * (1 - alpha) <= est <= hi * (1 + alpha)
+            report["ok"] = report["ok"] and ok
+            report["quantiles"].append(
+                {"metric": metric, "q": q, "exact_lo": round(lo, 6),
+                 "exact_hi": round(hi, 6), "sketch": round(est, 6),
+                 "ok": ok})
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller grid for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_scale.json",
+                        help="where to write the results JSON")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sizes = (10_000, 40_000)
+        mem_sizes = (5_000, 20_000)
+        replica_counts = (1, 4)
+        sweep_n = 20_000
+        floors = {"min_drop_speedup": QUICK_MIN_DROP_SPEEDUP,
+                  "max_drop_peak_growth": QUICK_MAX_DROP_PEAK_GROWTH,
+                  "min_keepall_peak_ratio": QUICK_MIN_KEEPALL_PEAK_RATIO}
+    else:
+        sizes = (10_000, 100_000, 1_000_000)
+        mem_sizes = (10_000, 100_000)
+        replica_counts = (1, 4, 16, 64)
+        sweep_n = 100_000
+        floors = {"min_drop_speedup": MIN_DROP_SPEEDUP,
+                  "max_drop_peak_growth": MAX_DROP_PEAK_GROWTH,
+                  "min_keepall_peak_ratio": MIN_KEEPALL_PEAK_RATIO}
+
+    mgr = make_manager()
+    failures = []
+
+    # -- scale sweep (DROP first at each size: the ru_maxrss watermark is
+    #    process-monotone, so KEEP_ALL exceeding it afterwards is an
+    #    honest O(total) signal at sizes too big to trace) -------------
+    print(f"{'n_req':>9s} {'policy':>9s} {'wall_s':>8s} {'rps':>9s} "
+          f"{'polls':>5s} {'maxrss_mb':>9s}")
+    cells = []
+    rps = {}
+    for n in sizes:
+        for policy in (RecordPolicy.DROP, RecordPolicy.KEEP_ALL):
+            cell = timing_cell(mgr, n, policy)
+            cells.append(cell)
+            rps[(n, policy)] = cell["rps"]
+            print(f"{n:>9d} {policy.value:>9s} {cell['wall_s']:>8.2f} "
+                  f"{cell['rps']:>9.1f} {cell['n_checkpoints']:>5d} "
+                  f"{cell['ru_maxrss_mb']:>9.1f}")
+    largest = sizes[-1]
+    speedup = rps[(largest, RecordPolicy.DROP)] / \
+        rps[(largest, RecordPolicy.KEEP_ALL)]
+    print(f"DROP vs KEEP_ALL at n={largest}: {speedup:.2f}x "
+          f"(floor {floors['min_drop_speedup']}x)")
+    if speedup < floors["min_drop_speedup"]:
+        failures.append(f"DROP speedup {speedup:.2f}x below floor "
+                        f"{floors['min_drop_speedup']}x at n={largest}")
+
+    # -- memory pass -------------------------------------------------- #
+    mem_cells = []
+    peaks = {}
+    for policy in (RecordPolicy.DROP, RecordPolicy.KEEP_ALL):
+        for n in mem_sizes:
+            cell = memory_cell(mgr, n, policy)
+            mem_cells.append(cell)
+            peaks[(n, policy)] = cell["peak_traced_mb"]
+            print(f"memory n={n:>7d} {policy.value:>9s} "
+                  f"peak={cell['peak_traced_mb']:>8.2f} MB")
+    growth = peaks[(mem_sizes[-1], RecordPolicy.DROP)] / \
+        peaks[(mem_sizes[0], RecordPolicy.DROP)]
+    keep_ratio = peaks[(mem_sizes[-1], RecordPolicy.KEEP_ALL)] / \
+        peaks[(mem_sizes[-1], RecordPolicy.DROP)]
+    scale = mem_sizes[-1] / mem_sizes[0]
+    print(f"DROP peak growth over {scale:.0f}x more requests: "
+          f"{growth:.2f}x (ceiling {floors['max_drop_peak_growth']}x); "
+          f"KEEP_ALL/DROP peak at n={mem_sizes[-1]}: {keep_ratio:.2f}x "
+          f"(floor {floors['min_keepall_peak_ratio']}x)")
+    if growth > floors["max_drop_peak_growth"]:
+        failures.append(f"DROP peak grew {growth:.2f}x over a {scale:.0f}x "
+                        f"size increase (O(active) violated)")
+    if keep_ratio < floors["min_keepall_peak_ratio"]:
+        failures.append(f"KEEP_ALL/DROP peak ratio {keep_ratio:.2f}x below "
+                        f"floor {floors['min_keepall_peak_ratio']}x")
+
+    # -- replica sweep (DROP) ----------------------------------------- #
+    sweep_cells = []
+    for n_replicas in replica_counts:
+        cell = timing_cell(mgr, sweep_n, RecordPolicy.DROP, n_replicas)
+        sweep_cells.append(cell)
+        print(f"replicas={n_replicas:>3d} n={sweep_n} "
+              f"wall={cell['wall_s']:>8.2f}s rps={cell['rps']:>9.1f}")
+
+    # -- accuracy gate ------------------------------------------------ #
+    accuracy = accuracy_check(mgr)
+    print(f"sketch accuracy (alpha={accuracy['alpha']}): "
+          f"{'ok' if accuracy['ok'] else 'FAILED'}")
+    if not accuracy["ok"]:
+        failures.append("sketch quantile outside documented error bracket: "
+                        + json.dumps(accuracy["quantiles"]))
+
+    payload = {
+        "benchmark": "scale",
+        "quick": args.quick,
+        "checkpoint_every": CHECKPOINT_EVERY,
+        "inflight_per_replica": INFLIGHT_PER_REPLICA,
+        "floors": floors,
+        "cells": cells,
+        "memory": mem_cells,
+        "replica_sweep": sweep_cells,
+        "accuracy": accuracy,
+        "headline": {
+            "largest_n": largest,
+            "drop_speedup": round(speedup, 2),
+            "drop_peak_growth": round(growth, 2),
+            "keepall_peak_ratio": round(keep_ratio, 2),
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,9 @@ from .runner import DecoupledModelRunner
 from .sbmm import group_requests_by_delta, sbmm_forward, sbmm_reference
 from .scheduler import (ContinuousBatchScheduler, SchedulerConfig,
                         SchedulingDecision)
+from .streaming_metrics import (QuantileSketch, RecordPolicy,
+                                ReservoirSampler, SKETCH_RELATIVE_ERROR,
+                                StreamingMetrics, TenantCounters)
 from .tenancy import (AdmissionController, AdmissionDecision, DEFAULT_TENANT,
                       SLO_CLASSES, Tenant, TenantAdmissionStats,
                       TenantGateway, TokenBucket)
@@ -59,5 +62,7 @@ __all__ = [
     "DecoupledModelRunner",
     "group_requests_by_delta", "sbmm_forward", "sbmm_reference",
     "ContinuousBatchScheduler", "SchedulerConfig", "SchedulingDecision",
+    "QuantileSketch", "RecordPolicy", "ReservoirSampler",
+    "SKETCH_RELATIVE_ERROR", "StreamingMetrics", "TenantCounters",
     "ProfilePoint", "pick_optimal_n", "profile_concurrent_deltas",
 ]

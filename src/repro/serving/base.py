@@ -47,6 +47,7 @@ from .metrics import EngineStats, ServingResult
 from .model_manager import ArtifactKind, ModelManager
 from .request import RequestState, ServingRequest
 from .scheduler import SchedulerConfig
+from .streaming_metrics import RecordPolicy, StreamingMetrics
 
 __all__ = [
     "WORKSPACE_FRACTION", "PREEMPT_SWAP_S", "FULL_MODEL_LOADER_FACTOR",
@@ -82,6 +83,15 @@ class EngineConfig:
     quantum only subdivides jumps, never overshoots an event); the knob
     exists so benchmarks and the kernel determinism tests can price
     idle-skip against the dense baseline.
+
+    ``record_policy`` selects how much per-request state survives
+    retirement (see :class:`~repro.serving.streaming_metrics.RecordPolicy`):
+    ``keep_all`` (default) keeps every request object and record exactly
+    as before; ``sample_k`` keeps a deterministic reservoir of
+    ``sample_k`` records; ``drop`` keeps none.  Under the latter two the
+    engine releases terminal requests, so live memory is O(active) —
+    aggregates come from the streaming sketches instead, within their
+    documented relative error.
     """
 
     tp_degree: int = 4
@@ -94,6 +104,8 @@ class EngineConfig:
     preempt_mode: str = "swap"       # "swap" | "recompute"
     max_sim_seconds: float = 36000.0
     idle_quantum_s: Optional[float] = None
+    record_policy: RecordPolicy = RecordPolicy.KEEP_ALL
+    sample_k: int = 1024
 
     def __post_init__(self):
         if self.preempt_mode not in ("swap", "recompute"):
@@ -102,6 +114,12 @@ class EngineConfig:
             raise ValueError(f"unknown variant_kind {self.variant_kind!r}")
         if self.idle_quantum_s is not None and self.idle_quantum_s <= 0:
             raise ValueError("idle_quantum_s must be > 0 when set")
+        if not isinstance(self.record_policy, RecordPolicy):
+            # accept the plain string spelling ("drop", "sample_k", ...)
+            object.__setattr__(self, "record_policy",
+                               RecordPolicy(self.record_policy))
+        if self.sample_k < 1:
+            raise ValueError("sample_k must be >= 1")
 
 
 @dataclass
@@ -206,10 +224,18 @@ class ServingEngine:
         self._cancels = EventQueue()      # scheduled Cancel events
         self._live: Dict[int, ServingRequest] = {}
         self._n_submitted = 0
+        self._n_retired = 0
         self.running: List[ServingRequest] = []
         self.finished: List[ServingRequest] = []
         self.timeline: List[TimelineEvent] = []
         self.stats = EngineStats()
+        # retire-time streaming sink: sketches/counters always on, record
+        # retention per policy; under SAMPLE_K/DROP terminal requests are
+        # released (finished stays empty, _live is popped) → O(active)
+        self._keep_requests = \
+            self.config.record_policy is RecordPolicy.KEEP_ALL
+        self.metrics = StreamingMetrics(policy=self.config.record_policy,
+                                        sample_k=self.config.sample_k)
         self._reset_engine()
 
     @property
@@ -267,7 +293,7 @@ class ServingEngine:
     @property
     def unfinished(self) -> int:
         """Submitted requests that have not finished yet."""
-        return self._n_submitted - len(self.finished)
+        return self._n_submitted - self._n_retired
 
     @property
     def backlog(self) -> int:
@@ -306,12 +332,12 @@ class ServingEngine:
         admission = self.admit()
         admitted = admission.admitted
         load_time = admission.load_time_s
-        admitted_ids = {r.request_id for r in admitted}
+        clock = self.clock
         for req in admitted:
             req.state = RequestState.RUNNING
             if req.first_scheduled_s is None:
-                req.first_scheduled_s = self.clock
-                req.queue_wait_s = self.clock - req.arrival_s
+                req.first_scheduled_s = clock
+                req.queue_wait_s = clock - req.arrival_s
             req.loading_s += load_time
 
         # 4. execute one fused prefill+decode iteration
@@ -327,30 +353,40 @@ class ServingEngine:
         if executed:
             self.on_iteration(iter_time, load_time, admitted)
 
+        # token accounting: admitted requests first (their first token
+        # lands this iteration), then the previously-running prefix of
+        # ``running`` — the slice bound taken before the appends replaces
+        # the old per-request membership test against an admitted-id set
+        now = self._sim.now
+        on_token = self.on_token
+        running = self.running
+        n_old = len(running)
         for req in admitted:
             req.prefilled = True
             req.generated_tokens += 1
             if req.first_token_s is None:
-                req.first_token_s = self.clock
+                req.first_token_s = now
             req.inference_s += iter_time
-            self.running.append(req)
-            if self.on_token is not None:
-                self.on_token(req, self.clock)
-        for req in self.running:
-            if req.request_id in admitted_ids:
-                continue
+            running.append(req)
+            if on_token is not None:
+                on_token(req, now)
+        for req in running[:n_old]:
             req.generated_tokens += 1
             req.inference_s += iter_time
-            if self.on_token is not None:
-                self.on_token(req, self.clock)
+            if on_token is not None:
+                on_token(req, now)
 
         # 5. retire finished requests; engine-specific cleanup (preemption)
-        newly_done = [r for r in self.running if r.done]
-        for req in newly_done:
-            req.state = RequestState.FINISHED
-            req.finish_s = self.clock
-            self.finished.append(req)
-        self.running = [r for r in self.running if not r.done]
+        newly_done: List[ServingRequest] = []
+        still_running: List[ServingRequest] = []
+        for req in running:
+            (newly_done if req.done else still_running).append(req)
+        if newly_done:
+            for req in newly_done:
+                req.state = RequestState.FINISHED
+                req.finish_s = now
+                self._retire_terminal(req)
+            self.running = still_running
         self._sim.tick(self.retire(newly_done))
         if executed and self.on_event is not None:
             self.on_event(IterationDone(
@@ -380,15 +416,27 @@ class ServingEngine:
                 break
 
     def build_result(self) -> ServingResult:
-        """Snapshot the finished requests as a :class:`ServingResult`."""
-        records = [r.record() for r in self.finished]
-        makespan = max((r.finish_s for r in records), default=self.clock) - \
-            min((r.arrival_s for r in records), default=0.0)
+        """Snapshot the retired requests as a :class:`ServingResult`.
+
+        The result carries a copy of the streaming sink; under
+        ``KEEP_ALL`` its record list is identical (same memoized record
+        objects, same retirement order) to the pre-streaming snapshot,
+        under ``SAMPLE_K``/``DROP`` the sink's sketches stand in for the
+        missing records.
+        """
+        stream = self.metrics.copy()
+        records = stream.records
+        if stream.n_observed:
+            # sink min/max are exact; same arithmetic as the old
+            # max(finish) - min(arrival) over the record list
+            makespan = stream.max_finish_s - stream.min_arrival_s
+        else:
+            makespan = self.clock
         result = ServingResult(
             engine=self.name, records=records,
             makespan_s=max(makespan, 1e-9),
             stats=self.stats if self.include_stats else None,
-            config=self.result_config())
+            config=self.result_config(), stream=stream)
         if self.collect_timeline:
             result.config["timeline"] = list(self.timeline)
         return result
@@ -487,6 +535,24 @@ class ServingEngine:
         return None
 
     # ------------------------------------------------------------------ #
+    # retirement
+    # ------------------------------------------------------------------ #
+    def _retire_terminal(self, req: ServingRequest) -> None:
+        """Account one terminal request: fold its record into the
+        streaming sink, then either keep the request object (KEEP_ALL)
+        or release it (SAMPLE_K/DROP) so live state stays O(active).
+        The memoized record is the same object the gateway finish hooks
+        will see.  A released request drops out of :meth:`lookup`; late
+        cancels against it are discarded as stale, exactly like cancels
+        against a kept-but-terminal request."""
+        self._n_retired += 1
+        self.metrics.observe(req.record())
+        if self._keep_requests:
+            self.finished.append(req)
+        else:
+            self._live.pop(req.request_id, None)
+
+    # ------------------------------------------------------------------ #
     # cancellation mechanics
     # ------------------------------------------------------------------ #
     def _apply_cancel(self, request_id: int,
@@ -505,7 +571,7 @@ class ServingEngine:
         req.state = RequestState.EXPIRED if reason == "deadline" \
             else RequestState.CANCELLED
         req.finish_s = max(self.clock, req.arrival_s)
-        self.finished.append(req)
+        self._retire_terminal(req)
         self.stats.aborts += 1
         if self.on_event is not None:
             self.on_event(Cancel(time=req.finish_s, request_id=request_id,

@@ -218,11 +218,21 @@ class DedicatedEngine(ServingEngine):
 
     def _sync_hooks(self) -> None:
         # groups must see callback (re)assignments made after creation —
-        # e.g. a gateway token listener registered mid-session
+        # e.g. a gateway token listener registered mid-session.  Under a
+        # releasing record policy the finish path also drops the
+        # request→group routing entry, keeping this map O(active).
+        finish = self.on_finish if self._keep_requests \
+            else self._fanout_finish
         for group in self._groups.values():
             group.on_token = self.on_token
-            group.on_finish = self.on_finish
+            group.on_finish = finish
             group.on_event = self.on_event
+
+    def _fanout_finish(self, req: ServingRequest, clock_s: float) -> None:
+        self._request_group.pop(req.request_id, None)
+        cb = self.on_finish
+        if cb is not None:
+            cb(req, clock_s)
 
     def submit(self, request) -> ServingRequest:
         self._n_submitted += 1

@@ -56,6 +56,7 @@ from .gateway import (CancelSchedule, CompletionCallback, ServingGateway,
 from .handle import HandleStatus, RequestHandle
 from .metrics import ServingResult
 from .request import RequestRecord, synthesized_abort_record
+from .streaming_metrics import RecordPolicy
 
 __all__ = [
     "Replica", "LoadBalancer", "RoundRobinBalancer",
@@ -578,6 +579,15 @@ class ClusterGateway:
         """Cluster-wide arrived-but-unfinished requests."""
         return sum(r.backlog for r in self.replicas)
 
+    @property
+    def record_policy(self) -> RecordPolicy:
+        """The replicas' shared record-retention policy (all replicas are
+        spawned from one engine-config template)."""
+        pool = self.replicas or self.retired
+        if not pool:
+            return RecordPolicy.KEEP_ALL
+        return pool[0].engine.config.record_policy
+
     def submit(self, model_id: str, prompt_len: int, output_len: int,
                arrival_s: Optional[float] = None,
                tenant_id: Optional[str] = None,
@@ -894,7 +904,15 @@ class ClusterGateway:
             self._on_complete(record)
         for listener in self._listeners:
             listener(record)
-        handle = self._handles.get(record.request_id)
+        if self.record_policy is RecordPolicy.KEEP_ALL:
+            handle = self._handles.get(record.request_id)
+        else:
+            # releasing policy: drop the routing/handle entries for every
+            # terminal request so cluster maps stay O(active).  (A stale
+            # cancel against a dropped owner parks in _pending_cancels;
+            # rare, bounded by the number of late cancels.)
+            self._owner.pop(record.request_id, None)
+            handle = self._handles.pop(record.request_id, None)
         if handle is not None:
             handle._finish(record)
 

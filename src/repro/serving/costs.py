@@ -15,12 +15,20 @@ Implements the timing consequences of §5.1-§5.3:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..hardware.cluster import allreduce_time
 from ..hardware.kernels import (GemmShape, dense_gemm_time,
                                 quantized_gemm_time, sbmm_time,
                                 sparse_quantized_gemm_time)
+# the scalar kernel models in hardware.kernels stay the ground truth; the
+# vectorized fast paths below reuse their private constants so the two can
+# never drift apart (equivalence is pinned by test_streaming_metrics)
+from ..hardware.kernels import (_RANDOM_ACCESS_US_PER_REQUEST,
+                                _SCATTERED_BW_FRACTION, _SMALL_M_KNEE,
+                                _sbmm_parallelism)
 from ..hardware.specs import GPUSpec
 from .models import FP16, ServedModelSpec
 
@@ -30,6 +38,9 @@ __all__ = ["IterationCostModel", "BatchComposition"]
 _ITERATION_OVERHEAD_S = 2e-3
 # LoRA adapters multiply two rank-r matrices per projection
 _LORA_KERNEL_EFFICIENCY = 0.5
+# bounded memo caches for the per-iteration pass costs; cleared when full
+# so pathological workloads cannot grow them without bound
+_MEMO_LIMIT = 65536
 
 
 @dataclass
@@ -75,35 +86,122 @@ class IterationCostModel:
         self.delta_density = delta_density
         self.lora_rank = lora_rank
         self.sbmm_impl = sbmm_impl
+        # per-layer GEMM shapes with the TP split applied once (the inner
+        # loops below are the engine's single hottest code path)
+        self._shape_pairs: List[Tuple[int, int]] = \
+            [(k, n // self.tp) for k, n in spec.layer_gemm_shapes()]
+        self._ks = np.array([k for k, _ in self._shape_pairs],
+                            dtype=np.float64)
+        self._ns = np.array([n for _, n in self._shape_pairs],
+                            dtype=np.float64)
+        self._kns = self._ks * self._ns        # exact: integer products
+        self._kn_list = self._kns.tolist()
+        self._base_memo: Dict[int, float] = {}
+        self._delta_memo: Dict[Tuple[int, ...], float] = {}
+        self._lora_memo: Dict[Tuple[int, ...], float] = {}
 
     # ------------------------------------------------------------------ #
     # building blocks
+    #
+    # The vectorized passes reproduce hardware.kernels bit-for-bit: every
+    # elementwise term keeps the scalar models' operand grouping (all
+    # products of integers are exact in float64, so regrouping them is
+    # lossless), and reductions accumulate sequentially in the scalar
+    # call order.  test_streaming_metrics pins exact equality.
     # ------------------------------------------------------------------ #
     def _base_pass(self, m: int) -> float:
         """Dense FP16 pass over ``m`` token-rows (whole shared-base batch)."""
         if m == 0:
             return 0.0
+        cached = self._base_memo.get(m)
+        if cached is not None:
+            return cached
+        gpu = self.gpu
+        fill = min(1.0, m / _SMALL_M_KNEE)
+        eff = gpu.mma_efficiency * (0.15 + 0.85 * fill)
+        compute = (2.0 * m) * self._kns / (gpu.peak_flops * eff)
+        weight = self._kns * 16.0 / 8.0
+        act = (m * self._ks + m * self._ns) * 2.0
+        mem = (weight + act) / gpu.hbm_bytes_per_s
+        per_shape = np.maximum(compute, mem) + gpu.kernel_launch_us * 1e-6
         total = 0.0
-        for k, n in self.spec.layer_gemm_shapes():
-            total += dense_gemm_time(GemmShape(m, k, n // self.tp), self.gpu)
-        return total * self.spec.n_layers + self._lm_head(m)
+        for t in per_shape.tolist():
+            total += t
+        total = total * self.spec.n_layers + self._lm_head(m)
+        if len(self._base_memo) >= _MEMO_LIMIT:
+            self._base_memo.clear()
+        self._base_memo[m] = total
+        return total
 
     def _lm_head(self, m: int) -> float:
         return dense_gemm_time(
             GemmShape(m, self.spec.dim, self.spec.vocab_size // self.tp),
             self.gpu)
 
+    def _sbmm_breakdown(self, counts: List[int], carr: np.ndarray,
+                        k: int, n: int, kn: float, weight_bits: float,
+                        density: float, impl: str) -> Tuple[float, float]:
+        """(total, compute) of one batched multi-delta matmul — the
+        vectorized twin of :func:`~repro.hardware.kernels.sbmm_time`."""
+        gpu = self.gpu
+        if impl == "fp16_bmm":
+            # per-request stacked BMM has no per-delta vector dimension;
+            # keep the (rarely hot) scalar model authoritative
+            br = sbmm_time(counts, k, n, gpu, impl=impl,
+                           weight_bits=int(weight_bits), density=density)
+            return br.total, br.compute
+        dense = impl.startswith("fp16")
+        scattered = impl.endswith("forloop")
+        fill = np.minimum(1.0, carr / _SMALL_M_KNEE)
+        eff = gpu.mma_efficiency * (0.15 + 0.85 * fill)
+        peak = gpu.peak_flops if dense \
+            else gpu.peak_flops * gpu.sparse_speedup
+        comp = (2.0 * carr) * kn / (peak * eff)
+        per_value = 16.0 if dense \
+            else weight_bits * density + 2.0 * density
+        weight = kn * per_value / 8.0
+        act = (carr * k + carr * n) * 2.0
+        if scattered:
+            act = act / _SCATTERED_BW_FRACTION
+        mem = (weight + act) / gpu.hbm_bytes_per_s
+        per_list = np.maximum(comp, mem).tolist()
+        compute = 0.0
+        for t in per_list:
+            compute += t
+        launch = gpu.kernel_launch_us * 1e-6
+        d = len(per_list)
+        if impl == "sbmm":
+            overlapped = max(per_list) + gpu.dynamic_launch_us * 1e-6 * d
+            total = launch + max(overlapped,
+                                 compute / _sbmm_parallelism(gpu, d))
+        elif impl == "sbmm_reorder":
+            total = compute + launch * d
+        else:  # fp16_forloop / naive_forloop
+            gather = _RANDOM_ACCESS_US_PER_REQUEST * 1e-6 * sum(counts)
+            total = compute + launch * d + gather
+        return total, compute
+
     def _delta_pass(self, rows_per_delta: Sequence[int]) -> float:
         """SBMM pass: grouped sparse low-precision matmuls per linear."""
         counts = [c for c in rows_per_delta if c > 0]
         if not counts:
             return 0.0
+        key = tuple(counts)
+        cached = self._delta_memo.get(key)
+        if cached is not None:
+            return cached
+        carr = np.array(counts, dtype=np.float64)
+        bits = float(self.delta_bits)
         total = 0.0
-        for k, n in self.spec.layer_gemm_shapes():
-            total += sbmm_time(counts, k, n // self.tp, self.gpu,
-                               impl=self.sbmm_impl, weight_bits=self.delta_bits,
-                               density=self.delta_density).total
-        return total * self.spec.n_layers
+        for (k, n), kn in zip(self._shape_pairs, self._kn_list):
+            t, _ = self._sbmm_breakdown(counts, carr, k, n, kn, bits,
+                                        self.delta_density, self.sbmm_impl)
+            total += t
+        total = total * self.spec.n_layers
+        if len(self._delta_memo) >= _MEMO_LIMIT:
+            self._delta_memo.clear()
+        self._delta_memo[key] = total
+        return total
 
     def _lora_pass(self, rows_per_adapter: Sequence[int]) -> float:
         """Punica-style batched adapter matmuls.
@@ -115,15 +213,25 @@ class IterationCostModel:
         counts = [c for c in rows_per_adapter if c > 0]
         if not counts or self.lora_rank <= 0:
             return 0.0
+        key = tuple(counts)
+        cached = self._lora_memo.get(key)
+        if cached is not None:
+            return cached
         r = self.lora_rank
+        carr = np.array(counts, dtype=np.float64)
         total = 0.0
-        for k, n in self.spec.layer_gemm_shapes():
-            down = sbmm_time(counts, k, r, self.gpu, impl="sbmm",
-                             weight_bits=16, density=1.0)
-            up = sbmm_time(counts, r, n // self.tp, self.gpu, impl="sbmm",
-                           weight_bits=16, density=1.0)
-            total += (down.total + up.compute) / _LORA_KERNEL_EFFICIENCY * 0.5
-        return total * self.spec.n_layers
+        for k, n in self._shape_pairs:
+            down_total, _ = self._sbmm_breakdown(
+                counts, carr, k, r, float(k * r), 16.0, 1.0, "sbmm")
+            _, up_compute = self._sbmm_breakdown(
+                counts, carr, r, n, float(r * n), 16.0, 1.0, "sbmm")
+            total += (down_total + up_compute) \
+                / _LORA_KERNEL_EFFICIENCY * 0.5
+        total = total * self.spec.n_layers
+        if len(self._lora_memo) >= _MEMO_LIMIT:
+            self._lora_memo.clear()
+        self._lora_memo[key] = total
+        return total
 
     def _attention(self, context_tokens: int, new_tokens: int) -> float:
         """KV-cache read/write traffic (memory-bound decode attention)."""
@@ -193,7 +301,9 @@ class IterationCostModel:
             return 0.0
         total = 0.0
         any_rows = False
-        for model_id in models:
+        # sorted: set order is hash-randomized across processes, and the
+        # per-model pass times feed a non-associative float sum
+        for model_id in sorted(models):
             m = rows_per_model.get(model_id, 0) + prefill.get(model_id, 0)
             if m == 0:
                 continue

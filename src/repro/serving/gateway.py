@@ -46,6 +46,7 @@ from .base import ServingEngine
 from .handle import HandleStatus, RequestHandle
 from .metrics import ServingResult
 from .request import RequestRecord, RequestState, ServingRequest
+from .streaming_metrics import RecordPolicy
 
 __all__ = ["ServingGateway"]
 
@@ -261,13 +262,25 @@ class ServingGateway:
         if handle is not None:
             handle._push_token(clock, request.generated_tokens)
 
+    @property
+    def record_policy(self) -> "RecordPolicy":
+        """The engine's record-retention policy (outer layers gate their
+        own per-request maps on it)."""
+        return self.engine.config.record_policy
+
     def _finish_hook(self, request: ServingRequest, clock: float) -> None:
         record = request.record()
         if self._on_complete is not None:
             self._on_complete(record)
         for listener in self._listeners:
             listener(record)
-        handle = self._handles.get(request.request_id)
+        if self.record_policy is RecordPolicy.KEEP_ALL:
+            handle = self._handles.get(request.request_id)
+        else:
+            # releasing policy: terminal handles answer from their own
+            # record; dropping the map entry keeps gateway memory
+            # O(active requests)
+            handle = self._handles.pop(request.request_id, None)
         if handle is not None:
             handle._finish(record)
 

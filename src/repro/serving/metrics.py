@@ -6,16 +6,28 @@ Per-tenant views (``ServingResult.for_tenant`` / ``by_tenant``,
 the admission layer (:mod:`repro.serving.tenancy`) threads through them.
 Every accessor is total on empty/degenerate record lists — slicing an
 idle tenant returns zeros, never raises.
+
+Scale: a :class:`ServingResult` optionally carries a
+:class:`~repro.serving.streaming_metrics.StreamingMetrics` sink
+(``result.stream``).  When the run's
+:class:`~repro.serving.streaming_metrics.RecordPolicy` retained every
+record (``KEEP_ALL``) the exact record-based math runs as always —
+with the latency arrays built and sorted *once* and cached, instead of
+a fresh list comprehension per percentile call.  When records were
+sampled or dropped, every aggregate routes through the sink's quantile
+sketches and counters instead, within the sketch's documented relative
+error (see :data:`~repro.serving.streaming_metrics.SKETCH_RELATIVE_ERROR`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .request import DEFAULT_TENANT, RequestRecord
+from .streaming_metrics import StreamingMetrics, merged_streams
 
 __all__ = ["EngineStats", "ServingResult", "slo_attainment", "summarize",
            "summarize_by_tenant", "slo_attainment_by_tenant",
@@ -59,6 +71,14 @@ class ServingResult:
     makespan_s: float
     config: Dict[str, object] = field(default_factory=dict)
     stats: Optional["EngineStats"] = None
+    #: retire-time streaming sink (sketches + counters); None on results
+    #: assembled by hand from bare record lists
+    stream: Optional[StreamingMetrics] = None
+    # cached (sorted e2e, sorted ttft, time-per-token) arrays; built on
+    # first percentile/mean call, never mutated.  merge/for_tenant/
+    # finished_only return fresh objects, which is what invalidates it.
+    _lat_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -70,6 +90,9 @@ class ServingResult:
         The merged makespan spans the earliest arrival to the latest
         finish across every record, so percentile/SLO/throughput math on
         the merged result stays consistent with the per-group results.
+        Streaming sinks merge alongside (bin-count addition); parts
+        without a sink contribute their records, so the merged sketches
+        cover the whole population even in mixed merges.
 
         Merging nothing (no results, or only empty ones) is well-defined:
         an empty result with zero makespan whose rate/latency/percentile
@@ -77,23 +100,69 @@ class ServingResult:
         percentile or division math.
         """
         records = [r for res in results for r in res.records]
-        if not records:
+        stream = merged_streams(
+            [res.stream for res in results],
+            extra_records=[res.records for res in results
+                           if res.stream is None])
+        n_observed = stream.n_observed if stream is not None else 0
+        if not records and n_observed == 0:
             return cls(engine=engine, records=[], makespan_s=0.0,
-                       config=dict(config) if config else {})
-        makespan = max(r.finish_s for r in records) - \
-            min(r.arrival_s for r in records)
+                       config=dict(config) if config else {}, stream=stream)
+        if n_observed:
+            # sink min/max are exact, and the sink covers every part
+            makespan = stream.makespan_s
+        else:
+            makespan = max(r.finish_s for r in records) - \
+                min(r.arrival_s for r in records)
         return cls(engine=engine, records=records,
                    makespan_s=max(makespan, 1e-9),
-                   config=dict(config) if config else {})
+                   config=dict(config) if config else {}, stream=stream)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def _sketch(self) -> Optional[StreamingMetrics]:
+        """The sink, when it must stand in for the records (records were
+        sampled or dropped); None when records are the full population."""
+        if self.stream is not None and not self.stream.complete:
+            return self.stream
+        return None
+
+    def _lat_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached (sorted e2e, sorted ttft, per-token) latency arrays."""
+        cache = self._lat_cache
+        if cache is None:
+            n = len(self.records)
+            e2e = np.fromiter((r.finish_s - r.arrival_s
+                               for r in self.records),
+                              dtype=np.float64, count=n)
+            ttft = np.fromiter(
+                ((r.first_token_s - r.arrival_s
+                  if r.first_token_s is not None
+                  else r.finish_s - r.arrival_s) for r in self.records),
+                dtype=np.float64, count=n)
+            tpt = np.fromiter((r.e2e_latency_s / max(r.output_tokens, 1)
+                               for r in self.records),
+                              dtype=np.float64, count=n)
+            e2e.sort()
+            ttft.sort()
+            cache = (e2e, ttft, tpt)
+            self._lat_cache = cache
+        return cache
 
     # ------------------------------------------------------------------ #
     @property
     def n_requests(self) -> int:
+        sketch = self._sketch
+        if sketch is not None:
+            return sketch.n_observed
         return len(self.records)
 
     @property
     def tenant_ids(self) -> List[str]:
         """Distinct tenants across records (untagged maps to UNTENANTED)."""
+        sketch = self._sketch
+        if sketch is not None:
+            return sketch.tenant_ids
         return sorted({r.tenant_id or UNTENANTED for r in self.records})
 
     def for_tenant(self, tenant_id: Optional[str]) -> "ServingResult":
@@ -104,6 +173,17 @@ class ServingResult:
         and throughput accessors all return 0.0.
         """
         key = tenant_id or UNTENANTED
+        sketch = self._sketch
+        if sketch is not None:
+            sub = sketch.for_tenant(key)
+            records = [r for r in self.records
+                       if (r.tenant_id or UNTENANTED) == key]
+            makespan = max(sub.makespan_s, 1e-9) if sub.n_observed else 0.0
+            sliced = ServingResult(engine=self.engine, records=records,
+                                   makespan_s=makespan,
+                                   config=dict(self.config), stream=sub)
+            sliced.config["tenant_id"] = key
+            return sliced
         records = [r for r in self.records
                    if (r.tenant_id or UNTENANTED) == key]
         sliced = ServingResult.merge(
@@ -123,6 +203,9 @@ class ServingResult:
     def status_counts(self) -> Dict[str, int]:
         """Records per terminal status (``finished`` / ``cancelled`` /
         ``expired``; pre-cancellation runs are all ``finished``)."""
+        sketch = self._sketch
+        if sketch is not None:
+            return sketch.status_counts()
         counts: Dict[str, int] = {}
         for rec in self.records:
             counts[rec.status] = counts.get(rec.status, 0) + 1
@@ -130,11 +213,23 @@ class ServingResult:
 
     @property
     def n_finished(self) -> int:
+        sketch = self._sketch
+        if sketch is not None:
+            return sketch.n_finished
         return sum(1 for r in self.records if r.finished)
 
     def finished_only(self) -> "ServingResult":
         """This result restricted to requests that ran to completion —
         the slice latency/SLO math should usually see under abandonment."""
+        sketch = self._sketch
+        if sketch is not None:
+            view = sketch.finished_view()
+            records = [r for r in self.records if r.finished]
+            makespan = max(view.makespan_s, 1e-9) if view.n_observed \
+                else self.makespan_s
+            return ServingResult(engine=self.engine, records=records,
+                                 makespan_s=makespan,
+                                 config=dict(self.config), stream=view)
         sliced = ServingResult.merge(
             [ServingResult(engine=self.engine,
                            records=[r for r in self.records if r.finished],
@@ -154,6 +249,10 @@ class ServingResult:
     def wasted_token_fraction(self) -> float:
         """Share of generated output tokens spent on requests that never
         finished — the capacity impatient clients burn."""
+        sketch = self._sketch
+        if sketch is not None:
+            served = sketch.tokens_served
+            return sketch.tokens_wasted / served if served else 0.0
         served = sum(r.tokens_served for r in self.records)
         if served == 0:
             return 0.0
@@ -164,7 +263,7 @@ class ServingResult:
         """Completed requests per second of makespan."""
         if self.makespan_s <= 0:
             return 0.0
-        return len(self.records) / self.makespan_s
+        return self.n_requests / self.makespan_s
 
     def throughput_within(self, horizon_s: float) -> float:
         """Requests completed by ``horizon_s``, per second (Fig 11's metric).
@@ -176,6 +275,9 @@ class ServingResult:
         """
         if horizon_s <= 0:
             return 0.0
+        sketch = self._sketch
+        if sketch is not None:
+            return sketch.count_finished_by(horizon_s) / horizon_s
         done = sum(1 for r in self.records if r.finish_s <= horizon_s)
         return done / horizon_s
 
@@ -184,27 +286,79 @@ class ServingResult:
         (identical to the requested-token rate when nothing aborted)."""
         if self.makespan_s <= 0:
             return 0.0
+        sketch = self._sketch
+        if sketch is not None:
+            return sketch.tokens_served / self.makespan_s
         return sum(r.tokens_served for r in self.records) / self.makespan_s
 
     def mean_e2e_latency_s(self) -> float:
-        return float(np.mean([r.e2e_latency_s for r in self.records])) \
-            if self.records else 0.0
+        sketch = self._sketch
+        if sketch is not None:
+            return sketch.mean_e2e_s()
+        if not self.records:
+            return 0.0
+        return float(np.mean(self._lat_arrays()[0]))
 
     def mean_ttft_s(self) -> float:
-        return float(np.mean([r.ttft_s for r in self.records])) \
-            if self.records else 0.0
+        sketch = self._sketch
+        if sketch is not None:
+            return sketch.mean_ttft_s()
+        if not self.records:
+            return 0.0
+        return float(np.mean(self._lat_arrays()[1]))
 
     def percentile_e2e_s(self, q: float) -> float:
-        return float(np.percentile([r.e2e_latency_s for r in self.records], q)) \
-            if self.records else 0.0
+        sketch = self._sketch
+        if sketch is not None:
+            return sketch.percentile_e2e_s(q)
+        if not self.records:
+            return 0.0
+        return float(np.percentile(self._lat_arrays()[0], q))
 
     def percentile_ttft_s(self, q: float) -> float:
-        return float(np.percentile([r.ttft_s for r in self.records], q)) \
-            if self.records else 0.0
+        sketch = self._sketch
+        if sketch is not None:
+            return sketch.percentile_ttft_s(q)
+        if not self.records:
+            return 0.0
+        return float(np.percentile(self._lat_arrays()[1], q))
+
+    def percentiles_e2e_s(self, qs: Sequence[float]) -> List[float]:
+        """Several e2e percentiles in one pass over the cached array."""
+        sketch = self._sketch
+        if sketch is not None:
+            return sketch.percentiles_e2e_s(qs)
+        if not self.records:
+            return [0.0 for _ in qs]
+        return [float(v) for v in np.percentile(self._lat_arrays()[0],
+                                                list(qs))]
+
+    def percentiles_ttft_s(self, qs: Sequence[float]) -> List[float]:
+        """Several TTFT percentiles in one pass over the cached array."""
+        sketch = self._sketch
+        if sketch is not None:
+            return sketch.percentiles_ttft_s(qs)
+        if not self.records:
+            return [0.0 for _ in qs]
+        return [float(v) for v in np.percentile(self._lat_arrays()[1],
+                                                list(qs))]
 
     def mean_time_per_token_s(self) -> float:
-        return float(np.mean([r.time_per_token_s for r in self.records])) \
-            if self.records else 0.0
+        sketch = self._sketch
+        if sketch is not None:
+            return sketch.mean_time_per_token_s()
+        if not self.records:
+            return 0.0
+        return float(np.mean(self._lat_arrays()[2]))
+
+    def slo_attainment(self, slo_s: float, metric: str = "e2e") -> float:
+        """Fraction of requests meeting an SLO threshold; exact on
+        retained records, sketch-approximate (within the relative error
+        around the threshold) when records were dropped."""
+        sketch = self._sketch
+        if sketch is not None:
+            return sketch.slo_attainment(slo_s, metric=metric)
+        return slo_attainment(self.records, slo_s, metric=metric)
 
     def summary(self) -> Dict[str, float]:
         return summarize(self)
@@ -225,6 +379,8 @@ def slo_attainment(records: Sequence[RequestRecord], slo_s: float,
 
 
 def summarize(result: ServingResult) -> Dict[str, float]:
+    p50_e2e, p90_e2e, p99_e2e = result.percentiles_e2e_s((50, 90, 99))
+    p50_ttft, p90_ttft, p99_ttft = result.percentiles_ttft_s((50, 90, 99))
     return {
         "n_requests": float(result.n_requests),
         "n_finished": float(result.n_finished),
@@ -233,13 +389,13 @@ def summarize(result: ServingResult) -> Dict[str, float]:
         "wasted_token_fraction": result.wasted_token_fraction(),
         "token_throughput": result.token_throughput(),
         "mean_e2e_s": result.mean_e2e_latency_s(),
-        "p50_e2e_s": result.percentile_e2e_s(50),
-        "p90_e2e_s": result.percentile_e2e_s(90),
-        "p99_e2e_s": result.percentile_e2e_s(99),
+        "p50_e2e_s": p50_e2e,
+        "p90_e2e_s": p90_e2e,
+        "p99_e2e_s": p99_e2e,
         "mean_ttft_s": result.mean_ttft_s(),
-        "p50_ttft_s": result.percentile_ttft_s(50),
-        "p90_ttft_s": result.percentile_ttft_s(90),
-        "p99_ttft_s": result.percentile_ttft_s(99),
+        "p50_ttft_s": p50_ttft,
+        "p90_ttft_s": p90_ttft,
+        "p99_ttft_s": p99_ttft,
         "mean_time_per_token_s": result.mean_time_per_token_s(),
         "makespan_s": result.makespan_s,
     }

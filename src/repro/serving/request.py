@@ -50,6 +50,11 @@ class ServingRequest:
     parent_id: Optional[int] = None  # head-of-queue request we drafted behind
     preemptions: int = 0
     needs_recompute: bool = False    # KV discarded at preemption; re-prefill
+    # memoized terminal record: retire-time metrics observation and the
+    # gateway finish hooks both ask for it, and a terminal request can
+    # never produce a different one
+    _record_cache: Optional["RequestRecord"] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def request_id(self) -> int:
@@ -89,11 +94,13 @@ class ServingRequest:
         return self.trace.prompt_tokens + self.generated_tokens
 
     def record(self) -> "RequestRecord":
+        if self._record_cache is not None:
+            return self._record_cache
         if self.finish_s is None:
             raise ValueError(f"request {self.request_id} not finished")
         status = self.state.value if self.terminal \
             else RequestState.FINISHED.value
-        return RequestRecord(
+        rec = RequestRecord(
             request_id=self.request_id,
             model_id=self.model_id,
             arrival_s=self.arrival_s,
@@ -110,6 +117,9 @@ class ServingRequest:
             status=status,
             served_tokens=self.generated_tokens,
         )
+        if self.terminal:
+            self._record_cache = rec
+        return rec
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,7 @@ queue position, bounding starvation of the passed-over variants.
 
 from __future__ import annotations
 
+from bisect import insort_right
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, List, Optional, Sequence, Set
 
@@ -84,17 +85,27 @@ class ContinuousBatchScheduler:
         # arrival times that do not follow id order.
         return (request.arrival_s, request.request_id)
 
+    def _insert(self, request: ServingRequest) -> None:
+        # the queue is maintained in FCFS order as an invariant; arrivals
+        # are usually in order (append), out-of-order joins (explicit
+        # arrival times, preemption reinserts) binary-insert after any
+        # equal keys — identical placement to the old append+stable-sort,
+        # without the O(n log n) per-add that dominated overload runs
+        queue = self._queue
+        if not queue or self._fcfs_key(queue[-1]) <= self._fcfs_key(request):
+            queue.append(request)
+        else:
+            insort_right(queue, request, key=self._fcfs_key)
+
     def add(self, request: ServingRequest) -> None:
         request.state = RequestState.QUEUED
-        self._queue.append(request)
-        self._queue.sort(key=self._fcfs_key)
+        self._insert(request)
 
     def reinsert(self, request: ServingRequest) -> None:
         """Return a preempted request to its original FCFS position."""
         request.state = RequestState.PREEMPTED
         request.parent_id = None
-        self._queue.append(request)
-        self._queue.sort(key=self._fcfs_key)
+        self._insert(request)
 
     def remove(self, request_id: int) -> Optional[ServingRequest]:
         """Withdraw a queued request (cancellation); None if not queued."""
@@ -147,10 +158,12 @@ class ContinuousBatchScheduler:
 
         blocked_seen = False
         still_queued: List[ServingRequest] = []
-        for req in order:
+        for i, req in enumerate(order):
             if capacity <= 0:
-                still_queued.append(req)
-                continue
+                # nothing further can be admitted: keep the whole tail
+                # without walking it request-by-request
+                still_queued.extend(order[i:])
+                break
             delta = req.model_id
             selectable = (delta in decision.selected_deltas
                           or len(decision.selected_deltas)
@@ -170,7 +183,11 @@ class ContinuousBatchScheduler:
                     req.parent_id = parent.request_id
             if delta not in parent_of:
                 parent_of[delta] = req
-        still_queued.sort(key=self._fcfs_key)
+        if cfg.model_priorities is not None:
+            # priority order interleaves arrivals; restore FCFS.  In the
+            # plain-FCFS path still_queued is a subsequence of the already
+            # FCFS-ordered queue, so it is sorted by construction.
+            still_queued.sort(key=self._fcfs_key)
         self._queue = still_queued
 
         resident = set(resident_deltas)

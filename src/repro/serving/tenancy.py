@@ -68,9 +68,10 @@ from ..workload.spec import Trace, TraceRequest
 from .cluster import ClusterGateway
 from .gateway import CancelSchedule, ServingGateway, TokenCallback
 from .handle import HandleStatus, RequestHandle
-from .metrics import ServingResult
+from .metrics import ServingResult, summarize
 from .request import (DEFAULT_TENANT, RequestRecord,
                       synthesized_abort_record)
+from .streaming_metrics import RecordPolicy
 
 __all__ = [
     "DEFAULT_TENANT", "SLO_CLASSES", "Tenant", "TokenBucket",
@@ -713,6 +714,11 @@ class TenantGateway:
         return len(self._pending) + self.controller.total_queued + \
             self._dispatched_unfinished
 
+    @property
+    def record_policy(self) -> RecordPolicy:
+        """The wrapped gateway's record-retention policy."""
+        return getattr(self.inner, "record_policy", RecordPolicy.KEEP_ALL)
+
     def submit(self, model_id: str, prompt_len: int, output_len: int,
                arrival_s: Optional[float] = None,
                tenant_id: Optional[str] = None,
@@ -902,11 +908,32 @@ class TenantGateway:
         for tid, stats in sorted(self.controller.stats.items()):
             tenant = self.controller.tenant(tid)
             sliced = result.for_tenant(tid)
-            met = sum(1 for r in sliced.records
-                      if (r.finished or r.first_token_s is not None)
-                      and r.ttft_s <= tenant.slo_s)
+            sketch = sliced.stream
+            if sketch is not None and not sketch.complete:
+                # streaming fallback (records sampled/dropped): finished
+                # requests meeting the TTFT SLO, sketch-approximate
+                # within the relative error around the threshold.
+                # Aborted requests whose first token still arrived in
+                # time are not individually tracked without records, so
+                # this bound is slightly conservative under abandonment.
+                met = sketch.slo_met_count(tenant.slo_s, metric="ttft")
+            else:
+                met = sum(1 for r in sliced.records
+                          if (r.finished or r.first_token_s is not None)
+                          and r.ttft_s <= tenant.slo_s)
             out[tid] = met / stats.offered if stats.offered else 1.0
         return out
+
+    def streaming_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant ``summarize()`` rows straight off the streaming
+        plane — O(tenants × sketch bins) regardless of how many requests
+        retired, so it is callable mid-flight at million-request scale
+        (the always-on dashboard read).  Under ``KEEP_ALL`` the rows are
+        the exact record-based values; under ``SAMPLE_K``/``DROP`` they
+        come from the sketches within the documented error."""
+        result = self.result()
+        return {tenant: summarize(result.for_tenant(tenant))
+                for tenant in result.tenant_ids}
 
     def billing(self, gpu, n_gpus: int,
                 system: Optional[str] = None) -> Dict[str, float]:
@@ -1172,6 +1199,11 @@ class TenantGateway:
         self.controller.on_complete(record)
         if not record.finished:
             self.controller.refund_unserved(record)
-        handle = self._handles.get(record.request_id)
+        if self.record_policy is RecordPolicy.KEEP_ALL:
+            handle = self._handles.get(record.request_id)
+        else:
+            # releasing policy: keep the frontier handle map O(active)
+            # (terminal handles answer from their own record)
+            handle = self._handles.pop(record.request_id, None)
         if handle is not None:
             handle._finish(record)
