@@ -14,6 +14,12 @@ sparse traces are the overnight regime — short requests separated by
 long gaps — where event-driven stepping wins big.  Results land in
 ``BENCH_step.json`` so successive PRs can track the perf trajectory.
 
+A final section prices the live ops plane (:mod:`repro.telemetry`):
+with telemetry off the engine hot path must carry zero observability
+state (asserted structurally), and with telemetry on the records must
+stay bit-identical — telemetry is pure observation.  The measured
+telemetry-on/off wall ratio lands in the JSON alongside the step cells.
+
 Run: ``PYTHONPATH=src python benchmarks/bench_step_overhead.py [--quick]``
 """
 
@@ -101,6 +107,47 @@ def run_cell(mgr, trace, n_replicas, idle_quantum_s):
     return wall_s, result
 
 
+def bench_telemetry(mgr, trace, n_replicas):
+    """Price the ops plane: off must be untouched, on must be identical."""
+    from repro.telemetry import Telemetry
+
+    bare = build_gateway(mgr, n_replicas, None)
+    engines = [r.engine for r in bare.replicas] \
+        if isinstance(bare, ClusterGateway) else [bare.engine]
+    for engine in engines:
+        # zero-overhead-when-disabled is structural: no hook, no phase
+        # emission, so the step loop never even branches into telemetry
+        assert engine.on_event is None, "telemetry-off engine has a hook"
+        assert engine.emit_phases is False, \
+            "telemetry-off engine emits phases"
+    start = time.perf_counter()
+    bare_res = bare.replay(trace)
+    bare_wall = time.perf_counter() - start
+
+    telemetry = Telemetry(interval_s=1.0)
+    wired = build_gateway(mgr, n_replicas, None)
+    if isinstance(wired, ClusterGateway):
+        telemetry.attach_cluster(wired)
+    else:
+        telemetry.attach_serving(wired)
+    start = time.perf_counter()
+    wired_res = wired.replay(trace)
+    wired_wall = time.perf_counter() - start
+
+    identical = [record_key(r) for r in bare_res.records] == \
+        [record_key(r) for r in wired_res.records]
+    ratio = wired_wall / max(bare_wall, 1e-9)
+    return {
+        "n_replicas": n_replicas,
+        "wall_s_telemetry_off": bare_wall,
+        "wall_s_telemetry_on": wired_wall,
+        "telemetry_overhead_ratio": ratio,
+        "records_identical": identical,
+        "spans_closed": telemetry.spans.n_closed,
+        "gauge_snapshots": len(telemetry.gauges),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -144,12 +191,30 @@ def main(argv=None) -> int:
                 "makespan_s": skip_res.makespan_s,
             })
 
+    print("\ntelemetry plane (dense arrivals):")
+    print(f"{'replicas':>8s} {'off_s':>8s} {'on_s':>8s} {'ratio':>6s}  "
+          "identical")
+    telemetry_cells = []
+    dense_trace = make_trace("dense", durations["dense"])
+    for n in replica_counts:
+        cell = bench_telemetry(mgr, dense_trace, n)
+        telemetry_cells.append(cell)
+        print(f"{n:8d} {cell['wall_s_telemetry_off']:8.3f} "
+              f"{cell['wall_s_telemetry_on']:8.3f} "
+              f"{cell['telemetry_overhead_ratio']:5.2f}x  "
+              f"{cell['records_identical']}")
+        if not cell["records_identical"]:
+            print(f"FAIL: telemetry changed records at x{n} "
+                  "(the ops plane must be pure observation)")
+            return 1
+
     headline = speedups[("sparse", max(replica_counts))]
     payload = {
         "benchmark": "step_overhead",
         "idle_quantum_s": IDLE_QUANTUM_S,
         "quick": args.quick,
         "cells": cells,
+        "telemetry_cells": telemetry_cells,
         "headline_sparse_cluster_speedup": headline,
         "min_required_speedup": MIN_SPARSE_CLUSTER_SPEEDUP,
     }

@@ -469,6 +469,7 @@ class MutableDefaultRule(Rule):
 _EVENT_CLASSES: FrozenSet[str] = frozenset({
     "Arrival", "Cancel", "IterationDone", "BucketRefill",
     "AutoscalerTick", "ReplicaSpawn", "ReplicaDrain",
+    "PhaseTransition", "AdmissionDecision", "TelemetryTick",
 })
 
 #: call names that constitute the kernel publish path

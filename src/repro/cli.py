@@ -11,6 +11,7 @@ Mirrors the paper artifact's script workflow::
     repro simulate  --trace azure.jsonl --model llama-13b --systems both
     repro tenancy   --tenants "agg:3.0:1.0:batch,gold:0.3:2.0:interactive" \\
                     --policy both --shed
+    repro scenarios all --quick --gauges-out gauges.json
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -217,11 +218,18 @@ def _cmd_cluster(args) -> int:
                     max_concurrent_deltas=args.deltas),
                 engine_config=EngineConfig(tp_degree=args.tp))
 
+        telemetry = None
+        if args.telemetry_interval is not None:
+            from repro.telemetry import Telemetry
+            telemetry = Telemetry(interval_s=args.telemetry_interval)
         gateway = ClusterGateway(engine_factory=factory, cluster=cluster,
                                  n_replicas=n, balancer=args.balancer,
                                  autoscaler=autoscaler,
-                                 journal=bool(args.trace_out))
+                                 journal=bool(args.trace_out),
+                                 telemetry=telemetry)
         res = gateway.replay(trace)
+        if telemetry is not None:
+            _print_telemetry(telemetry)
         if args.trace_out:
             from repro.sim import export_chrome_trace
             # one file per swept replica count: spawn/drain/tick/cancel
@@ -243,6 +251,25 @@ def _cmd_cluster(args) -> int:
                           f"{sample.n_replicas} replicas "
                           f"(queue/replica {sample.queue_per_replica:.1f})")
     return 0
+
+
+def _print_telemetry(telemetry) -> None:
+    """One-paragraph gauge/span digest of a telemetry-wired run."""
+    spans = telemetry.spans.summary()
+    latest = telemetry.latest()
+    print(f"  telemetry: {len(telemetry.gauges)} gauge snapshots, "
+          f"{spans['n_closed']} spans closed "
+          f"({spans['n_active']} still open)")
+    phases = spans["phases"]
+    print(f"    p95 queue {phases['queue']['p95_s']:.2f}s  "
+          f"prefill {phases['prefill']['p95_s']:.2f}s  "
+          f"decode {phases['decode']['p95_s']:.2f}s  "
+          f"e2e {phases['e2e']['p95_s']:.2f}s")
+    if latest is not None:
+        print(f"    last tick t={latest.time_s:.0f}s: "
+              f"backlog={latest.backlog} replicas={latest.n_replicas} "
+              f"batch_occ={latest.batch_occupancy:.2f} "
+              f"shed/s={latest.shed_rate_per_s:.2f}")
 
 
 def _parse_tenant_specs(text: str):
@@ -290,11 +317,29 @@ def _cmd_tenancy(args) -> int:
                 max_batch_requests=args.batch,
                 max_concurrent_deltas=args.deltas),
             engine_config=EngineConfig(tp_degree=args.tp))
+        telemetry = None
+        if args.telemetry_interval is not None or args.trace_out:
+            from repro.telemetry import Telemetry
+            telemetry = Telemetry(
+                interval_s=args.telemetry_interval
+                if args.telemetry_interval is not None else 1.0,
+                journal=bool(args.trace_out))
         gateway = TenantGateway(ServingGateway(engine),
                                 tenants=contracts, policy=policy,
                                 shed=args.shed,
-                                engine_queue_depth=args.depth)
+                                engine_queue_depth=args.depth,
+                                telemetry=telemetry)
         result = gateway.replay(trace)
+        if telemetry is not None:
+            _print_telemetry(telemetry)
+        if args.trace_out and telemetry is not None:
+            from repro.sim import export_chrome_trace
+            # per-policy file: admission verdicts, cancels (tenant-
+            # attributed), and nested request/phase lifecycle slices
+            out = args.trace_out if len(policies) == 1 else \
+                f"{args.trace_out}.{policy}.json"
+            n_events = export_chrome_trace(telemetry.kernel.journal, out)
+            print(f"  wrote {n_events} trace events -> {out}")
 
         attainment = gateway.slo_attainment(result)
         print(f"\n=== policy: {policy}"
@@ -316,6 +361,33 @@ def _cmd_tenancy(args) -> int:
         print(f"Jain fairness (SLO attainment): "
               f"{jain_fairness_index(list(attainment.values())):.3f}")
     return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.telemetry.scenarios import run_all, run_scenario
+
+    if args.name == "all":
+        reports = run_all(quick=args.quick, seed=args.seed)
+    else:
+        reports = [run_scenario(args.name, quick=args.quick,
+                                seed=args.seed)]
+    all_ok = True
+    for report in reports:
+        print(f"=== {report.name}: "
+              f"{'PASS' if report.ok else 'FAIL'} ===")
+        print(f"    {report.description}")
+        for inv in report.invariants:
+            mark = "ok " if inv.passed else "FAIL"
+            print(f"  [{mark}] {inv.name}: {inv.detail}")
+        all_ok = all_ok and report.ok
+    if args.gauges_out:
+        import json
+        payload = {r.name: r.as_dict() for r in reports}
+        with open(args.gauges_out, "w") as f:
+            json.dump(payload, f, indent=2)
+        print(f"wrote gauge series for {len(reports)} scenario(s) "
+              f"-> {args.gauges_out}")
+    return 0 if all_ok else 1
 
 
 # --------------------------------------------------------------------------- #
@@ -431,6 +503,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default=None,
                    help="write the run's kernel journal as Chrome "
                         "about:tracing JSON (one file per replica count)")
+    p.add_argument("--telemetry-interval", type=float, default=None,
+                   help="wire the live ops plane and poll gauges every "
+                        "N simulated seconds")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_cluster)
 
@@ -463,7 +538,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deltas", type=int, default=8)
     p.add_argument("--ratio", type=float, default=10.0,
                    help="assumed delta compression ratio")
+    p.add_argument("--telemetry-interval", type=float, default=None,
+                   help="wire the live ops plane and poll gauges every "
+                        "N simulated seconds")
+    p.add_argument("--trace-out", default=None,
+                   help="write the telemetry journal (admission verdicts, "
+                        "tenant-attributed cancels, nested request/phase "
+                        "spans) as Chrome about:tracing JSON; one file "
+                        "per policy")
     p.set_defaults(func=_cmd_tenancy)
+
+    from repro.telemetry.scenarios import SCENARIO_NAMES
+    p = sub.add_parser("scenarios",
+                       help="run named stress drills with asserted "
+                            "recovery invariants")
+    p.add_argument("name", choices=SCENARIO_NAMES + ("all",),
+                   help="which drill to run (or 'all')")
+    p.add_argument("--quick", action="store_true",
+                   help="shorter traces (CI smoke mode)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--gauges-out", default=None,
+                   help="write each scenario's gauge series + invariant "
+                        "verdicts as JSON")
+    p.set_defaults(func=_cmd_scenarios)
     return parser
 
 

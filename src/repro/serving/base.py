@@ -41,7 +41,7 @@ from typing import Callable, Dict, List, Optional, Type
 
 from ..hardware.cluster import GPUNode
 from ..sim import (Arrival, Cancel, Event, EventQueue, IterationDone,
-                   new_clock)
+                   PhaseTransition, new_clock)
 from ..workload.spec import Trace, TraceRequest
 from .metrics import EngineStats, ServingResult
 from .model_manager import ArtifactKind, ModelManager
@@ -182,6 +182,11 @@ class ServingEngine:
         self.on_token: Optional[TokenCallback] = None
         self.on_finish: Optional[FinishCallback] = None
         self.on_event: Optional[EventCallback] = None
+        # telemetry wiring (not state — survives reset): when True and
+        # on_event is set, the engine publishes PhaseTransition events so
+        # a span recorder can assemble request lifecycles.  Off by
+        # default: the disabled path constructs no events at all.
+        self.emit_phases: bool = False
         self.reset()
 
     # ------------------------------------------------------------------ #
@@ -303,6 +308,23 @@ class ServingEngine:
         clock reaches them (an O(log n) kernel count, not a heap scan)."""
         return self.unfinished - self._pending.count_after(self.clock)
 
+    def utilization(self) -> Dict[str, float]:
+        """Instantaneous occupancy gauges for the telemetry layer.
+
+        ``batch_occupancy`` is running requests over the scheduler's
+        batch limit (0.0 when no limit is discoverable);
+        ``kv_occupancy`` is engine-specific — 0.0 here, overridden by
+        engines that track a KV-token budget.
+        """
+        cap: Optional[int] = None
+        sched = getattr(self, "scheduler_config", None)
+        if sched is not None:
+            cap = getattr(sched, "max_batch_requests", None)
+        if cap is None:
+            cap = getattr(self, "max_batch_requests", None)
+        batch = len(self.running) / cap if cap else 0.0
+        return {"batch_occupancy": batch, "kv_occupancy": 0.0}
+
     def step(self) -> bool:
         """Run one scheduling iteration.
 
@@ -310,6 +332,11 @@ class ServingEngine:
         or future-pending work) — the engine is drained.
         """
         self._before_step()
+        # hoisted telemetry gate: None on the hot (disabled) path.  The
+        # local is named `emit` deliberately — it IS the kernel publish
+        # path (simlint SIM008 keys on the call name).
+        emit = self.on_event if self.emit_phases and \
+            self.on_event is not None else None
 
         # 0. due cancellations/deadline expiries apply at the boundary
         for event in self._cancels.pop_due(self.clock):
@@ -318,6 +345,12 @@ class ServingEngine:
         # 1. arrivals up to the clock join the engine's queue
         for event in self._pending.pop_due(self.clock):
             self.on_arrival(event.request)
+            if emit is not None:
+                req = event.request
+                emit(PhaseTransition(
+                    time=req.arrival_s, request_id=req.request_id,
+                    phase="queue", model_id=req.model_id,
+                    tenant_id=req.tenant_id, source=self.name))
 
         if not self.running and not self.has_queued():
             wake = self._next_wake()
@@ -338,6 +371,11 @@ class ServingEngine:
             if req.first_scheduled_s is None:
                 req.first_scheduled_s = clock
                 req.queue_wait_s = clock - req.arrival_s
+                if emit is not None:
+                    emit(PhaseTransition(
+                        time=clock, request_id=req.request_id,
+                        phase="prefill", model_id=req.model_id,
+                        tenant_id=req.tenant_id, source=self.name))
             req.loading_s += load_time
 
         # 4. execute one fused prefill+decode iteration
@@ -366,6 +404,11 @@ class ServingEngine:
             req.generated_tokens += 1
             if req.first_token_s is None:
                 req.first_token_s = now
+                if emit is not None:
+                    emit(PhaseTransition(
+                        time=now, request_id=req.request_id,
+                        phase="decode", model_id=req.model_id,
+                        tenant_id=req.tenant_id, source=self.name))
             req.inference_s += iter_time
             running.append(req)
             if on_token is not None:
@@ -547,6 +590,12 @@ class ServingEngine:
         against a kept-but-terminal request."""
         self._n_retired += 1
         self.metrics.observe(req.record())
+        if self.emit_phases and self.on_event is not None:
+            self.on_event(PhaseTransition(
+                time=req.finish_s, request_id=req.request_id,
+                phase="retire", model_id=req.model_id,
+                tenant_id=req.tenant_id, status=req.state.value,
+                source=self.name))
         if self._keep_requests:
             self.finished.append(req)
         else:

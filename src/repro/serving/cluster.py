@@ -384,6 +384,7 @@ class ClusterGateway:
                  on_request_complete: Optional[CompletionCallback] = None,
                  collect_timeline: bool = False,
                  journal: bool = False,
+                 telemetry=None,
                  _replicas: Optional[List[Replica]] = None):
         if n_replicas < 1:
             raise ValueError("need at least one replica")
@@ -399,6 +400,7 @@ class ClusterGateway:
         self._on_complete = on_request_complete
         self._collect_timeline = collect_timeline
         self._journal = journal
+        self._telemetry = None
         self._next_id = 0
         self._next_replica_id = 0
         # trace requests awaiting routing: replay defers each routing
@@ -437,6 +439,13 @@ class ClusterGateway:
             for _ in range(n_replicas):
                 self.spawn_replica()
         self._schedule_tick(0.0)
+        if telemetry is not None:
+            telemetry.attach_cluster(self)
+
+    @property
+    def telemetry(self):
+        """The attached :class:`repro.telemetry.Telemetry`, or None."""
+        return self._telemetry
 
     @classmethod
     def from_engines(cls, engines: Sequence[ServingEngine],
@@ -525,9 +534,12 @@ class ClusterGateway:
         self.replicas.append(replica)
         if self._token_tap:
             replica.gateway.add_token_listener(self._token_fanout)
-        if self._journal:
+        if self._journal or self._telemetry is not None:
             # publish engine iterations (and cancels) into the journal
+            # and/or onward to the telemetry layer
             engine.on_event = self.kernel.emit
+        if self._telemetry is not None:
+            engine.emit_phases = True
         self.kernel.emit(ReplicaSpawn(time=self.kernel.now,
                                       replica_id=replica.id))
         return replica
@@ -758,6 +770,11 @@ class ClusterGateway:
         if fired:
             self.autoscaler.control(self)
             self._schedule_tick(now + self.autoscaler.config.check_interval_s)
+        if self._telemetry is not None:
+            # after all emissions for this step (including autoscaler
+            # spawns/drains) so forwarded kernel-timeline events never
+            # land behind the telemetry clock
+            self._telemetry.advance(now)
         return True
 
     def _schedule_tick(self, at: float) -> None:
@@ -883,6 +900,8 @@ class ClusterGateway:
         self.balancer.reset()
         if self.autoscaler is not None:
             self.autoscaler.reset()
+        if self._telemetry is not None:
+            self._telemetry.reset()
 
     # ------------------------------------------------------------------ #
     # cluster-level telemetry

@@ -192,6 +192,16 @@ class DeltaZipEngine(ServingEngine):
     def _stall_clock(self, next_arrival_s: float) -> float:
         return max(self.clock + 1e-3, next_arrival_s)
 
+    def utilization(self) -> Dict[str, float]:
+        util = super().utilization()
+        kv_budget = max(
+            0, int((self._usable - self._base_bytes - self._resident_bytes)
+                   // self._kv_per_token))
+        if kv_budget > 0:
+            kv_tokens = sum(r.context_length for r in self.running)
+            util["kv_occupancy"] = kv_tokens / kv_budget
+        return util
+
     def result_config(self) -> Dict[str, object]:
         return {"tp_degree": self.config.tp_degree,
                 "variant_kind": self.config.variant_kind,

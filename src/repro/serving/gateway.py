@@ -66,7 +66,8 @@ class ServingGateway:
     def __init__(self, engine: ServingEngine,
                  on_token: Optional[TokenCallback] = None,
                  on_request_complete: Optional[CompletionCallback] = None,
-                 collect_timeline: bool = False):
+                 collect_timeline: bool = False,
+                 telemetry=None):
         self.engine = engine
         self._on_token = on_token
         self._on_complete = on_request_complete
@@ -75,7 +76,15 @@ class ServingGateway:
         self._handles: Dict[int, RequestHandle] = {}
         engine.collect_timeline = collect_timeline
         self._next_id = 0
+        self._telemetry = None
         self._refresh_hooks()
+        if telemetry is not None:
+            telemetry.attach_serving(self)
+
+    @property
+    def telemetry(self):
+        """The attached :class:`repro.telemetry.Telemetry`, or None."""
+        return self._telemetry
 
     def add_completion_listener(self, listener: CompletionCallback) -> None:
         """Register an extra per-request completion callback.
@@ -177,11 +186,20 @@ class ServingGateway:
 
     def step(self) -> bool:
         """One engine iteration; False when the engine is drained."""
-        return self.engine.step()
+        progressed = self.engine.step()
+        if self._telemetry is not None:
+            self._telemetry.advance(self.engine.clock)
+        return progressed
 
     def run_until_drained(self) -> ServingResult:
         """Serve until everything submitted so far has finished."""
-        self.engine.run_until_drained()
+        if self._telemetry is None:
+            self.engine.run_until_drained()
+        else:
+            # step() advances the telemetry clock each iteration; the
+            # direct engine path above stays the telemetry-off fast path
+            while self.step():
+                pass
         return self.result()
 
     def result(self) -> ServingResult:
@@ -220,6 +238,8 @@ class ServingGateway:
         self._handles.clear()
         self._next_id = 0
         self._refresh_hooks()
+        if self._telemetry is not None:
+            self._telemetry.reset()
 
     def replay(self, trace: Trace,
                cancels: Optional[CancelSchedule] = None) -> ServingResult:

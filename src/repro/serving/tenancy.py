@@ -63,6 +63,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..sim import (Arrival, BucketRefill, Cancel, EventQueue, KeyedHeap,
                    SimKernel)
+from ..sim import events as sim_events
 from ..sim import sanitizer as _sanitizer
 from ..workload.spec import Trace, TraceRequest
 from .cluster import ClusterGateway
@@ -435,12 +436,14 @@ class AdmissionController:
                 self.load_of(tid) >= tenant.max_outstanding:
             stats.rejected += 1
             self.decisions[request.request_id] = AdmissionDecision.REJECTED
+            self._emit_decision(request, tid, AdmissionDecision.REJECTED)
             return AdmissionDecision.REJECTED
 
         if self.shed and predicted_ttft_s is not None and \
                 predicted_ttft_s > tenant.slo_s:
             stats.shed += 1
             self.decisions[request.request_id] = AdmissionDecision.SHED
+            self._emit_decision(request, tid, AdmissionDecision.SHED)
             return AdmissionDecision.SHED
 
         arrival = request.arrival_s
@@ -455,6 +458,7 @@ class AdmissionController:
                 stats.rejected += 1
                 self.decisions[request.request_id] = \
                     AdmissionDecision.REJECTED
+                self._emit_decision(request, tid, AdmissionDecision.REJECTED)
                 return AdmissionDecision.REJECTED
         # the billing meter: every accepted request's tokens are charged
         # to its tenant (metered or not) — serving.economics prices them
@@ -487,7 +491,24 @@ class AdmissionController:
         else:
             stats.deferred += 1
         self.decisions[request.request_id] = decision
+        self._emit_decision(request, tid, decision)
         return decision
+
+    def _emit_decision(self, request: TraceRequest, tid: str,
+                       decision: AdmissionDecision) -> None:
+        """Publish the verdict as a typed sim event (telemetry/journal).
+
+        Gated on :meth:`SimKernel.wants` so the no-listeners path
+        constructs nothing — admission stays allocation-free when
+        neither a journal nor a telemetry layer is attached.
+        """
+        kernel = self._kernel
+        if kernel is not None and \
+                kernel.wants(sim_events.AdmissionDecision):
+            kernel.emit(sim_events.AdmissionDecision(
+                time=request.arrival_s, request_id=request.request_id,
+                tenant_id=tid, decision=decision.value,
+                model_id=request.model_id))
 
     # ------------------------------------------------------------------ #
     # the release point
@@ -663,6 +684,7 @@ class TenantGateway:
     def __init__(self, gateway: Union[ServingGateway, ClusterGateway],
                  controller: Optional[AdmissionController] = None,
                  tenants: Sequence[Tenant] = (), journal: bool = False,
+                 telemetry=None,
                  **controller_kwargs):
         if controller is not None and (tenants or controller_kwargs):
             raise ValueError("pass either a controller or tenant/kwargs")
@@ -695,6 +717,14 @@ class TenantGateway:
         self._dispatched_unfinished = 0
         self._recent_finish: Deque[float] = deque(
             maxlen=8 * _MIN_COMPLETIONS_FOR_PREDICTION)
+        self._telemetry = None
+        if telemetry is not None:
+            telemetry.attach_tenancy(self)
+
+    @property
+    def telemetry(self):
+        """The attached :class:`repro.telemetry.Telemetry`, or None."""
+        return self._telemetry
 
     # ------------------------------------------------------------------ #
     # the single-gateway surface
@@ -980,6 +1010,8 @@ class TenantGateway:
         self._next_id = 0
         self._floor = 0.0
         self._dispatched_unfinished = 0
+        if self._telemetry is not None:
+            self._telemetry.reset()      # idempotent (inner resets it too)
 
     # ------------------------------------------------------------------ #
     # handle plumbing
@@ -1057,6 +1089,11 @@ class TenantGateway:
                             reason: str) -> None:
         """Terminal record for a request withdrawn at the frontier."""
         status = "expired" if reason == "deadline" else "cancelled"
+        if self.kernel.wants(sim_events.PhaseTransition):
+            self.kernel.emit(sim_events.PhaseTransition(
+                time=at_s, request_id=request.request_id, phase="retire",
+                model_id=request.model_id, tenant_id=request.tenant_id,
+                status=status, source="frontier"))
         record = synthesized_abort_record(request, at_s, status)
         self._frontier_records.append(record)
         self._terminal_ids.add(request.request_id)

@@ -26,8 +26,9 @@ arrivals and stall-jumps from an :class:`EventQueue` on a
 """
 
 from .clock import SimClock
-from .events import (Arrival, AutoscalerTick, BucketRefill, Cancel, Event,
-                     IterationDone, ReplicaDrain, ReplicaSpawn)
+from .events import (AdmissionDecision, Arrival, AutoscalerTick, BucketRefill,
+                     Cancel, Event, IterationDone, PhaseTransition,
+                     ReplicaDrain, ReplicaSpawn, TelemetryTick)
 from .kernel import SimKernel
 from .queue import EventQueue, KeyedHeap
 from .sanitizer import SimSanitizerError, new_clock
@@ -37,6 +38,7 @@ __all__ = [
     "SimClock", "EventQueue", "KeyedHeap", "SimKernel",
     "Event", "Arrival", "Cancel", "IterationDone", "BucketRefill",
     "AutoscalerTick", "ReplicaSpawn", "ReplicaDrain",
+    "PhaseTransition", "AdmissionDecision", "TelemetryTick",
     "SimSanitizerError", "new_clock",
     "chrome_trace_events", "export_chrome_trace",
 ]

@@ -32,6 +32,17 @@ Producers and consumers:
   controller after every step.
 * :class:`ReplicaSpawn` / :class:`ReplicaDrain` — replica-set changes,
   journaled so a run's scaling history is reconstructible from events.
+* :class:`PhaseTransition` — a request crossing a lifecycle boundary
+  (``queue → prefill → decode → retire``).  Emitted by
+  :class:`~repro.serving.base.ServingEngine` (and by the tenancy
+  frontier for shed/rejected requests that never reach an engine) so the
+  telemetry layer can assemble per-request spans without scraping
+  per-request state.
+* :class:`AdmissionDecision` — the admission controller's verdict on one
+  offered request (admitted / deferred / shed / rejected), emitted by
+  :class:`~repro.serving.tenancy.AdmissionController`.
+* :class:`TelemetryTick` — a periodic gauge-snapshot poll scheduled by
+  :class:`~repro.telemetry.Telemetry`.
 """
 
 from __future__ import annotations
@@ -42,6 +53,7 @@ from typing import Any, Optional
 __all__ = [
     "Event", "Arrival", "Cancel", "IterationDone", "BucketRefill",
     "AutoscalerTick", "ReplicaSpawn", "ReplicaDrain",
+    "PhaseTransition", "AdmissionDecision", "TelemetryTick",
 ]
 
 
@@ -133,3 +145,51 @@ class ReplicaDrain(Event):
     """A replica stopped accepting new work and will retire when idle."""
 
     replica_id: int = -1
+
+
+@dataclass(frozen=True)
+class PhaseTransition(Event):
+    """A request entered lifecycle ``phase`` at ``time``.
+
+    Phases: ``"queue"`` (arrived at an engine queue), ``"prefill"``
+    (first scheduled into a batch), ``"decode"`` (first output token),
+    ``"retire"`` (reached a terminal state — ``status`` carries the
+    terminal :class:`~repro.serving.request.RequestState` value, e.g.
+    ``"finished"`` / ``"cancelled"`` / ``"expired"``).  ``source`` names
+    the emitting engine/frontier and never participates in equality, so
+    replay comparisons ignore which replica happened to host the span.
+    """
+
+    request_id: int = -1
+    phase: str = "queue"      # "queue" | "prefill" | "decode" | "retire"
+    model_id: str = ""
+    tenant_id: Optional[str] = None
+    status: str = ""          # terminal state value, retire only
+    source: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def sort_key(self) -> float:
+        return self.request_id
+
+
+@dataclass(frozen=True)
+class AdmissionDecision(Event):
+    """The admission controller's verdict on one offered request.
+
+    ``decision`` is the string value of the tenancy layer's decision
+    enum: ``"admitted"`` / ``"deferred"`` / ``"shed"`` / ``"rejected"``.
+    """
+
+    request_id: int = -1
+    tenant_id: str = ""
+    decision: str = ""
+    model_id: str = ""
+
+    @property
+    def sort_key(self) -> float:
+        return self.request_id
+
+
+@dataclass(frozen=True)
+class TelemetryTick(Event):
+    """A periodic gauge-snapshot poll on the telemetry timeline."""

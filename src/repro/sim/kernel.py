@@ -60,11 +60,7 @@ class SimKernel:
         self._subscribers.setdefault(event_type, []).append(fn)
         self._resolved.clear()
 
-    def emit(self, event: Event) -> None:
-        """Record an event on this timeline and notify subscribers."""
-        if self.journal is not None:
-            self.journal.append(event)
-        cls = type(event)
+    def _resolve(self, cls: Type[Event]) -> Tuple[Subscriber, ...]:
         fns = self._resolved.get(cls)
         if fns is None:
             # resolve the subclass checks once per concrete type, in
@@ -75,7 +71,24 @@ class SimKernel:
                         if issubclass(cls, event_type)
                         for fn in subs)
             self._resolved[cls] = fns
-        for fn in fns:
+        return fns
+
+    def wants(self, event_type: Type[Event]) -> bool:
+        """Would an emitted ``event_type`` be observed by anyone?
+
+        True when the journal is on or at least one subscriber matches.
+        Producers use this to skip *constructing* events nobody would
+        see, keeping the zero-listeners path allocation-free.
+        """
+        if self.journal is not None:
+            return True
+        return bool(self._resolve(event_type))
+
+    def emit(self, event: Event) -> None:
+        """Record an event on this timeline and notify subscribers."""
+        if self.journal is not None:
+            self.journal.append(event)
+        for fn in self._resolve(type(event)):
             fn(event)
 
     def reset(self) -> None:

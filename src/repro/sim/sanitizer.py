@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING, Iterator, Optional, Set
 
 from .clock import SimClock
 from .events import (AutoscalerTick, Cancel, Event, ReplicaDrain,
-                     ReplicaSpawn)
+                     ReplicaSpawn, TelemetryTick)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .kernel import SimKernel
@@ -172,7 +172,8 @@ def install(kernel: "SimKernel") -> "SimKernel":
 #: :class:`SanitizedClock`.  BucketRefill eligibility is computed at a
 #: request's arrival and may already have passed when a late-offered
 #: request is charged retroactively.
-_KERNEL_TIMELINE_EVENTS = (AutoscalerTick, ReplicaSpawn, ReplicaDrain)
+_KERNEL_TIMELINE_EVENTS = (AutoscalerTick, ReplicaSpawn, ReplicaDrain,
+                           TelemetryTick)
 
 
 def check_event(kernel: "SimKernel", event: Event,

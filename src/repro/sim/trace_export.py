@@ -2,28 +2,38 @@
 
 ``SimKernel(journal=True)`` records every typed event that crossed a
 timeline — engine iterations, replica spawns/drains, autoscaler ticks,
-bucket refills, cancellations.  This module renders that journal in the
-Chrome ``about:tracing`` / Perfetto JSON format, so a run's scheduling
-history (including cancel/deadline activity) can be opened in
-``chrome://tracing`` and inspected visually.
+bucket refills, cancellations, and (with telemetry wired) per-request
+phase transitions.  This module renders that journal in the Chrome
+``about:tracing`` / Perfetto JSON format, so a run's scheduling history
+can be opened in ``chrome://tracing`` and inspected visually.
 
 Mapping: :class:`~repro.sim.IterationDone` becomes a complete ("X") span
-on its source engine's track, everything else an instant ("i") event;
-simulated seconds become trace microseconds.  The CLI ``cluster``
-subcommand exposes this through ``--trace-out``.
+on its source engine's track; :class:`~repro.sim.PhaseTransition`
+streams are folded into *nested* "X" slices — one outer request slice
+per lifecycle, with ``queue``/``prefill``/``decode`` sub-slices under it
+— on a per-request track carrying tenant/variant args.  Everything else
+renders as an instant ("i") event; cancellations are attributed to the
+originating tenant when the journal identifies one.  Simulated seconds
+become trace microseconds.  The CLI ``cluster`` and ``tenancy``
+subcommands expose this through ``--trace-out``.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable, List, Union
+from typing import IO, Dict, Iterable, List, Optional, Tuple, Union
 
-from .events import (Arrival, AutoscalerTick, BucketRefill, Cancel, Event,
-                     IterationDone, ReplicaDrain, ReplicaSpawn)
+from .events import (AdmissionDecision, Arrival, AutoscalerTick,
+                     BucketRefill, Cancel, Event, IterationDone,
+                     PhaseTransition, ReplicaDrain, ReplicaSpawn,
+                     TelemetryTick)
 
 __all__ = ["chrome_trace_events", "export_chrome_trace"]
 
 _US = 1e6      # simulated seconds -> trace microseconds
+
+#: lifecycle phase order used to close nested request sub-slices
+_PHASE_ORDER = ("queue", "prefill", "decode")
 
 
 def _instant(name: str, time_s: float, tid: str, **args: object) -> dict:
@@ -31,8 +41,113 @@ def _instant(name: str, time_s: float, tid: str, **args: object) -> dict:
             "tid": tid, "s": "t", "args": args}
 
 
+def _slice(name: str, start_s: float, end_s: float, tid: str,
+           **args: object) -> dict:
+    return {"name": name, "ph": "X", "ts": start_s * _US,
+            "dur": max(0.0, end_s - start_s) * _US, "pid": 0,
+            "tid": tid, "args": args}
+
+
+class _RequestTrack:
+    """Accumulates one request's identity + phase entry times."""
+
+    __slots__ = ("tenant_id", "model_id", "source", "phases", "retire_s",
+                 "status", "cancel_reason")
+
+    def __init__(self) -> None:
+        self.tenant_id: Optional[str] = None
+        self.model_id: str = ""
+        self.source: Optional[str] = None
+        self.phases: Dict[str, float] = {}
+        self.retire_s: Optional[float] = None
+        self.status: str = ""
+        self.cancel_reason: Optional[str] = None
+
+
+def _scan_requests(journal: Iterable[Event]
+                   ) -> Dict[int, _RequestTrack]:
+    """First pass: fold request identity + lifecycle out of the journal."""
+    tracks: Dict[int, _RequestTrack] = {}
+
+    def track(rid: int) -> _RequestTrack:
+        t = tracks.get(rid)
+        if t is None:
+            t = tracks[rid] = _RequestTrack()
+        return t
+
+    for event in journal:
+        if isinstance(event, Arrival):
+            t = track(event.request_id)
+            req = event.request
+            tenant = getattr(req, "tenant_id", None)
+            if tenant is not None:
+                t.tenant_id = tenant
+            model = getattr(req, "model_id", "")
+            if model:
+                t.model_id = model
+        elif isinstance(event, PhaseTransition):
+            t = track(event.request_id)
+            if event.tenant_id is not None:
+                t.tenant_id = event.tenant_id
+            if event.model_id:
+                t.model_id = event.model_id
+            if event.source is not None:
+                t.source = event.source
+            if event.phase == "retire":
+                if t.retire_s is None:
+                    t.retire_s = event.time
+                    t.status = event.status or "finished"
+            else:
+                t.phases.setdefault(event.phase, event.time)
+        elif isinstance(event, AdmissionDecision):
+            t = track(event.request_id)
+            if event.tenant_id:
+                t.tenant_id = event.tenant_id
+            if event.model_id:
+                t.model_id = event.model_id
+        elif isinstance(event, Cancel):
+            track(event.request_id).cancel_reason = event.reason
+    return tracks
+
+
+def _request_slices(rid: int, t: _RequestTrack) -> List[dict]:
+    """Nested "X" slices for one closed request lifecycle."""
+    if t.retire_s is None or not t.phases:
+        return []
+    entered: List[Tuple[str, float]] = [
+        (name, t.phases[name]) for name in _PHASE_ORDER
+        if name in t.phases]
+    start = entered[0][1]
+    args: Dict[str, object] = {"request_id": rid, "status": t.status}
+    if t.tenant_id is not None:
+        args["tenant"] = t.tenant_id
+    if t.model_id:
+        args["variant"] = t.model_id
+    if t.source is not None:
+        args["replica"] = t.source
+    if t.cancel_reason is not None:
+        args["cancel_reason"] = t.cancel_reason
+    tid = f"req:{rid}"
+    out = [_slice(t.model_id or f"request-{rid}", start, t.retire_s,
+                  tid, **args)]
+    for i, (name, phase_start) in enumerate(entered):
+        phase_end = entered[i + 1][1] if i + 1 < len(entered) \
+            else t.retire_s
+        out.append(_slice(name, phase_start, phase_end, tid,
+                          request_id=rid))
+    return out
+
+
 def chrome_trace_events(journal: Iterable[Event]) -> List[dict]:
-    """One Chrome ``traceEvents`` dict per journaled event."""
+    """Chrome ``traceEvents`` dicts for a journal.
+
+    Journal order is preserved for the instant/engine events; the folded
+    per-request lifecycle slices follow, grouped by request id.
+    :class:`~repro.sim.PhaseTransition` events render only through that
+    folded form (an instant per transition would bury the trace).
+    """
+    journal = list(journal)
+    tracks = _scan_requests(journal)
     out: List[dict] = []
     for event in journal:
         if isinstance(event, IterationDone):
@@ -47,8 +162,13 @@ def chrome_trace_events(journal: Iterable[Event]) -> List[dict]:
                          "n_admitted": event.n_admitted,
                          "n_finished": event.n_finished}})
         elif isinstance(event, Cancel):
+            track = tracks.get(event.request_id)
+            extra: Dict[str, object] = {}
+            if track is not None and track.tenant_id is not None:
+                extra["tenant"] = track.tenant_id
             out.append(_instant(f"cancel:{event.reason}", event.time,
-                                "cancel", request_id=event.request_id))
+                                "cancel", request_id=event.request_id,
+                                **extra))
         elif isinstance(event, ReplicaSpawn):
             out.append(_instant("spawn", event.time, "replicas",
                                 replica_id=event.replica_id,
@@ -62,11 +182,22 @@ def chrome_trace_events(journal: Iterable[Event]) -> List[dict]:
                                 request_id=event.request_id))
         elif isinstance(event, AutoscalerTick):
             out.append(_instant("autoscaler-tick", event.time, "autoscaler"))
+        elif isinstance(event, AdmissionDecision):
+            out.append(_instant(f"admission:{event.decision}", event.time,
+                                f"tenant:{event.tenant_id}",
+                                request_id=event.request_id,
+                                variant=event.model_id))
+        elif isinstance(event, TelemetryTick):
+            out.append(_instant("telemetry-tick", event.time, "telemetry"))
+        elif isinstance(event, PhaseTransition):
+            pass    # folded into the nested request slices below
         elif isinstance(event, Arrival):
             out.append(_instant("arrival", event.time, "arrivals",
                                 request_id=event.request_id))
         else:  # future event types still land on a generic track
             out.append(_instant(type(event).__name__, event.time, "events"))
+    for rid in sorted(tracks):
+        out.extend(_request_slices(rid, tracks[rid]))
     return out
 
 

@@ -1,0 +1,268 @@
+"""Live ops plane: spans, gauges, and scenario drills over kernel events.
+
+The serving stack already publishes a typed event stream through its
+:class:`~repro.sim.SimKernel`\\ s; this package turns that stream into
+the observability surface a production deployment would have:
+
+* :class:`SpanRecorder` (:mod:`repro.telemetry.spans`) — per-request
+  lifecycle spans (``queue → prefill → decode → retire``) with
+  tenant/model/replica attributes;
+* :class:`GaugeBoard` (:mod:`repro.telemetry.gauges`) — periodic gauge
+  snapshots (backlog, occupancy, shed rate, per-tenant SLO attainment,
+  replica count) in a bounded ring, consumable mid-run;
+* :mod:`repro.telemetry.scenarios` — named stress drills (replica
+  failure mid-burst, thundering herd, scale-from-zero, noisy neighbor)
+  that *assert* recovery invariants instead of just plotting curves.
+
+Wire it by passing ``telemetry=Telemetry(...)`` to the outermost
+gateway (``ServingGateway`` / ``ClusterGateway`` / ``TenantGateway``);
+the facade retrofits every layer underneath.  Telemetry is pure
+observation: records and replay order are bit-identical with it on,
+off, or absent — the regression tests and ``bench_step_overhead.py``
+pin that down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..serving.base import ServingEngine
+from ..serving.cluster import ClusterGateway
+from ..serving.gateway import ServingGateway
+from ..serving.streaming_metrics import RecordPolicy
+from ..sim.events import Event, TelemetryTick
+from ..sim.kernel import SimKernel
+from .gauges import GaugeBoard, GaugeSnapshot
+from .spans import RequestSpan, SpanRecorder
+
+__all__ = [
+    "Telemetry", "SpanRecorder", "RequestSpan", "GaugeBoard",
+    "GaugeSnapshot",
+]
+
+#: default gauge polling period (simulated seconds)
+DEFAULT_INTERVAL_S = 1.0
+
+
+class Telemetry:
+    """The live telemetry plane for one serving stack.
+
+    Owns a :class:`~repro.sim.SimKernel` of its own (so journaling the
+    telemetry stream never perturbs the serving kernels), a
+    :class:`SpanRecorder` subscribed to it, and a :class:`GaugeBoard`
+    filled on a :class:`~repro.sim.TelemetryTick` cadence of
+    ``interval_s`` simulated seconds (``None`` disables gauge polling;
+    spans still record).  ``span_policy`` defaults to the attached
+    engine's ``record_policy``, so ``DROP`` stacks keep span memory
+    O(active) automatically.
+
+    Attach by passing the instance as the ``telemetry=`` kwarg of the
+    *outermost* gateway; each layer's constructor calls the matching
+    ``attach_*`` method, which subscribes the layer's kernel and flips
+    the engines' ``emit_phases`` wiring.
+    """
+
+    def __init__(self, interval_s: Optional[float] = DEFAULT_INTERVAL_S,
+                 gauge_capacity: int = 1024,
+                 journal: bool = False,
+                 span_policy: "Optional[RecordPolicy | str]" = None,
+                 span_sample_k: int = 256) -> None:
+        if interval_s is not None and interval_s <= 0:
+            raise ValueError("interval_s must be > 0 (or None to disable)")
+        self.kernel = SimKernel(journal=journal)
+        self._pinned_policy = None if span_policy is None \
+            else RecordPolicy(span_policy)
+        self.spans = SpanRecorder(
+            policy=self._pinned_policy or RecordPolicy.KEEP_ALL,
+            sample_k=span_sample_k)
+        self.gauges = GaugeBoard(gauge_capacity)
+        self.interval_s = interval_s
+        self._next_tick: Optional[float] = None
+        self._serving: Optional[ServingGateway] = None
+        self._cluster: Optional[ClusterGateway] = None
+        self._tenancy = None            # TenantGateway (import cycle)
+        self._shed_prev: Tuple[float, float] = (0.0, 0.0)
+        self.spans.subscribe(self.kernel)
+
+    # ------------------------------------------------------------------ #
+    # attachment (called from the gateways' constructors)
+    # ------------------------------------------------------------------ #
+    def _adopt_policy(self, policy: RecordPolicy) -> None:
+        """Inherit the stack's record policy unless the user pinned one."""
+        if self._pinned_policy is None and self.spans.n_closed == 0:
+            self.spans.policy = RecordPolicy(policy)
+
+    def _wire_engine(self, engine: ServingEngine) -> None:
+        """Point an engine's event hook at the telemetry kernel (chained
+        after any pre-existing hook) and enable phase emission."""
+        prev = engine.on_event
+        emit = self.kernel.emit
+        if prev is None:
+            engine.on_event = emit
+        elif prev is not emit:
+            chained = prev
+            def fanout(event: Event) -> None:
+                chained(event)
+                emit(event)
+            engine.on_event = fanout
+        engine.emit_phases = True
+
+    def attach_serving(self, gateway: ServingGateway) -> None:
+        """Wire a bare :class:`ServingGateway` (engine events flow
+        straight into the telemetry kernel)."""
+        if gateway.telemetry is self:
+            return
+        gateway._telemetry = self
+        self._serving = gateway
+        self._adopt_policy(gateway.record_policy)
+        self._wire_engine(gateway.engine)
+
+    def attach_cluster(self, gateway: ClusterGateway) -> None:
+        """Wire a :class:`ClusterGateway`: the cluster kernel forwards
+        every event (spawns, drains, ticks, replica engine events) into
+        the telemetry kernel; replica engines publish phases."""
+        if gateway.telemetry is self:
+            return
+        gateway._telemetry = self
+        self._cluster = gateway
+        self._adopt_policy(gateway.record_policy)
+        gateway.kernel.subscribe(Event, self.kernel.emit)
+        for replica in gateway.replicas + gateway.retired:
+            engine = replica.engine
+            if engine.on_event is None:
+                engine.on_event = gateway.kernel.emit
+            engine.emit_phases = True
+
+    def attach_tenancy(self, gateway) -> None:
+        """Wire a :class:`~repro.serving.tenancy.TenantGateway` plus the
+        gateway it wraps; the tenancy kernel (admission decisions,
+        bucket refills, frontier retirements) forwards too."""
+        if gateway.telemetry is self:
+            return
+        inner = gateway.inner
+        if isinstance(inner, ClusterGateway):
+            self.attach_cluster(inner)
+        elif isinstance(inner, ServingGateway):
+            self.attach_serving(inner)
+        gateway._telemetry = self
+        self._tenancy = gateway
+        gateway.kernel.subscribe(Event, self.kernel.emit)
+
+    # ------------------------------------------------------------------ #
+    # the clock hook (driven by the innermost stepping layer)
+    # ------------------------------------------------------------------ #
+    def advance(self, now: float) -> None:
+        """Advance telemetry time to ``now``, firing every due
+        :class:`~repro.sim.TelemetryTick` (and gauge snapshot) on the
+        way.  The telemetry clock advances *before* each tick is
+        emitted, so the sanitizer's no-past-events invariant holds."""
+        interval = self.interval_s
+        if interval is None:
+            self.kernel.clock.advance(now)
+            return
+        if self._next_tick is None:
+            self._next_tick = interval
+        while self._next_tick <= now:
+            t = self._next_tick
+            self.kernel.clock.advance(t)
+            self.kernel.emit(TelemetryTick(time=t))
+            self.gauges.record(self._snapshot(t))
+            self._next_tick = t + interval
+        self.kernel.clock.advance(now)
+
+    # ------------------------------------------------------------------ #
+    # gauge assembly
+    # ------------------------------------------------------------------ #
+    def _engines(self) -> List[ServingEngine]:
+        if self._cluster is not None:
+            return [r.engine for r in self._cluster.replicas]
+        if self._serving is not None:
+            return [self._serving.engine]
+        return []
+
+    def _snapshot(self, t: float) -> GaugeSnapshot:
+        engines = self._engines()
+        if self._cluster is not None:
+            backlog = self._cluster.backlog
+            n_replicas = self._cluster.n_replicas
+        elif self._serving is not None:
+            backlog = self._serving.backlog
+            n_replicas = 1
+        else:
+            backlog, n_replicas = 0, 0
+
+        queued = 0
+        unfinished = backlog
+        shed_rate = 0.0
+        attainment: Dict[str, float] = {}
+        tenancy = self._tenancy
+        if tenancy is not None:
+            controller = tenancy.controller
+            queued = controller.total_queued
+            backlog += queued
+            unfinished = tenancy.unfinished
+            shed_total = float(sum(s.shed + s.rejected
+                                   for s in controller.stats.values()))
+            prev_t, prev_shed = self._shed_prev
+            if t > prev_t:
+                shed_rate = (shed_total - prev_shed) / (t - prev_t)
+            self._shed_prev = (t, shed_total)
+            for tid in sorted(controller.stats):
+                stats = controller.stats[tid]
+                if not stats.offered:
+                    attainment[tid] = 1.0
+                    continue
+                slo_s = controller.tenant(tid).slo_s
+                met = sum(e.metrics.for_tenant(tid)
+                          .slo_met_count(slo_s, metric="ttft")
+                          for e in engines)
+                attainment[tid] = met / stats.offered
+        elif self._serving is not None:
+            unfinished = self._serving.unfinished
+        elif self._cluster is not None:
+            unfinished = self._cluster.unfinished
+
+        batch = kv = 0.0
+        if engines:
+            utils = [e.utilization() for e in engines]
+            batch = sum(u["batch_occupancy"] for u in utils) / len(utils)
+            kv = sum(u["kv_occupancy"] for u in utils) / len(utils)
+        n_retired = sum(e.metrics.n_observed for e in engines)
+        return GaugeSnapshot(
+            time_s=t, backlog=backlog, unfinished=unfinished,
+            queued_at_admission=queued, n_replicas=n_replicas,
+            batch_occupancy=batch, kv_occupancy=kv,
+            shed_rate_per_s=shed_rate, n_retired=n_retired,
+            spans_active=self.spans.active_count, attainment=attainment)
+
+    # ------------------------------------------------------------------ #
+    # read side
+    # ------------------------------------------------------------------ #
+    def latest(self) -> Optional[GaugeSnapshot]:
+        """The most recent gauge snapshot (None before the first tick)."""
+        return self.gauges.latest()
+
+    def series(self, key: Optional[str] = None) -> List[object]:
+        """Retained snapshots (or one gauge's values) in time order."""
+        return self.gauges.series(key)
+
+    def summary(self) -> Dict[str, object]:
+        """One dict for dashboards/tests: span + gauge state so far."""
+        latest = self.latest()
+        return {"spans": self.spans.summary(),
+                "n_snapshots": len(self.gauges),
+                "latest": None if latest is None else latest.as_dict()}
+
+    def reset(self) -> None:
+        """Fresh timeline (idempotent; every wired layer's ``reset()``
+        calls this, and layers share one telemetry instance)."""
+        self.kernel.reset()
+        self.spans.clear()
+        self.gauges.clear()
+        self._next_tick = None
+        self._shed_prev = (0.0, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Telemetry(interval_s={self.interval_s}, "
+                f"snapshots={len(self.gauges)}, "
+                f"spans_closed={self.spans.n_closed})")
