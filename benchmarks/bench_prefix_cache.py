@@ -1,0 +1,230 @@
+"""Prefix/KV-cache reuse: repeat-turn TTFT and throughput vs cache on/off.
+
+Multi-turn conversations replay their entire accumulated context on every
+turn; without prefix reuse the engine re-prefills tokens whose KV state it
+already computed.  This driver sweeps prefix-share regimes (no shared
+prefix / medium / high) over a session trace and measures, per cell and
+per cache mode:
+
+* **repeat-turn TTFT p50** — first-token latency for turns ≥ 2 of a
+  conversation (the turns a radix prefix hit can accelerate);
+* **goodput** — finished requests per second;
+* **hit rate / saved prefill tokens** — from the engine's counters.
+
+Expected shape: with caching on, repeat turns skip re-prefilling the
+cached context and TTFT collapses toward the cost of the new suffix
+alone; the high-share regime must show at least ``MIN_REPEAT_TTFT_SPEEDUP``.
+The driver also asserts the two determinism contracts: a cache-off run
+must be record-identical to the same trace with all conversation metadata
+stripped (the metadata is inert unless caching is enabled), and a
+cache-on run must be record-identical across repeated runs.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_prefix_cache.py [--quick]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.hardware import GPUNode, node_from_name
+from repro.serving import (EngineConfig, LLAMA_7B, ModelManager,
+                           SchedulerConfig, ServingGateway, create_engine)
+from repro.workload import Trace, TraceRequest, session_trace
+
+N_MODELS = 4
+TRACE_SEED = 23
+#: conversation starts per second — light enough that turn k usually
+#: retires (committing its prefix) before turn k+1 arrives
+CONV_RATE = 0.15
+PREFIX_BLOCK_TOKENS = 16
+#: repeat-turn TTFT p50 improvement floor for the high-share regime
+MIN_REPEAT_TTFT_SPEEDUP = 2.0
+
+#: (label, shared system-prompt tokens, mean turns per conversation)
+REGIMES = [
+    ("none", 0, 1.5),
+    ("medium", 128, 3.0),
+    ("high", 256, 6.0),
+]
+
+
+def make_manager() -> ModelManager:
+    mgr = ModelManager(LLAMA_7B)
+    mgr.register_base("base")
+    for i in range(N_MODELS):
+        mgr.register_delta(f"variant-{i:02d}", "base", 8.0)
+    return mgr
+
+
+def make_gateway(mgr: ModelManager, prefix_cache: bool) -> ServingGateway:
+    engine = create_engine(
+        "deltazip", mgr, GPUNode(node_from_name("a800", 1)),
+        scheduler_config=SchedulerConfig(max_batch_requests=8,
+                                         max_concurrent_deltas=4),
+        engine_config=EngineConfig(
+            tp_degree=1, prefix_cache=prefix_cache,
+            prefix_block_tokens=PREFIX_BLOCK_TOKENS))
+    return ServingGateway(engine)
+
+
+def record_key(rec):
+    return (rec.request_id, rec.model_id, rec.finish_s, rec.first_token_s,
+            rec.queue_wait_s, rec.loading_s, rec.inference_s, rec.status)
+
+
+def full_key(rec):
+    return record_key(rec) + (rec.conversation_id, rec.cached_prefix_tokens)
+
+
+def strip_metadata(trace: Trace) -> Trace:
+    """The same trace with every conversation/prefix tag removed —
+    what a pre-prefix-cache trace generator would have produced."""
+    requests = [TraceRequest(request_id=r.request_id, model_id=r.model_id,
+                             arrival_s=r.arrival_s,
+                             prompt_tokens=r.prompt_tokens,
+                             output_tokens=r.output_tokens,
+                             tenant_id=r.tenant_id, deadline_s=r.deadline_s)
+                for r in trace.requests]
+    return Trace(requests=requests, model_ids=list(trace.model_ids),
+                 duration_s=trace.duration_s)
+
+
+def repeat_turn_ttfts(records):
+    """TTFTs of finished turns ≥ 2, grouped per conversation."""
+    convs = {}
+    for rec in records:
+        if rec.conversation_id is not None and rec.status == "finished":
+            convs.setdefault(rec.conversation_id, []).append(rec)
+    out = []
+    for recs in convs.values():
+        recs.sort(key=lambda r: (r.arrival_s, r.request_id))
+        out.extend(r.ttft_s for r in recs[1:])
+    return out
+
+
+def run_cell(mgr, trace, prefix_cache: bool):
+    gateway = make_gateway(mgr, prefix_cache)
+    start = time.perf_counter()
+    result = gateway.replay(trace)
+    wall_s = time.perf_counter() - start
+    repeats = repeat_turn_ttfts(result.records)
+    stats = result.stats
+    prompt_total = sum(r.prompt_tokens for r in trace.requests)
+    cell = {
+        "prefix_cache": prefix_cache,
+        "n_requests": result.n_requests,
+        "n_finished": result.n_finished,
+        "n_repeat_turns": len(repeats),
+        "repeat_ttft_p50_s": statistics.median(repeats) if repeats else 0.0,
+        "ttft_p50_s": result.percentile_ttft_s(50),
+        "goodput_rps": result.goodput_rps(),
+        "prefix_hit_rate": stats.prefix_hit_rate if stats else 0.0,
+        "prefix_saved_tokens": stats.prefix_hit_tokens if stats else 0,
+        "saved_prefill_fraction":
+            (stats.prefix_hit_tokens / prompt_total)
+            if stats and prompt_total else 0.0,
+        "wall_s": wall_s,
+    }
+    return cell, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter trace for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_prefix.json",
+                        help="where to write the results JSON")
+    args = parser.parse_args(argv)
+
+    duration_s = 240.0 if args.quick else 600.0
+    mgr = make_manager()
+
+    # determinism contracts, checked on the high-share regime
+    _, shared, turns = REGIMES[-1]
+    probe = session_trace(N_MODELS, CONV_RATE, duration_s, seed=TRACE_SEED,
+                          shared_prefix_tokens=shared, mean_turns=turns)
+
+    # 1. metadata inertness: cache-off on the tagged trace must be
+    #    bit-identical to cache-off on the same trace stripped of every
+    #    conversation/prefix tag (the pre-PR record stream)
+    tagged = make_gateway(mgr, prefix_cache=False).replay(probe)
+    stripped = make_gateway(mgr, prefix_cache=False).replay(
+        strip_metadata(probe))
+    off_identical = [record_key(r) for r in tagged.records] == \
+        [record_key(r) for r in stripped.records]
+    if not off_identical:
+        print("FAIL: conversation metadata changed a cache-off replay")
+        return 1
+    assert all(r.cached_prefix_tokens == 0 for r in tagged.records), \
+        "cache-off records must never report cached prefix tokens"
+
+    # 2. cache-on determinism: two runs over the same trace must agree
+    #    on every record, including the cached-prefix accounting
+    on_a = make_gateway(mgr, prefix_cache=True).replay(probe)
+    on_b = make_gateway(mgr, prefix_cache=True).replay(probe)
+    on_identical = [full_key(r) for r in on_a.records] == \
+        [full_key(r) for r in on_b.records]
+    if not on_identical:
+        print("FAIL: cache-on replay is not run-to-run deterministic")
+        return 1
+
+    regimes = []
+    print(f"{'regime':>8s} {'cache':>5s} {'turns':>5s} {'rep_p50':>8s} "
+          f"{'p50_ttft':>9s} {'goodput':>8s} {'hit':>5s} {'saved':>7s}")
+    for label, shared, turns in REGIMES:
+        trace = session_trace(N_MODELS, CONV_RATE, duration_s,
+                              seed=TRACE_SEED, shared_prefix_tokens=shared,
+                              mean_turns=turns)
+        row = {"regime": label, "shared_prefix_tokens": shared,
+               "mean_turns": turns, "cells": {}}
+        for prefix_cache in (False, True):
+            cell, _ = run_cell(mgr, trace, prefix_cache)
+            row["cells"]["on" if prefix_cache else "off"] = cell
+            print(f"{label:>8s} {'on' if prefix_cache else 'off':>5s} "
+                  f"{cell['n_repeat_turns']:5d} "
+                  f"{cell['repeat_ttft_p50_s']:8.4f} "
+                  f"{cell['ttft_p50_s']:9.4f} {cell['goodput_rps']:8.3f} "
+                  f"{cell['prefix_hit_rate']:5.2f} "
+                  f"{cell['prefix_saved_tokens']:7d}")
+        regimes.append(row)
+
+    high = regimes[-1]["cells"]
+    speedup = high["off"]["repeat_ttft_p50_s"] / \
+        max(high["on"]["repeat_ttft_p50_s"], 1e-9)
+
+    payload = {
+        "benchmark": "prefix_cache",
+        "quick": args.quick,
+        "conv_rate_per_s": CONV_RATE,
+        "duration_s": duration_s,
+        "prefix_block_tokens": PREFIX_BLOCK_TOKENS,
+        "regimes": regimes,
+        "cache_off_records_identical": off_identical,
+        "cache_on_run_to_run_identical": on_identical,
+        "high_share_repeat_ttft_speedup": speedup,
+        "min_required_speedup": MIN_REPEAT_TTFT_SPEEDUP,
+    }
+    with open(args.out, "w") as f:
+        json.dump(payload, f, indent=2)
+    print(f"\nwrote {args.out}; high-share repeat-turn TTFT p50 improved "
+          f"{speedup:.2f}x with caching (floor {MIN_REPEAT_TTFT_SPEEDUP}x)")
+
+    if high["on"]["prefix_hit_rate"] <= 0.0:
+        print("FAIL: the high-share cache-on cell never hit the cache")
+        return 1
+    if high["on"]["n_repeat_turns"] == 0:
+        print("FAIL: the high-share regime produced no repeat turns")
+        return 1
+    if speedup < MIN_REPEAT_TTFT_SPEEDUP:
+        print("FAIL: prefix reuse must cut repeat-turn TTFT p50 by "
+              f"{MIN_REPEAT_TTFT_SPEEDUP}x on the high-share regime")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -159,7 +159,10 @@ def _cmd_simulate(args) -> int:
             scheduler_config=SchedulerConfig(
                 max_batch_requests=args.batch,
                 max_concurrent_deltas=args.deltas),
-            engine_config=EngineConfig(tp_degree=args.tp))
+            engine_config=EngineConfig(
+                tp_degree=args.tp,
+                prefix_cache=args.prefix_cache,
+                prefix_block_tokens=args.prefix_block))
         results[name] = engine.run(trace)
 
     print(f"{'system':10s} {'thr(rps)':>9s} {'mean_e2e':>9s} "
@@ -179,6 +182,10 @@ def _cmd_simulate(args) -> int:
                   f"evictions={s.evictions} preemptions={s.preemptions} "
                   f"mean_batch={s.mean_batch_size:.1f} "
                   f"mean_deltas={s.mean_deltas_per_batch:.1f}")
+            if s.prefix_lookups:
+                print(f"  prefix: hit_rate={s.prefix_hit_rate:.2f} "
+                      f"saved_tokens={s.prefix_hit_tokens} "
+                      f"evictions={s.prefix_evictions}")
     return 0
 
 
@@ -216,7 +223,10 @@ def _cmd_cluster(args) -> int:
                 scheduler_config=SchedulerConfig(
                     max_batch_requests=args.batch,
                     max_concurrent_deltas=args.deltas),
-                engine_config=EngineConfig(tp_degree=args.tp))
+                engine_config=EngineConfig(
+                    tp_degree=args.tp,
+                    prefix_cache=args.prefix_cache,
+                    prefix_block_tokens=args.prefix_block))
 
         telemetry = None
         if args.telemetry_interval is not None:
@@ -443,7 +453,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("trace", help="generate a workload trace")
     p.add_argument("--distribution", default="azure",
-                   help="uniform | zipf:<alpha> | azure")
+                   help="uniform | zipf:<alpha> | azure | session "
+                        "(multi-turn conversations with a shared "
+                        "system prompt)")
     p.add_argument("--models", type=int, default=32)
     p.add_argument("--rate", type=float, default=0.5)
     p.add_argument("--duration", type=float, default=300.0)
@@ -463,6 +475,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deltas", type=int, default=8)
     p.add_argument("--ratio", type=float, default=10.0,
                    help="assumed delta compression ratio")
+    p.add_argument("--prefix-cache", action="store_true",
+                   help="enable prefix/KV-cache reuse for conversation "
+                        "and shared-system-prompt traffic")
+    p.add_argument("--prefix-block", type=int, default=32,
+                   help="KV block size (tokens) for the prefix cache")
     # importing the package (not just .base) registers the engine classes
     from repro.serving import ENGINES
     p.add_argument("--systems", default="both",
@@ -500,6 +517,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deltas", type=int, default=8)
     p.add_argument("--ratio", type=float, default=10.0,
                    help="assumed delta compression ratio")
+    p.add_argument("--prefix-cache", action="store_true",
+                   help="enable prefix/KV-cache reuse for conversation "
+                        "and shared-system-prompt traffic")
+    p.add_argument("--prefix-block", type=int, default=32,
+                   help="KV block size (tokens) for the prefix cache")
     p.add_argument("--trace-out", default=None,
                    help="write the run's kernel journal as Chrome "
                         "about:tracing JSON (one file per replica count)")

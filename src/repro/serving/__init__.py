@@ -4,9 +4,10 @@ from .base import (Admission, ENGINES, EngineConfig, ServingEngine,
                    TimelineEvent, create_engine, register_engine)
 from .baselines import DedicatedEngine, VLLMSCBEngine
 from .cluster import (Autoscaler, AutoscalerConfig, AutoscalerSample,
-                      BALANCERS, ClusterGateway, LeastOutstandingBalancer,
-                      LineageAffinityBalancer, LoadBalancer, Replica,
-                      RoundRobinBalancer, create_balancer)
+                      BALANCERS, ClusterGateway, ConversationAffinityBalancer,
+                      LeastOutstandingBalancer, LineageAffinityBalancer,
+                      LoadBalancer, Replica, RoundRobinBalancer,
+                      create_balancer)
 from .costs import BatchComposition, IterationCostModel
 from .economics import (DeploymentCost, GPU_HOURLY_USD, compare_deployments,
                         cost_per_tenant, deployment_cost)
@@ -19,6 +20,7 @@ from .metrics import (EngineStats, ServingResult, UNTENANTED,
                       summarize_by_tenant)
 from .model_manager import ArtifactKind, ModelManager, RegisteredModel
 from .packed_compute import PackedDeltaLinear, packed_matmul
+from .prefix_cache import PrefixCache, prefix_block_keys
 from .router import BaseModelGroup, MultiBaseRouter
 from .models import (LLAMA_13B, LLAMA_70B, LLAMA_7B, MODEL_SPECS,
                      PYTHIA_2_8B, ServedModelSpec)
@@ -41,7 +43,8 @@ __all__ = [
     "create_engine", "register_engine",
     "DedicatedEngine", "VLLMSCBEngine",
     "Autoscaler", "AutoscalerConfig", "AutoscalerSample", "BALANCERS",
-    "ClusterGateway", "LeastOutstandingBalancer", "LineageAffinityBalancer",
+    "ClusterGateway", "ConversationAffinityBalancer",
+    "LeastOutstandingBalancer", "LineageAffinityBalancer",
     "LoadBalancer", "Replica", "RoundRobinBalancer", "create_balancer",
     "BatchComposition", "IterationCostModel",
     "DeploymentCost", "GPU_HOURLY_USD", "compare_deployments",
@@ -54,6 +57,7 @@ __all__ = [
     "SLO_CLASSES", "Tenant", "TenantAdmissionStats", "TenantGateway",
     "TokenBucket",
     "PackedDeltaLinear", "packed_matmul",
+    "PrefixCache", "prefix_block_keys",
     "BaseModelGroup", "MultiBaseRouter",
     "ArtifactKind", "ModelManager", "RegisteredModel",
     "LLAMA_13B", "LLAMA_70B", "LLAMA_7B", "MODEL_SPECS", "PYTHIA_2_8B",

@@ -92,6 +92,14 @@ class EngineConfig:
     engine releases terminal requests, so live memory is O(active) —
     aggregates come from the streaming sketches instead, within their
     documented relative error.
+
+    ``prefix_cache`` enables the engine's radix prefix/KV cache (see
+    :mod:`repro.serving.prefix_cache`): repeat turns of a conversation
+    skip re-prefilling their cached prefix, and the block pool is
+    charged against the same KV-token budget as running requests.  Off
+    (the default) the engine takes the exact pre-existing code path —
+    records are bit-identical to a build without the feature.
+    ``prefix_block_tokens`` is the KV block granularity of that cache.
     """
 
     tp_degree: int = 4
@@ -106,6 +114,8 @@ class EngineConfig:
     idle_quantum_s: Optional[float] = None
     record_policy: RecordPolicy = RecordPolicy.KEEP_ALL
     sample_k: int = 1024
+    prefix_cache: bool = False
+    prefix_block_tokens: int = 32
 
     def __post_init__(self):
         if self.preempt_mode not in ("swap", "recompute"):
@@ -120,6 +130,8 @@ class EngineConfig:
                                RecordPolicy(self.record_policy))
         if self.sample_k < 1:
             raise ValueError("sample_k must be >= 1")
+        if self.prefix_block_tokens < 1:
+            raise ValueError("prefix_block_tokens must be >= 1")
 
 
 @dataclass

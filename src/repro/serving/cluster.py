@@ -61,6 +61,7 @@ from .streaming_metrics import RecordPolicy
 __all__ = [
     "Replica", "LoadBalancer", "RoundRobinBalancer",
     "LeastOutstandingBalancer", "LineageAffinityBalancer",
+    "ConversationAffinityBalancer",
     "BALANCERS", "create_balancer",
     "AutoscalerConfig", "AutoscalerSample", "Autoscaler",
     "ClusterGateway",
@@ -113,21 +114,30 @@ class Replica:
 # load-balancing policies
 # --------------------------------------------------------------------------- #
 class LoadBalancer:
-    """Chooses the replica that serves each submitted request."""
+    """Chooses the replica that serves each submitted request.
+
+    ``conversation_id`` names the session a request belongs to; the
+    gateway passes it *only when the request carries one*, so balancer
+    subclasses written before sessions existed (without the keyword)
+    keep working on session-free traffic.
+    """
 
     name: str = "abstract"
 
-    def choose(self, model_id: str, replicas: Sequence[Replica]) -> Replica:
+    def choose(self, model_id: str, replicas: Sequence[Replica],
+               conversation_id: Optional[str] = None) -> Replica:
         """Pick one of the eligible (non-draining) replicas."""
         raise NotImplementedError
 
     def on_removed(self, replica: Replica) -> None:
         """A replica left the set (drained); drop any state pinned to it."""
 
-    def on_abandoned(self, model_id: str) -> None:
-        """A request for this model was cancelled/expired; policies that
-        learned an affinity from it may drop that state so abandoned
-        work does not keep a variant pinned to a replica."""
+    def on_abandoned(self, model_id: str,
+                     conversation_id: Optional[str] = None) -> None:
+        """A request for this model (and session, when tagged) was
+        cancelled/expired; policies that learned an affinity from it may
+        drop that state so abandoned work does not keep a variant — or a
+        dead conversation — pinned to a replica."""
 
     def reset(self) -> None:
         """Forget per-run routing state (rotation position, learned
@@ -143,7 +153,8 @@ class RoundRobinBalancer(LoadBalancer):
     def __init__(self):
         self._turn = 0
 
-    def choose(self, model_id: str, replicas: Sequence[Replica]) -> Replica:
+    def choose(self, model_id: str, replicas: Sequence[Replica],
+               conversation_id: Optional[str] = None) -> Replica:
         replica = replicas[self._turn % len(replicas)]
         self._turn += 1
         return replica
@@ -158,7 +169,8 @@ class LeastOutstandingBalancer(LoadBalancer):
 
     name = "least-outstanding"
 
-    def choose(self, model_id: str, replicas: Sequence[Replica]) -> Replica:
+    def choose(self, model_id: str, replicas: Sequence[Replica],
+               conversation_id: Optional[str] = None) -> Replica:
         return min(replicas, key=lambda r: (r.unfinished, r.id))
 
 
@@ -182,19 +194,31 @@ class LineageAffinityBalancer(LoadBalancer):
         self._fallback = fallback or LeastOutstandingBalancer()
         self._pinned: Dict[str, Replica] = {}
         self._home: Dict[str, Replica] = {}
+        self._conv_home: Dict[str, Replica] = {}
 
     def pin(self, key: str, replica: Replica) -> None:
         """Fix an affinity key's home replica (survives :meth:`reset`)."""
         self._pinned[key] = replica
 
-    def choose(self, model_id: str, replicas: Sequence[Replica]) -> Replica:
+    def choose(self, model_id: str, replicas: Sequence[Replica],
+               conversation_id: Optional[str] = None) -> Replica:
+        if conversation_id is not None:
+            # session turns outrank lineage: the conversation's prefix KV
+            # lives on the replica that served its earlier turns
+            conv = self._conv_home.get(conversation_id)
+            if conv is not None and not conv.draining \
+                    and any(r is conv for r in replicas):
+                return conv
         key = self._owner_of(model_id)
         home = self._pinned.get(key) or self._home.get(key)
         if home is not None and not home.draining \
                 and any(r is home for r in replicas):
-            return home
-        chosen = self._fallback.choose(model_id, replicas)
-        self._home[key] = chosen
+            chosen = home
+        else:
+            chosen = self._fallback.choose(model_id, replicas)
+            self._home[key] = chosen
+        if conversation_id is not None:
+            self._conv_home[conversation_id] = chosen
         return chosen
 
     def on_removed(self, replica: Replica) -> None:
@@ -202,11 +226,64 @@ class LineageAffinityBalancer(LoadBalancer):
                         if r is not replica}
         self._home = {k: r for k, r in self._home.items()
                       if r is not replica}
+        self._conv_home = {k: r for k, r in self._conv_home.items()
+                           if r is not replica}
 
-    def on_abandoned(self, model_id: str) -> None:
+    def on_abandoned(self, model_id: str,
+                     conversation_id: Optional[str] = None) -> None:
         # a cancelled request must not keep its variant's learned home
-        # alive: the next request re-homes by load (explicit pins stay)
+        # alive: the next request re-homes by load (explicit pins stay).
+        # Conversation keys unpin too, so a drained/abandoned session
+        # stops attracting its dead turns to one replica.
         self._home.pop(self._owner_of(model_id), None)
+        if conversation_id is not None:
+            self._conv_home.pop(conversation_id, None)
+
+    def reset(self) -> None:
+        self._home.clear()
+        self._conv_home.clear()
+
+
+class ConversationAffinityBalancer(LoadBalancer):
+    """Conversation affinity: every turn of a session lands on the
+    replica that served its earlier turns — the replica whose prefix
+    cache holds that conversation's KV blocks (see
+    :mod:`repro.serving.prefix_cache`), so repeat turns hit instead of
+    re-prefilling on a cold replica.
+
+    Session-free requests (no ``conversation_id``) fall through to a
+    least-outstanding choice, as does the *first* turn of each session
+    (which then learns its home).  Homes unpin when their replica drains
+    (:meth:`on_removed`) and when a session's request is abandoned
+    (:meth:`on_abandoned`), so dead sessions stop steering load.
+    """
+
+    name = "conversation"
+
+    def __init__(self, fallback: Optional[LoadBalancer] = None):
+        self._fallback = fallback or LeastOutstandingBalancer()
+        self._home: Dict[str, Replica] = {}
+
+    def choose(self, model_id: str, replicas: Sequence[Replica],
+               conversation_id: Optional[str] = None) -> Replica:
+        if conversation_id is None:
+            return self._fallback.choose(model_id, replicas)
+        home = self._home.get(conversation_id)
+        if home is not None and not home.draining \
+                and any(r is home for r in replicas):
+            return home
+        chosen = self._fallback.choose(model_id, replicas)
+        self._home[conversation_id] = chosen
+        return chosen
+
+    def on_removed(self, replica: Replica) -> None:
+        self._home = {k: r for k, r in self._home.items()
+                      if r is not replica}
+
+    def on_abandoned(self, model_id: str,
+                     conversation_id: Optional[str] = None) -> None:
+        if conversation_id is not None:
+            self._home.pop(conversation_id, None)
 
     def reset(self) -> None:
         self._home.clear()
@@ -214,7 +291,8 @@ class LineageAffinityBalancer(LoadBalancer):
 
 BALANCERS: Dict[str, Type[LoadBalancer]] = {
     cls.name: cls for cls in (RoundRobinBalancer, LeastOutstandingBalancer,
-                              LineageAffinityBalancer)
+                              LineageAffinityBalancer,
+                              ConversationAffinityBalancer)
 }
 
 
@@ -603,12 +681,17 @@ class ClusterGateway:
     def submit(self, model_id: str, prompt_len: int, output_len: int,
                arrival_s: Optional[float] = None,
                tenant_id: Optional[str] = None,
-               deadline_s: Optional[float] = None) -> RequestHandle:
+               deadline_s: Optional[float] = None,
+               conversation_id: Optional[str] = None) -> RequestHandle:
         """Submit one request; the balancer picks its replica.
 
         Returns a :class:`~repro.serving.handle.RequestHandle` streaming
         this request's tokens across whichever replica serves it;
         ``deadline_s`` (relative to arrival) bounds its completion.
+        ``conversation_id`` tags the request as one turn of a session:
+        affinity balancers route it to the session's home replica, whose
+        prefix cache (when enabled) skips re-prefilling the shared
+        history.
         """
         if prompt_len < 1 or output_len < 1:
             raise ValueError("prompt_len and output_len must be >= 1")
@@ -626,17 +709,29 @@ class ClusterGateway:
                                prompt_tokens=int(prompt_len),
                                output_tokens=int(output_len),
                                tenant_id=tenant_id,
-                               deadline_s=absolute_deadline)
+                               deadline_s=absolute_deadline,
+                               conversation_id=conversation_id)
         self._next_id += 1
         handle = RequestHandle(request.request_id, self, model_id,
                                tenant_id=tenant_id,
                                deadline_s=absolute_deadline)
         self._handles[request.request_id] = handle
         self._install_token_tap()
-        replica = self.balancer.choose(model_id, active)
+        replica = self._choose_replica(request, active)
         replica.gateway.ingest(request)
         self._owner[request.request_id] = replica
         return handle
+
+    def _choose_replica(self, request: TraceRequest,
+                        active: List[Replica]) -> Replica:
+        """One routing decision.  The conversation keyword is passed only
+        when the request carries a session tag, so balancer subclasses
+        predating sessions keep working on session-free traffic."""
+        if request.conversation_id is not None:
+            return self.balancer.choose(
+                request.model_id, active,
+                conversation_id=request.conversation_id)
+        return self.balancer.choose(request.model_id, active)
 
     def cancel(self, request_id: int, at_s: Optional[float] = None,
                reason: str = "cancel") -> None:
@@ -808,7 +903,7 @@ class ClusterGateway:
                     self._retire_orphan(request, pending[1])
                     continue
                 active = self.active_replicas()
-                replica = self.balancer.choose(request.model_id, active)
+                replica = self._choose_replica(request, active)
                 replica.gateway.ingest(request)
                 self._owner[request.request_id] = replica
                 if pending is not None:
@@ -917,7 +1012,12 @@ class ClusterGateway:
     def _record_completion(self, record: RequestRecord) -> None:
         self._recent_records.append(record)
         if not record.finished:
-            self.balancer.on_abandoned(record.model_id)
+            if record.conversation_id is not None:
+                self.balancer.on_abandoned(
+                    record.model_id,
+                    conversation_id=record.conversation_id)
+            else:
+                self.balancer.on_abandoned(record.model_id)
             self._owner.pop(record.request_id, None)
         if self._on_complete is not None:
             self._on_complete(record)

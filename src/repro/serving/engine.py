@@ -34,6 +34,7 @@ from .base import (PREEMPT_SWAP_S, WORKSPACE_FRACTION, Admission,
                    register_engine)
 from .costs import BatchComposition, IterationCostModel
 from .model_manager import ArtifactKind, ModelManager
+from .prefix_cache import PrefixCache, prefix_block_keys
 from .request import ServingRequest
 from .scheduler import ContinuousBatchScheduler, SchedulerConfig
 
@@ -88,6 +89,12 @@ class DeltaZipEngine(ServingEngine):
         self._resident: "OrderedDict[str, int]" = OrderedDict()  # id -> bytes
         self._resident_bytes = 0
         self._last_batch: Optional[BatchComposition] = None
+        # opt-in prefix/KV cache: None keeps every pre-existing code path
+        # untouched (cache-off records are bit-identical to older builds)
+        self._prefix_cache: Optional[PrefixCache] = \
+            PrefixCache(self.config.prefix_block_tokens) \
+            if self.config.prefix_cache else None
+        self._prefix_refs: Dict[int, List[int]] = {}  # request -> block refs
 
     def on_arrival(self, request: ServingRequest) -> None:
         self.scheduler.add(request)
@@ -102,10 +109,18 @@ class DeltaZipEngine(ServingEngine):
     def admit(self) -> Admission:
         decision = self.scheduler.schedule(self.running, list(self._resident))
         admitted = decision.admitted
+        cache = self._prefix_cache
 
         # swap newly selected deltas onto the GPU; deltas compete with the
-        # KV cache for the group budget
-        kv_tokens_running = sum(r.context_length for r in self.running)
+        # KV cache for the group budget.  With the prefix cache on, KV in
+        # use is the shared block pool plus each running request's private
+        # (non-pooled) context; cache-off keeps the original expression.
+        if cache is None:
+            kv_tokens_running = sum(r.context_length for r in self.running)
+        else:
+            kv_tokens_running = cache.n_tokens + sum(
+                r.context_length - r.cached_prefix_tokens
+                for r in self.running)
         load_time = 0.0
         for delta_id in decision.new_deltas:
             entry = self.manager.get(delta_id)
@@ -120,6 +135,18 @@ class DeltaZipEngine(ServingEngine):
                     break
                 self._resident_bytes -= evicted
                 self.stats.evictions += 1
+            if cache is not None and self._base_bytes + \
+                    self._resident_bytes + nbytes + kv_bytes > self._usable:
+                # shed unreferenced prefix blocks before giving up on the
+                # delta: cached history must never block live admissions
+                deficit = self._base_bytes + self._resident_bytes + nbytes \
+                    + kv_bytes - self._usable
+                block_bytes = cache.block_tokens * self._kv_per_token
+                n = cache.evict(int(-(-deficit // block_bytes)))
+                if n:
+                    self.stats.prefix_evictions += n
+                    kv_tokens_running -= n * cache.block_tokens
+                    kv_bytes = kv_tokens_running * self._kv_per_token
             if self._base_bytes + self._resident_bytes + nbytes + kv_bytes \
                     > self._usable:
                 # cannot fit: drop the admissions for this delta
@@ -146,15 +173,35 @@ class DeltaZipEngine(ServingEngine):
         kv_in_use = kv_tokens_running
         kept: List[ServingRequest] = []
         for req in admitted:
+            if cache is not None and req.generated_tokens == 0 \
+                    and req.request_id not in self._prefix_refs:
+                self._prefix_lookup(req)
             need = req.context_length if req.generated_tokens > 0 \
                 else req.trace.prompt_tokens + 1
+            need -= req.cached_prefix_tokens
             if kv_in_use + need <= kv_budget_tokens:
                 kept.append(req)
                 kv_in_use += need
-            else:
-                self.scheduler.reinsert(req)
-                req.skipped_line = False
-                self.stats.blocked_admissions += 1
+                continue
+            if cache is not None:
+                # make room by dropping unreferenced pool blocks
+                deficit = kv_in_use + need - kv_budget_tokens
+                n = cache.evict(int(-(-deficit // cache.block_tokens)))
+                if n:
+                    self.stats.prefix_evictions += n
+                    kv_in_use -= n * cache.block_tokens
+                if kv_in_use + need <= kv_budget_tokens:
+                    kept.append(req)
+                    kv_in_use += need
+                    continue
+                if req.generated_tokens == 0:
+                    # back to the queue un-admitted: it will re-run the
+                    # lookup (and re-take references) next time around
+                    self._release_prefix(req)
+                    req.cached_prefix_tokens = 0
+            self.scheduler.reinsert(req)
+            req.skipped_line = False
+            self.stats.blocked_admissions += 1
         return Admission(admitted=kept, load_time_s=load_time)
 
     def iteration_cost(self, admitted: List[ServingRequest]) -> Optional[float]:
@@ -175,6 +222,10 @@ class DeltaZipEngine(ServingEngine):
             set(batch.prefill_tokens_per_delta))
 
     def retire(self, newly_done: List[ServingRequest]) -> float:
+        if self._prefix_cache is not None and newly_done:
+            for req in newly_done:
+                self._prefix_commit(req)
+            self._prefix_trim()
         preempt_time = 0.0
         for parent in newly_done:
             for child in self.scheduler.children_to_preempt(parent,
@@ -189,6 +240,16 @@ class DeltaZipEngine(ServingEngine):
                 self.scheduler.reinsert(child)
         return preempt_time
 
+    def _apply_cancel(self, request_id: int,
+                      reason: str) -> Optional[ServingRequest]:
+        req = super()._apply_cancel(request_id, reason)
+        if req is not None and self._prefix_cache is not None:
+            # aborted work commits nothing; its block references must
+            # come back so the pool's refcounts conserve (the sanitizer
+            # test pins total_refcount == 0 at drain)
+            self._release_prefix(req)
+        return req
+
     def _stall_clock(self, next_arrival_s: float) -> float:
         return max(self.clock + 1e-3, next_arrival_s)
 
@@ -198,18 +259,98 @@ class DeltaZipEngine(ServingEngine):
             0, int((self._usable - self._base_bytes - self._resident_bytes)
                    // self._kv_per_token))
         if kv_budget > 0:
-            kv_tokens = sum(r.context_length for r in self.running)
+            if self._prefix_cache is None:
+                kv_tokens = sum(r.context_length for r in self.running)
+            else:
+                kv_tokens = self._prefix_cache.n_tokens + sum(
+                    r.context_length - r.cached_prefix_tokens
+                    for r in self.running)
             util["kv_occupancy"] = kv_tokens / kv_budget
         return util
 
     def result_config(self) -> Dict[str, object]:
-        return {"tp_degree": self.config.tp_degree,
-                "variant_kind": self.config.variant_kind,
-                "max_concurrent_deltas":
-                    self.scheduler_config.max_concurrent_deltas,
-                "max_batch_requests":
-                    self.scheduler_config.max_batch_requests,
-                "preemption": self.scheduler_config.preemption}
+        cfg: Dict[str, object] = {
+            "tp_degree": self.config.tp_degree,
+            "variant_kind": self.config.variant_kind,
+            "max_concurrent_deltas":
+                self.scheduler_config.max_concurrent_deltas,
+            "max_batch_requests":
+                self.scheduler_config.max_batch_requests,
+            "preemption": self.scheduler_config.preemption}
+        if self.config.prefix_cache:
+            cfg["prefix_cache"] = True
+            cfg["prefix_block_tokens"] = self.config.prefix_block_tokens
+        return cfg
+
+    # ------------------------------------------------------------------ #
+    # prefix/KV-cache integration (every call site is gated on the cache
+    # existing, so cache-off runs execute none of this)
+    # ------------------------------------------------------------------ #
+    def _prefix_scope(self, req: ServingRequest):
+        # cache-key invariant: (base model, variant) scopes every chain,
+        # so two variants can never share a block even when their
+        # conversation ids collide
+        return (self.manager.spec.name, req.model_id)
+
+    def _prefix_lookup(self, req: ServingRequest) -> None:
+        """Longest-cached-prefix lookup for a fresh prefill; takes block
+        references and records the hit on the request.  Capped at the
+        last complete block strictly inside the prompt, so at least one
+        prompt token always remains to prefill (TTFT stays an actual
+        iteration)."""
+        cache = self._prefix_cache
+        trace = req.trace
+        if trace.conversation_id is None and trace.shared_prefix_id is None:
+            return  # private namespace: a hit is impossible, skip the walk
+        self.stats.prefix_lookups += 1
+        keys = prefix_block_keys(trace, trace.prompt_tokens - 1,
+                                 cache.block_tokens)
+        if not keys:
+            return
+        chain = cache.lookup(self._prefix_scope(req), keys)
+        if not chain:
+            return
+        cache.acquire(chain)
+        self._prefix_refs[req.request_id] = chain
+        req.cached_prefix_tokens = len(chain) * cache.block_tokens
+        self.stats.prefix_hits += 1
+        self.stats.prefix_hit_tokens += req.cached_prefix_tokens
+
+    def _prefix_commit(self, req: ServingRequest) -> None:
+        """Publish a finished request's context blocks into the pool
+        (the next turn's prompt extends them), then return its
+        references."""
+        cache = self._prefix_cache
+        trace = req.trace
+        if trace.conversation_id is not None:
+            n_tokens = req.context_length
+        else:
+            # no session: only the cross-request shared region is worth
+            # keeping — deeper blocks are private and can never be hit
+            n_tokens = min(req.context_length, trace.shared_prefix_tokens) \
+                if trace.shared_prefix_id is not None else 0
+        if n_tokens:
+            cache.insert(self._prefix_scope(req),
+                         prefix_block_keys(trace, n_tokens,
+                                           cache.block_tokens))
+        self._release_prefix(req)
+
+    def _release_prefix(self, req: ServingRequest) -> None:
+        chain = self._prefix_refs.pop(req.request_id, None)
+        if chain:
+            self._prefix_cache.release(chain)
+
+    def _prefix_trim(self) -> None:
+        """Evict cold pool blocks until pool + private KV fits the
+        budget again (commits can overshoot transiently)."""
+        cache = self._prefix_cache
+        kv_budget_tokens = max(
+            0, int((self._usable - self._base_bytes - self._resident_bytes)
+                   // self._kv_per_token))
+        private = sum(r.context_length - r.cached_prefix_tokens
+                      for r in self.running)
+        allowed = max(0, kv_budget_tokens - private) // cache.block_tokens
+        self.stats.prefix_evictions += cache.evict_to(allowed)
 
     # ------------------------------------------------------------------ #
     def _start_prefetch(self, model_id: str, now_s: float) -> None:
@@ -247,13 +388,18 @@ class DeltaZipEngine(ServingEngine):
             decode[req.model_id] = decode.get(req.model_id, 0) + 1
             context += req.context_length
         for req in admitted:
+            # a prefix-cache hit shifts the reused tokens from prefill to
+            # attention context; cached_prefix_tokens is 0 whenever the
+            # cache is off, so this is the exact pre-existing arithmetic
             if req.generated_tokens == 0:
                 prefill[req.model_id] = prefill.get(req.model_id, 0) \
-                    + req.trace.prompt_tokens
+                    + req.trace.prompt_tokens - req.cached_prefix_tokens
+                context += req.cached_prefix_tokens
             elif req.needs_recompute:
-                # recompute resume: re-prefill the whole context
+                # recompute resume: re-prefill the whole (uncached) context
                 prefill[req.model_id] = prefill.get(req.model_id, 0) \
-                    + req.context_length
+                    + req.context_length - req.cached_prefix_tokens
+                context += req.cached_prefix_tokens
                 req.needs_recompute = False
             else:
                 # swap resume: decoding continues from the parked KV state

@@ -121,7 +121,8 @@ class ServingGateway:
     def submit(self, model_id: str, prompt_len: int, output_len: int,
                arrival_s: Optional[float] = None,
                tenant_id: Optional[str] = None,
-               deadline_s: Optional[float] = None) -> RequestHandle:
+               deadline_s: Optional[float] = None,
+               conversation_id: Optional[str] = None) -> RequestHandle:
         """Submit one request; returns its :class:`RequestHandle`.
 
         ``arrival_s`` defaults to the engine's current simulated clock
@@ -131,9 +132,12 @@ class ServingGateway:
         ``tenant_id`` tags the request for per-tenant metrics and the
         admission layer.  ``deadline_s`` bounds the request: it must
         *finish* within that many simulated seconds of its arrival or it
-        is aborted as expired.  The returned handle streams this
-        request's tokens, exposes its status and terminal record, and
-        coerces to the integer request id for pre-handle call sites.
+        is aborted as expired.  ``conversation_id`` marks the request as
+        one turn of a multi-turn session, which a prefix-cache-enabled
+        engine uses to skip re-prefilling the session's history.  The
+        returned handle streams this request's tokens, exposes its
+        status and terminal record, and coerces to the integer request
+        id for pre-handle call sites.
         """
         if prompt_len < 1 or output_len < 1:
             raise ValueError("prompt_len and output_len must be >= 1")
@@ -148,7 +152,8 @@ class ServingGateway:
                                prompt_tokens=int(prompt_len),
                                output_tokens=int(output_len),
                                tenant_id=tenant_id,
-                               deadline_s=absolute_deadline)
+                               deadline_s=absolute_deadline,
+                               conversation_id=conversation_id)
         self._next_id += 1
         handle = RequestHandle(request.request_id, self, model_id,
                                tenant_id=tenant_id,

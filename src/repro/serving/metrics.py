@@ -50,6 +50,15 @@ class EngineStats:
     batched_deltas: int = 0         # sum of distinct variants per iteration
     blocked_admissions: int = 0     # KV/memory admission rejections
     aborts: int = 0                 # cancelled/expired requests removed
+    prefix_lookups: int = 0         # prefix-cache-eligible fresh prefills
+    prefix_hits: int = 0            # lookups that reused >= 1 block
+    prefix_hit_tokens: int = 0      # prompt tokens served from the pool
+    prefix_evictions: int = 0       # pool blocks dropped for KV pressure
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        return self.prefix_hits / self.prefix_lookups \
+            if self.prefix_lookups else 0.0
 
     @property
     def mean_batch_size(self) -> float:

@@ -50,6 +50,7 @@ class ServingRequest:
     parent_id: Optional[int] = None  # head-of-queue request we drafted behind
     preemptions: int = 0
     needs_recompute: bool = False    # KV discarded at preemption; re-prefill
+    cached_prefix_tokens: int = 0    # prompt tokens served from the prefix cache
     # memoized terminal record: retire-time metrics observation and the
     # gateway finish hooks both ask for it, and a terminal request can
     # never produce a different one
@@ -67,6 +68,10 @@ class ServingRequest:
     @property
     def tenant_id(self) -> Optional[str]:
         return self.trace.tenant_id
+
+    @property
+    def conversation_id(self) -> Optional[str]:
+        return self.trace.conversation_id
 
     @property
     def arrival_s(self) -> float:
@@ -116,6 +121,8 @@ class ServingRequest:
             tenant_id=self.tenant_id,
             status=status,
             served_tokens=self.generated_tokens,
+            conversation_id=self.conversation_id,
+            cached_prefix_tokens=self.cached_prefix_tokens,
         )
         if self.terminal:
             self._record_cache = rec
@@ -131,7 +138,10 @@ class RequestRecord:
     or — for records synthesized at the admission frontier and surfaced
     only through request handles — ``"shed"``.  ``served_tokens`` counts
     the output tokens actually generated; ``None`` (legacy records) means
-    all ``output_tokens`` were served.
+    all ``output_tokens`` were served.  ``conversation_id`` carries the
+    session key through to metrics and routing;
+    ``cached_prefix_tokens`` counts the prompt tokens whose prefill was
+    skipped by the engine's prefix cache (0 everywhere the cache is off).
     """
 
     request_id: int
@@ -149,6 +159,8 @@ class RequestRecord:
     tenant_id: Optional[str] = None
     status: str = "finished"
     served_tokens: Optional[int] = None
+    conversation_id: Optional[str] = None
+    cached_prefix_tokens: int = 0
 
     @property
     def finished(self) -> bool:
@@ -196,4 +208,5 @@ def synthesized_abort_record(request: TraceRequest, finish_s: float,
         output_tokens=request.output_tokens,
         queue_wait_s=finish - request.arrival_s,
         loading_s=0.0, inference_s=0.0, skipped_line=False, preemptions=0,
-        tenant_id=request.tenant_id, status=status, served_tokens=0)
+        tenant_id=request.tenant_id, status=status, served_tokens=0,
+        conversation_id=request.conversation_id)

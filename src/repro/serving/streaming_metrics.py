@@ -244,6 +244,8 @@ class TenantCounters:
     shed: int = 0                  # shed/rejected at an admission frontier
     tokens_served: int = 0         # output tokens actually generated
     tokens_wasted: int = 0         # of those, spent on non-finished requests
+    prefix_hits: int = 0           # requests that reused a cached prefix
+    prefix_saved_tokens: int = 0   # prefill tokens skipped via that reuse
 
     @property
     def n(self) -> int:
@@ -253,7 +255,9 @@ class TenantCounters:
         return {"finished": self.finished, "cancelled": self.cancelled,
                 "expired": self.expired, "shed": self.shed,
                 "tokens_served": self.tokens_served,
-                "tokens_wasted": self.tokens_wasted}
+                "tokens_wasted": self.tokens_wasted,
+                "prefix_hits": self.prefix_hits,
+                "prefix_saved_tokens": self.prefix_saved_tokens}
 
 
 class _TenantStream:
@@ -287,6 +291,9 @@ class _TenantStream:
             c.shed += 1
         served = record.tokens_served
         c.tokens_served += served
+        if record.cached_prefix_tokens > 0:
+            c.prefix_hits += 1
+            c.prefix_saved_tokens += record.cached_prefix_tokens
         e2e = record.e2e_latency_s
         ttft = record.ttft_s
         tpt = record.time_per_token_s
@@ -312,6 +319,8 @@ class _TenantStream:
         c.shed += o.shed
         c.tokens_served += o.tokens_served
         c.tokens_wasted += o.tokens_wasted
+        c.prefix_hits += o.prefix_hits
+        c.prefix_saved_tokens += o.prefix_saved_tokens
         self.e2e.merge(other.e2e)
         self.ttft.merge(other.ttft)
         self.fin_e2e.merge(other.fin_e2e)
@@ -341,9 +350,13 @@ class _TenantStream:
         tracked, and the difference only shifts the *view's* makespan."""
         out = _TenantStream(self.e2e.relative_error)
         c = self.counters
+        # prefix counters stay all-statuses: a hit saved prefill work
+        # whether or not the request ultimately finished
         out.counters = TenantCounters(
             finished=c.finished,
-            tokens_served=c.tokens_served - c.tokens_wasted)
+            tokens_served=c.tokens_served - c.tokens_wasted,
+            prefix_hits=c.prefix_hits,
+            prefix_saved_tokens=c.prefix_saved_tokens)
         out.e2e = self.fin_e2e.copy()
         out.ttft = self.fin_ttft.copy()
         out.fin_e2e = self.fin_e2e.copy()
@@ -501,6 +514,16 @@ class StreamingMetrics:
     @property
     def tokens_wasted(self) -> int:
         return self._overall.counters.tokens_wasted
+
+    @property
+    def prefix_hits(self) -> int:
+        """Observed requests that reused a cached KV prefix."""
+        return self._overall.counters.prefix_hits
+
+    @property
+    def prefix_saved_tokens(self) -> int:
+        """Prefill tokens skipped across observed requests via reuse."""
+        return self._overall.counters.prefix_saved_tokens
 
     @property
     def min_arrival_s(self) -> float:

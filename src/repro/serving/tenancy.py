@@ -107,6 +107,13 @@ class Tenant:
     caps the tenant's in-system requests (queued at the frontier plus
     dispatched-but-unfinished).  A tenant with neither a rate nor a quota
     is unthrottled.
+
+    ``patience_s`` models the tenant's *clients*: how long they actually
+    wait for a first token before abandoning.  When set, the shed policy
+    trips at ``min(slo_s, patience_s)`` — work predicted to outlast the
+    clients' patience is shed preemptively even when it would technically
+    meet the SLO, because its tokens would be wasted on an abandoned
+    request anyway.  ``None`` (default) keeps the SLO-only behavior.
     """
 
     tenant_id: str
@@ -116,6 +123,7 @@ class Tenant:
     rate_tokens_per_s: Optional[float] = None
     burst_tokens: Optional[float] = None
     max_outstanding: Optional[int] = None
+    patience_s: Optional[float] = None
 
     def __post_init__(self):
         if not self.tenant_id:
@@ -134,6 +142,8 @@ class Tenant:
                 raise ValueError("burst_tokens must be > 0")
         if self.max_outstanding is not None and self.max_outstanding < 1:
             raise ValueError("max_outstanding must be >= 1 when set")
+        if self.patience_s is not None and self.patience_s <= 0:
+            raise ValueError("patience_s must be > 0 when set")
 
     @property
     def slo_s(self) -> float:
@@ -141,6 +151,15 @@ class Tenant:
         if self.ttft_slo_s is not None:
             return self.ttft_slo_s
         return SLO_CLASSES[self.slo_class]
+
+    @property
+    def shed_threshold_s(self) -> float:
+        """The predicted-TTFT level the shed policy trips at: the SLO,
+        tightened to the clients' abandonment patience when that is the
+        binding constraint."""
+        if self.patience_s is not None:
+            return min(self.slo_s, self.patience_s)
+        return self.slo_s
 
     @property
     def unthrottled(self) -> bool:
@@ -159,7 +178,8 @@ class Tenant:
                       slo_class=self.slo_class, ttft_slo_s=self.ttft_slo_s,
                       rate_tokens_per_s=self.rate_tokens_per_s,
                       burst_tokens=self.burst_tokens,
-                      max_outstanding=self.max_outstanding)
+                      max_outstanding=self.max_outstanding,
+                      patience_s=self.patience_s)
 
 
 class TokenBucket:
@@ -440,7 +460,7 @@ class AdmissionController:
             return AdmissionDecision.REJECTED
 
         if self.shed and predicted_ttft_s is not None and \
-                predicted_ttft_s > tenant.slo_s:
+                predicted_ttft_s > tenant.shed_threshold_s:
             stats.shed += 1
             self.decisions[request.request_id] = AdmissionDecision.SHED
             self._emit_decision(request, tid, AdmissionDecision.SHED)
@@ -752,7 +772,8 @@ class TenantGateway:
     def submit(self, model_id: str, prompt_len: int, output_len: int,
                arrival_s: Optional[float] = None,
                tenant_id: Optional[str] = None,
-               deadline_s: Optional[float] = None) -> RequestHandle:
+               deadline_s: Optional[float] = None,
+               conversation_id: Optional[str] = None) -> RequestHandle:
         """Submit one request for a tenant; returns its
         :class:`~repro.serving.handle.RequestHandle`.
 
@@ -778,7 +799,8 @@ class TenantGateway:
                                prompt_tokens=int(prompt_len),
                                output_tokens=int(output_len),
                                tenant_id=tenant_id,
-                               deadline_s=absolute_deadline)
+                               deadline_s=absolute_deadline,
+                               conversation_id=conversation_id)
         self._next_id += 1
         handle = RequestHandle(request.request_id, self, model_id,
                                tenant_id=tenant_id,

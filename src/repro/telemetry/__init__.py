@@ -228,12 +228,17 @@ class Telemetry:
             batch = sum(u["batch_occupancy"] for u in utils) / len(utils)
             kv = sum(u["kv_occupancy"] for u in utils) / len(utils)
         n_retired = sum(e.metrics.n_observed for e in engines)
+        lookups = sum(e.stats.prefix_lookups for e in engines)
+        hits = sum(e.stats.prefix_hits for e in engines)
+        saved = sum(e.stats.prefix_hit_tokens for e in engines)
         return GaugeSnapshot(
             time_s=t, backlog=backlog, unfinished=unfinished,
             queued_at_admission=queued, n_replicas=n_replicas,
             batch_occupancy=batch, kv_occupancy=kv,
             shed_rate_per_s=shed_rate, n_retired=n_retired,
-            spans_active=self.spans.active_count, attainment=attainment)
+            spans_active=self.spans.active_count,
+            prefix_hit_rate=hits / lookups if lookups else 0.0,
+            prefix_saved_tokens=saved, attainment=attainment)
 
     # ------------------------------------------------------------------ #
     # read side

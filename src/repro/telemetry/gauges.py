@@ -30,7 +30,9 @@ class GaugeSnapshot:
     ``shed_rate_per_s`` is sheds + rejections per simulated second since
     the previous tick.  ``attainment`` maps tenant id → fraction of
     offered requests meeting the tenant's TTFT SLO so far (empty without
-    an admission layer).
+    an admission layer).  ``prefix_hit_rate`` is the engines' cumulative
+    prefix-cache hit rate (hits / lookups, 0.0 when caching is off) and
+    ``prefix_saved_tokens`` the cumulative prefill tokens skipped.
     """
 
     time_s: float
@@ -43,6 +45,8 @@ class GaugeSnapshot:
     shed_rate_per_s: float = 0.0
     n_retired: int = 0
     spans_active: int = 0
+    prefix_hit_rate: float = 0.0
+    prefix_saved_tokens: int = 0
     attainment: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
@@ -56,6 +60,8 @@ class GaugeSnapshot:
             "shed_rate_per_s": self.shed_rate_per_s,
             "n_retired": self.n_retired,
             "spans_active": self.spans_active,
+            "prefix_hit_rate": self.prefix_hit_rate,
+            "prefix_saved_tokens": self.prefix_saved_tokens,
             "attainment": dict(self.attainment),
         }
 

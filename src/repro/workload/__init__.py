@@ -4,8 +4,8 @@ from .arrival import (as_rng, gamma_burst_arrivals, piecewise_rate_arrivals,
                       poisson_arrivals, ramp_arrivals)
 from .clients import (ClosedLoopClient, PatienceModel,
                       impatient_cancel_schedule)
-from .generators import (azure_like_trace, ramp_trace, synthetic_trace,
-                         trace_from_distribution)
+from .generators import (azure_like_trace, ramp_trace, session_trace,
+                         synthetic_trace, trace_from_distribution)
 from .lmsys import ARENA_MODEL_NAMES, arena_trace
 from .popularity import (make_model_ids, sample_models, uniform_popularity,
                          zipf_popularity)
@@ -15,7 +15,7 @@ from .tenants import TenantWorkload, multi_tenant_trace
 __all__ = [
     "as_rng", "gamma_burst_arrivals", "piecewise_rate_arrivals",
     "poisson_arrivals", "ramp_arrivals",
-    "azure_like_trace", "ramp_trace", "synthetic_trace",
+    "azure_like_trace", "ramp_trace", "session_trace", "synthetic_trace",
     "trace_from_distribution",
     "ARENA_MODEL_NAMES", "arena_trace",
     "make_model_ids", "sample_models", "uniform_popularity", "zipf_popularity",

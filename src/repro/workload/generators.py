@@ -21,7 +21,7 @@ from .popularity import (make_model_ids, sample_models, uniform_popularity,
 from .spec import LengthSampler, Trace, TraceRequest
 
 __all__ = ["synthetic_trace", "azure_like_trace", "ramp_trace",
-           "trace_from_distribution"]
+           "session_trace", "trace_from_distribution"]
 
 
 def synthetic_trace(
@@ -131,15 +131,90 @@ def ramp_trace(
                  duration_s=duration_s)
 
 
+def session_trace(
+    n_models: int,
+    rate: float,
+    duration_s: float,
+    seed: int = 0,
+    mean_turns: float = 4.0,
+    shared_prefix_tokens: int = 128,
+    think_time_s: float = 20.0,
+    max_context_tokens: int = 4096,
+    distribution: str = "uniform",
+    zipf_alpha: float = 1.5,
+    length_sampler: Optional[LengthSampler] = None,
+    model_prefix: str = "variant",
+) -> Trace:
+    """Multi-turn conversation trace with a shared per-model system prompt.
+
+    ``rate`` is the *conversation* start rate (Poisson); each conversation
+    runs a geometric number of turns (mean ``mean_turns``) against one
+    model.  Every turn's prompt replays the full accumulated context —
+    the model's ``shared_prefix_tokens``-token system prompt plus all
+    prior turns — followed by freshly sampled user tokens, so a
+    prefix-aware engine can skip re-prefilling everything but the new
+    suffix.  Turns are spaced by exponential think times (mean
+    ``think_time_s``); a conversation ends when its turn budget runs
+    out, the next turn would overflow ``max_context_tokens``, or the
+    trace window closes.
+
+    Requests carry ``conversation_id`` (one per conversation),
+    ``shared_prefix_id`` (``"<model>:sys"``, shared by every conversation
+    on that model), and ``shared_prefix_tokens``.
+    """
+    rng = np.random.default_rng(seed)
+    model_ids = make_model_ids(n_models, prefix=model_prefix)
+    if distribution == "uniform":
+        pop = uniform_popularity(n_models)
+    elif distribution.startswith("zipf"):
+        pop = zipf_popularity(n_models, alpha=zipf_alpha)
+    else:
+        raise ValueError(f"unknown distribution {distribution!r}")
+    sampler = length_sampler or LengthSampler()
+
+    starts = poisson_arrivals(rate, duration_s, rng)
+    picks = sample_models(pop, len(starts), rng)
+    requests: List[TraceRequest] = []
+    for conv_idx, (t0, model_idx) in enumerate(zip(starts, picks)):
+        model_id = model_ids[model_idx]
+        shared_id = f"{model_id}:sys" if shared_prefix_tokens > 0 else None
+        n_turns = int(rng.geometric(1.0 / max(float(mean_turns), 1.0)))
+        context = int(shared_prefix_tokens)
+        t = float(t0)
+        for _ in range(n_turns):
+            user, output = sampler.sample(rng)
+            prompt = context + user
+            if prompt + output > max_context_tokens:
+                break
+            requests.append(TraceRequest(
+                request_id=0, model_id=model_id, arrival_s=t,
+                prompt_tokens=prompt, output_tokens=output,
+                conversation_id=f"conv-{conv_idx:05d}",
+                shared_prefix_id=shared_id,
+                shared_prefix_tokens=int(shared_prefix_tokens)))
+            context = prompt + output
+            t += float(rng.exponential(think_time_s))
+            if t > duration_s:
+                break
+    trace = Trace(requests=requests, model_ids=model_ids,
+                  duration_s=duration_s)
+    # re-number in arrival order for stable FCFS identity
+    for i, req in enumerate(trace.requests):
+        req.request_id = i
+    return trace
+
+
 def trace_from_distribution(distribution: str, n_models: int, rate: float,
                             duration_s: float, seed: int = 0,
                             **kwargs) -> Trace:
     """Dispatch helper used by the benchmark harness.
 
-    ``distribution`` ∈ {"uniform", "zipf:<alpha>", "azure"}.
+    ``distribution`` ∈ {"uniform", "zipf:<alpha>", "azure", "session"}.
     """
     if distribution == "azure":
         return azure_like_trace(n_models, rate, duration_s, seed=seed, **kwargs)
+    if distribution == "session":
+        return session_trace(n_models, rate, duration_s, seed=seed, **kwargs)
     if distribution.startswith("zipf"):
         alpha = float(distribution.split(":", 1)[1]) if ":" in distribution else 1.5
         return synthetic_trace(n_models, rate, duration_s,

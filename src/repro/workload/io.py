@@ -29,6 +29,12 @@ def save_trace(trace: Trace, path: str) -> None:
                 row["tenant_id"] = req.tenant_id
             if req.deadline_s is not None:
                 row["deadline_s"] = req.deadline_s
+            if req.conversation_id is not None:
+                row["conversation_id"] = req.conversation_id
+            if req.shared_prefix_id is not None:
+                row["shared_prefix_id"] = req.shared_prefix_id
+            if req.shared_prefix_tokens:
+                row["shared_prefix_tokens"] = req.shared_prefix_tokens
             f.write(json.dumps(row) + "\n")
 
 

@@ -23,6 +23,15 @@ class TraceRequest:
     the request must finish; past it the serving stack aborts the request
     as ``expired``, charging only the tokens actually generated.  ``None``
     (the default for every pre-existing trace) means no deadline.
+
+    ``conversation_id`` groups the turns of one multi-turn session: turn
+    *k+1*'s prompt is turn *k*'s full context (prompt + generated reply)
+    plus the new user tokens, so a prefix cache can skip re-prefilling
+    the shared history.  ``shared_prefix_id`` names a prompt region
+    shared *across* conversations (a system prompt); the first
+    ``shared_prefix_tokens`` prompt tokens belong to it.  All three
+    default to "no session structure" and are inert unless an engine
+    enables its prefix cache.
     """
 
     request_id: int
@@ -32,6 +41,9 @@ class TraceRequest:
     output_tokens: int
     tenant_id: Optional[str] = None
     deadline_s: Optional[float] = None
+    conversation_id: Optional[str] = None
+    shared_prefix_id: Optional[str] = None
+    shared_prefix_tokens: int = 0
 
 
 @dataclass
