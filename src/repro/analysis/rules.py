@@ -470,6 +470,7 @@ _EVENT_CLASSES: FrozenSet[str] = frozenset({
     "Arrival", "Cancel", "IterationDone", "BucketRefill",
     "AutoscalerTick", "ReplicaSpawn", "ReplicaDrain",
     "PhaseTransition", "AdmissionDecision", "TelemetryTick",
+    "KvTransfer",
 })
 
 #: call names that constitute the kernel publish path

@@ -138,6 +138,24 @@ def _simulate_manager(engine_cls, spec, trace, ratio):
     return mgr
 
 
+def _ttft_decomposition(res):
+    """Mean (prefill_s, transfer_s, decode_s) over finished records.
+
+    TTFT = queue wait + prefill compute + (disagg only) KV transfer;
+    everything after the first token is decode.
+    """
+    recs = [r for r in res.records
+            if r.finished and r.first_token_s is not None]
+    if not recs:
+        return 0.0, 0.0, 0.0
+    n = len(recs)
+    xfer = sum(r.transfer_s for r in recs) / n
+    prefill = sum(max(0.0, (r.first_token_s - r.arrival_s)
+                      - r.queue_wait_s - r.transfer_s) for r in recs) / n
+    decode = sum(r.finish_s - r.first_token_s for r in recs) / n
+    return prefill, xfer, decode
+
+
 def _cmd_simulate(args) -> int:
     from repro.hardware import GPUNode, node_from_name
     from repro.serving import (ENGINES, EngineConfig, MODEL_SPECS,
@@ -154,6 +172,13 @@ def _cmd_simulate(args) -> int:
     results = {}
     for name in names:
         mgr = _simulate_manager(ENGINES[name], spec, trace, args.ratio)
+        # pool/shard sizing only applies to the engines that have pools
+        extra = {}
+        if name == "disagg":
+            extra = {"prefill_workers": args.prefill_workers,
+                     "decode_workers": args.decode_workers}
+        elif name == "sharded" and args.tp_degree is not None:
+            extra = {"tp_degree": args.tp_degree}
         engine = create_engine(
             name, mgr, node,
             scheduler_config=SchedulerConfig(
@@ -162,20 +187,26 @@ def _cmd_simulate(args) -> int:
             engine_config=EngineConfig(
                 tp_degree=args.tp,
                 prefix_cache=args.prefix_cache,
-                prefix_block_tokens=args.prefix_block))
+                prefix_block_tokens=args.prefix_block),
+            **extra)
         results[name] = engine.run(trace)
 
-    print(f"{'system':10s} {'thr(rps)':>9s} {'mean_e2e':>9s} "
-          f"{'p50_e2e':>8s} {'p99_e2e':>8s} {'mean_ttft':>10s} "
-          f"{'p50_ttft':>9s} {'p99_ttft':>9s}")
+    print(f"{'system':10s} {'thr(rps)':>9s} {'p50_e2e':>8s} "
+          f"{'p99_e2e':>8s} {'mean_ttft':>10s} {'p50_ttft':>9s} "
+          f"{'p99_ttft':>9s} {'prefill':>8s} {'xfer':>7s} "
+          f"{'decode':>8s} {'pfx_hit':>8s}")
     for name, res in results.items():
+        prefill_s, xfer_s, decode_s = _ttft_decomposition(res)
+        stats = res.stats
+        hit = stats.prefix_hit_rate if stats is not None else 0.0
         print(f"{name:10s} {res.throughput_within(trace.duration_s):9.3f} "
-              f"{res.mean_e2e_latency_s():9.2f} "
               f"{res.percentile_e2e_s(50):8.2f} "
               f"{res.percentile_e2e_s(99):8.2f} "
               f"{res.mean_ttft_s():10.3f} "
               f"{res.percentile_ttft_s(50):9.3f} "
-              f"{res.percentile_ttft_s(99):9.3f}")
+              f"{res.percentile_ttft_s(99):9.3f} "
+              f"{prefill_s:8.3f} {xfer_s:7.3f} {decode_s:8.3f} "
+              f"{hit:8.2f}")
         if args.verbose and res.stats is not None:
             s = res.stats
             print(f"  iterations={s.iterations} swap_ins={s.swap_ins} "
@@ -271,9 +302,12 @@ def _print_telemetry(telemetry) -> None:
           f"{spans['n_closed']} spans closed "
           f"({spans['n_active']} still open)")
     phases = spans["phases"]
+    xfer = ""
+    if phases.get("transfer", {}).get("p95_s"):
+        xfer = f"transfer {phases['transfer']['p95_s']:.2f}s  "
     print(f"    p95 queue {phases['queue']['p95_s']:.2f}s  "
           f"prefill {phases['prefill']['p95_s']:.2f}s  "
-          f"decode {phases['decode']['p95_s']:.2f}s  "
+          f"{xfer}decode {phases['decode']['p95_s']:.2f}s  "
           f"e2e {phases['e2e']['p95_s']:.2f}s")
     if latest is not None:
         print(f"    last tick t={latest.time_s:.0f}s: "
@@ -480,6 +514,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "and shared-system-prompt traffic")
     p.add_argument("--prefix-block", type=int, default=32,
                    help="KV block size (tokens) for the prefix cache")
+    p.add_argument("--prefill-workers", type=int, default=1,
+                   help="disagg: prefill pool size (workers)")
+    p.add_argument("--decode-workers", type=int, default=1,
+                   help="disagg: decode pool size (workers)")
+    p.add_argument("--tp-degree", type=int, default=None,
+                   help="sharded: total tensor-parallel degree across "
+                        "nodes (default: --tp, i.e. single node)")
     # importing the package (not just .base) registers the engine classes
     from repro.serving import ENGINES
     p.add_argument("--systems", default="both",

@@ -94,6 +94,7 @@ class ServingSessionBuilder:
         self._tenants: List[Tenant] = []
         self._admission: Optional[AdmissionController] = None
         self._admission_kwargs: Optional[dict] = None
+        self._engine_kwargs: dict = {}
 
     # ------------------------------------------------------------------ #
     def serving(self, spec: ServedModelSpec) -> "ServingSessionBuilder":
@@ -188,6 +189,31 @@ class ServingSessionBuilder:
         self._engine_config = config or EngineConfig(**kwargs)
         return self
 
+    def disaggregated(self, prefill: int = 1, decode: int = 1,
+                      block_tokens: Optional[int] = None
+                      ) -> "ServingSessionBuilder":
+        """Serve through the disaggregated prefill/decode engine:
+        ``prefill``/``decode`` size the two worker pools and
+        ``block_tokens`` bounds each prefill chunk (default
+        :data:`~repro.serving.disagg.DEFAULT_PREFILL_CHUNK_TOKENS`).
+        Composes with ``.with_replicas``/``.with_tenants`` — each
+        replica is then one disaggregated engine."""
+        self._engine_name = "disagg"
+        self._engine_kwargs = {"prefill_workers": prefill,
+                               "decode_workers": decode}
+        if block_tokens is not None:
+            self._engine_kwargs["prefill_chunk_tokens"] = block_tokens
+        return self
+
+    def sharded(self, tp: int) -> "ServingSessionBuilder":
+        """Serve through the multi-node tensor-parallel engine with a
+        total TP degree of ``tp`` (sharded across however many nodes of
+        the ``.on_node`` shape it takes, with the inter-node allreduce
+        surcharge priced per iteration)."""
+        self._engine_name = "sharded"
+        self._engine_kwargs = {"tp_degree": tp}
+        return self
+
     def with_default_ratio(self, ratio: float) -> "ServingSessionBuilder":
         """Fallback compression ratio for unregistered trace models."""
         self._default_ratio = ratio
@@ -254,7 +280,8 @@ class ServingSessionBuilder:
                      node: GPUNode) -> ServingEngine:
         return create_engine(self._engine_name, manager, node,
                              scheduler_config=self._scheduler,
-                             engine_config=self._engine_config)
+                             engine_config=self._engine_config,
+                             **self._engine_kwargs)
 
     def replay(self, trace: Trace) -> ServingResult:
         """Convenience: ``build()`` then replay the trace."""

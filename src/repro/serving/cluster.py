@@ -129,8 +129,11 @@ class LoadBalancer:
         """Pick one of the eligible (non-draining) replicas."""
         raise NotImplementedError
 
-    def on_removed(self, replica: Replica) -> None:
-        """A replica left the set (drained); drop any state pinned to it."""
+    def on_removed(self, replica: Replica,
+                   survivors: Sequence[Replica] = ()) -> None:
+        """A replica left the set (drained); drop any state pinned to
+        it.  ``survivors`` is the remaining active set, so policies that
+        keep residency state can migrate it instead of just dropping."""
 
     def on_abandoned(self, model_id: str,
                      conversation_id: Optional[str] = None) -> None:
@@ -175,30 +178,63 @@ class LeastOutstandingBalancer(LoadBalancer):
 
 
 class LineageAffinityBalancer(LoadBalancer):
-    """Session/lineage affinity: requests for the same affinity key stick
-    to one replica, so its delta stays resident there instead of being
-    swapped onto (and evicted from) every replica in turn.
+    """Load-and-residency routing: requests for the same affinity key
+    prefer the replica(s) where that key's delta is already resident,
+    but spill to a less-loaded replica when the residency advantage is
+    outweighed by queue imbalance.
+
+    Each eligible replica is scored ``outstanding + affinity_bias *
+    (not home)`` (ties break on replica id): a non-home replica wins
+    only when it is more than ``affinity_bias`` requests ahead.  A
+    spill *teaches* the key a secondary home — the delta is swapped
+    onto the spill target, so it is genuinely resident there from then
+    on (replicated hot deltas).
 
     ``owner_of`` maps a model id to its affinity key — identity by default
     (per-variant stickiness); the multi-base router passes its lineage
     lookup so every variant of one base lands on that base's replica.
     Unseen keys fall through to a least-outstanding choice; ``pin`` fixes a
     key's home up front.
+
+    When a home replica drains, keys with a surviving secondary home
+    promote it for free (the delta is already there); sole-residency
+    keys migrate to the least-loaded survivor, pricing the artifact
+    move over the interconnect via
+    :meth:`~repro.serving.engine.DeltaZipEngine.receive_delta`.
     """
 
     name = "lineage"
 
     def __init__(self, owner_of: Optional[Callable[[str], str]] = None,
-                 fallback: Optional[LoadBalancer] = None):
+                 fallback: Optional[LoadBalancer] = None,
+                 affinity_bias: float = 4.0):
+        if affinity_bias <= 0:
+            raise ValueError("affinity_bias must be > 0")
         self._owner_of = owner_of or (lambda model_id: model_id)
         self._fallback = fallback or LeastOutstandingBalancer()
+        self._affinity_bias = affinity_bias
         self._pinned: Dict[str, Replica] = {}
         self._home: Dict[str, Replica] = {}
+        self._secondary: Dict[str, List[Replica]] = {}
         self._conv_home: Dict[str, Replica] = {}
 
     def pin(self, key: str, replica: Replica) -> None:
         """Fix an affinity key's home replica (survives :meth:`reset`)."""
         self._pinned[key] = replica
+
+    def _valid_homes(self, key: str,
+                     replicas: Sequence[Replica]) -> List[Replica]:
+        """The key's residencies that are still routable, primary first."""
+        candidates: List[Optional[Replica]] = [
+            self._pinned.get(key), self._home.get(key)]
+        candidates.extend(self._secondary.get(key, ()))
+        homes: List[Replica] = []
+        for cand in candidates:
+            if cand is not None and not cand.draining \
+                    and any(r is cand for r in replicas) \
+                    and not any(h is cand for h in homes):
+                homes.append(cand)
+        return homes
 
     def choose(self, model_id: str, replicas: Sequence[Replica],
                conversation_id: Optional[str] = None) -> Replica:
@@ -210,24 +246,64 @@ class LineageAffinityBalancer(LoadBalancer):
                     and any(r is conv for r in replicas):
                 return conv
         key = self._owner_of(model_id)
-        home = self._pinned.get(key) or self._home.get(key)
-        if home is not None and not home.draining \
-                and any(r is home for r in replicas):
-            chosen = home
-        else:
+        homes = self._valid_homes(key, replicas)
+        if not homes:
             chosen = self._fallback.choose(model_id, replicas)
             self._home[key] = chosen
+        else:
+            bias = self._affinity_bias
+            chosen = min(replicas, key=lambda r: (
+                r.unfinished + (0.0 if any(h is r for h in homes)
+                                else bias), r.id))
+            if not any(h is chosen for h in homes):
+                # load outweighed residency; the swap-in makes the delta
+                # resident here too, so remember the replication
+                self._secondary.setdefault(key, []).append(chosen)
         if conversation_id is not None:
             self._conv_home[conversation_id] = chosen
         return chosen
 
-    def on_removed(self, replica: Replica) -> None:
+    def on_removed(self, replica: Replica,
+                   survivors: Sequence[Replica] = ()) -> None:
         self._pinned = {k: r for k, r in self._pinned.items()
                         if r is not replica}
-        self._home = {k: r for k, r in self._home.items()
-                      if r is not replica}
         self._conv_home = {k: r for k, r in self._conv_home.items()
                            if r is not replica}
+        orphaned = sorted(k for k, r in self._home.items()
+                          if r is replica)
+        self._home = {k: r for k, r in self._home.items()
+                      if r is not replica}
+        for key in list(self._secondary):
+            kept = [r for r in self._secondary[key] if r is not replica]
+            if kept:
+                self._secondary[key] = kept
+            else:
+                del self._secondary[key]
+        alive = [r for r in survivors
+                 if not r.draining and r is not replica]
+        for key in orphaned:
+            extras = self._secondary.get(key)
+            if extras:
+                # a surviving residency already holds the delta: free
+                new_home = min(extras, key=lambda r: (r.unfinished, r.id))
+                rest = [r for r in extras if r is not new_home]
+                if rest:
+                    self._secondary[key] = rest
+                else:
+                    del self._secondary[key]
+            elif alive:
+                # sole residency drained: migrate the artifact, priced
+                # as a peer-to-peer move over the interconnect
+                new_home = min(alive, key=lambda r: (r.unfinished, r.id))
+                receive = getattr(new_home.engine, "receive_delta", None)
+                if receive is not None:
+                    try:
+                        receive(key, new_home.engine.clock)
+                    except KeyError:
+                        pass    # affinity key is not a model id
+            else:
+                continue
+            self._home[key] = new_home
 
     def on_abandoned(self, model_id: str,
                      conversation_id: Optional[str] = None) -> None:
@@ -235,12 +311,15 @@ class LineageAffinityBalancer(LoadBalancer):
         # alive: the next request re-homes by load (explicit pins stay).
         # Conversation keys unpin too, so a drained/abandoned session
         # stops attracting its dead turns to one replica.
-        self._home.pop(self._owner_of(model_id), None)
+        key = self._owner_of(model_id)
+        self._home.pop(key, None)
+        self._secondary.pop(key, None)
         if conversation_id is not None:
             self._conv_home.pop(conversation_id, None)
 
     def reset(self) -> None:
         self._home.clear()
+        self._secondary.clear()
         self._conv_home.clear()
 
 
@@ -276,7 +355,8 @@ class ConversationAffinityBalancer(LoadBalancer):
         self._home[conversation_id] = chosen
         return chosen
 
-    def on_removed(self, replica: Replica) -> None:
+    def on_removed(self, replica: Replica,
+                   survivors: Sequence[Replica] = ()) -> None:
         self._home = {k: r for k, r in self._home.items()
                       if r is not replica}
 
@@ -597,7 +677,7 @@ class ClusterGateway:
         replica.draining = True
         self.kernel.emit(ReplicaDrain(time=self.kernel.now,
                                       replica_id=replica.id))
-        self.balancer.on_removed(replica)
+        self.balancer.on_removed(replica, self.active_replicas())
         self._reap_drained()
         return replica
 

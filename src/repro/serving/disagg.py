@@ -1,0 +1,904 @@
+"""Disaggregated prefill/decode serving and multi-node sharded serving.
+
+Modern LLM serving separates the two phases of a request's life onto
+different machines (DistServe, Splitwise): *prefill* is compute-bound
+and batches well by tokens, *decode* is memory-bound and batches well
+by requests, so colocating them forces one pool's batching policy onto
+the other.  This module builds that architecture on top of the existing
+engine template:
+
+* :class:`DisaggregatedEngine` (registered ``disagg``) owns two
+  heterogeneous worker pools acquired from a :class:`~repro.hardware.
+  cluster.Cluster` — a prefill pool running chunked prefill to
+  completion and a decode pool running continuous batching.  When a
+  request's prefill finishes, its KV blocks cross the pool interconnect
+  as a typed :class:`~repro.sim.KvTransfer` event priced by
+  :func:`~repro.serving.kv_transfer.plan_kv_transfer` (uncached suffix
+  only when the prefill side's prefix cache held the shared prefix),
+  and the request resumes decoding on the least-loaded decode worker.
+* :class:`PoolAutoscaler` makes scaling pool-aware: separate
+  watermarks, cooldowns, and spawn/drain per role, so a prefill-heavy
+  burst grows the prefill pool without over-provisioning decode.
+* :class:`ShardedEngine` (registered ``sharded``) spans one
+  tensor-parallel group across several cluster nodes, charging the
+  per-layer inter-node ring all-reduce over the same interconnect
+  model on top of the intra-node collective already priced by
+  :class:`~repro.serving.costs.IterationCostModel`.
+
+Determinism contract: pool workers are full
+:class:`~repro.serving.engine.DeltaZipEngine` instances on their own
+kernel clocks; the owner steps whichever busy worker is earliest
+(ties broken by worker id), decode workers never idle-jump past the
+prefill frontier (a handoff can only be scheduled at or after the
+prefill worker's clock), and idle jumps are clamped to autoscaler
+check boundaries — so run-to-run and idle-skip replays produce
+identical records, and every existing engine is bit-identical with
+disaggregation off (nothing in this module runs unless constructed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields, replace
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..hardware.cluster import Cluster, GPUNode
+from ..sim import Event, KvTransfer, PhaseTransition
+from ..workload.spec import TraceRequest
+from .base import (Admission, EngineConfig, ServingEngine, register_engine)
+from .costs import BatchComposition
+from .engine import DeltaZipEngine
+from .kv_transfer import InterconnectModel, plan_kv_transfer
+from .metrics import EngineStats
+from .model_manager import ArtifactKind, ModelManager
+from .models import FP16
+from .prefix_cache import PrefixCache
+from .request import RequestState, ServingRequest
+from .scheduler import SchedulerConfig
+
+__all__ = [
+    "DEFAULT_PREFILL_CHUNK_TOKENS", "PoolScalingPolicy", "PoolSample",
+    "PoolAutoscaler", "DisaggregatedEngine", "ShardedEngine",
+]
+
+#: token budget of one chunked-prefill slab on a prefill worker
+DEFAULT_PREFILL_CHUNK_TOKENS = 512
+
+
+# --------------------------------------------------------------------- #
+# pool workers
+# --------------------------------------------------------------------- #
+class _PoolWorker(DeltaZipEngine):
+    """One pool member: a DeltaZip engine on its own timeline.
+
+    Workers forward tokens, finishes, and events to the owning
+    :class:`DisaggregatedEngine`, which maintains the canonical
+    (client-visible) request objects.  ``draining`` workers accept no
+    new routes but run their queue dry before their node is released.
+    """
+
+    def __init__(self, owner: "DisaggregatedEngine", role: str,
+                 worker_id: int, manager: ModelManager, node: GPUNode,
+                 scheduler_config: SchedulerConfig,
+                 engine_config: EngineConfig):
+        self.owner = owner
+        self.role = role
+        self.worker_id = worker_id
+        self.draining = False
+        self.name = f"disagg.{role}{worker_id}"
+        super().__init__(manager, node, scheduler_config, engine_config)
+        self.on_token = self._token_to_owner
+        self.on_finish = self._finish_to_owner
+
+    # forwarded hooks (permanent: owner state is read at call time) ----- #
+    def _token_to_owner(self, req: ServingRequest, clock_s: float) -> None:
+        self.owner._on_worker_token(self, req, clock_s)
+
+    def _finish_to_owner(self, req: ServingRequest, clock_s: float) -> None:
+        self.owner._on_worker_finish(self, req, clock_s)
+
+    def _event_to_owner(self, event: Event) -> None:
+        self.owner._on_worker_event(self, event)
+
+    def flush_residency(self) -> None:
+        """Cold-start state drop for a worker revived onto a fresh node:
+        resident deltas, prefetch futures, and the prefix pool are gone
+        (the new node's memory starts empty); swap-ins repay naturally."""
+        self._resident.clear()
+        self._resident_bytes = 0
+        self._cpu_ready_s.clear()
+        if self._prefix_cache is not None:
+            self._prefix_cache = PrefixCache(self.config.prefix_block_tokens)
+        self._prefix_refs.clear()
+
+    def _next_wake(self) -> Optional[float]:
+        """Clamp idle jumps to the owner's next autoscaler check so the
+        controller observes the pools at its scheduled boundaries in both
+        idle-skip modes (a jump may not overshoot a check)."""
+        wake = super()._next_wake()
+        bound = self.owner._scaler_bound()
+        if wake is not None and bound is not None and \
+                self.clock < bound < wake:
+            return bound
+        return wake
+
+
+class _PrefillWorker(_PoolWorker):
+    """Prefill pool member: chunked prefill, requests retire after one
+    token (their surrogate trace asks for exactly one output token)."""
+
+    def iteration_cost(self,
+                       admitted: List[ServingRequest]) -> Optional[float]:
+        batch = self._compose(self.running, admitted)
+        if batch.empty:
+            return None
+        self._last_batch = batch
+        chunk = self.owner.prefill_chunk_tokens
+        if batch.decode_per_delta or batch.prefill_tokens <= chunk:
+            return self.cost.iteration_time(batch, self.config.variant_kind)
+        # chunked prefill: slab the token budget across deltas in id
+        # order; later slabs attend over earlier ones (context grows)
+        total = 0.0
+        processed = 0
+        remaining = dict(sorted(batch.prefill_tokens_per_delta.items()))
+        while remaining:
+            slab: Dict[str, int] = {}
+            space = chunk
+            for delta_id in sorted(remaining):
+                if space <= 0:
+                    break
+                take = min(remaining[delta_id], space)
+                slab[delta_id] = take
+                space -= take
+            for delta_id, take in slab.items():
+                left = remaining[delta_id] - take
+                if left:
+                    remaining[delta_id] = left
+                else:
+                    del remaining[delta_id]
+            total += self.cost.iteration_time(
+                BatchComposition(decode_per_delta={},
+                                 prefill_tokens_per_delta=slab,
+                                 context_tokens=batch.context_tokens
+                                 + processed),
+                self.config.variant_kind)
+            processed += sum(slab.values())
+        return total
+
+
+class _DecodeWorker(_PoolWorker):
+    """Decode pool member: continuous batching over handed-off requests.
+
+    Arrivals are *resumes*, not fresh prefills: the owner seeds each
+    handed-off request as already prefilled (KV arrived over the wire),
+    so the engine's swap-resume path admits it straight into decode.
+    """
+
+    def _reset_engine(self) -> None:
+        super()._reset_engine()
+        # prefix reuse is priced once, on the prefill side; the decode
+        # pool sees only post-transfer KV state
+        self._prefix_cache = None
+        self._seeded: Dict[int, int] = {}
+
+    def seed(self, request_id: int, cached_prefix_tokens: int) -> None:
+        self._seeded[request_id] = cached_prefix_tokens
+
+    def on_arrival(self, request: ServingRequest) -> None:
+        cached = self._seeded.pop(request.request_id, None)
+        if cached is not None:
+            request.generated_tokens = 1      # the prefill pool's token
+            request.prefilled = True
+            request.cached_prefix_tokens = cached
+            self.owner._note_arrived(request.request_id)
+        super().on_arrival(request)
+
+    def _bounded_jump(self, target: float) -> float:
+        # never idle-jump past the prefill frontier: a busy prefill
+        # worker at clock T can still hand off a request arriving >= T,
+        # so the decode clock must not pass T before that submit lands.
+        bound = self.owner._prefill_frontier()
+        if bound is not None and target > bound:
+            target = max(self.clock, bound)
+        return super()._bounded_jump(target)
+
+
+# --------------------------------------------------------------------- #
+# pool-aware autoscaling
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PoolScalingPolicy:
+    """Per-role watermarks for the pool autoscaler."""
+
+    min_workers: int = 1
+    max_workers: int = 4
+    high_backlog_per_worker: float = 8.0
+    low_backlog_per_worker: float = 1.0
+    scale_up_cooldown_s: float = 5.0
+    scale_down_cooldown_s: float = 30.0
+
+
+@dataclass(frozen=True)
+class PoolSample:
+    """One autoscaler action on one pool (observability record)."""
+
+    clock_s: float
+    role: str
+    action: str            # "scale-up" | "scale-down"
+    n_workers: int         # active (non-draining) workers after the action
+    backlog_per_worker: float
+
+
+class PoolAutoscaler:
+    """Separate spawn/drain control loops for the prefill and decode
+    pools.  Checks run at fixed simulated intervals; each role compares
+    its backlog per active worker against its own watermarks, so a
+    prefill-heavy burst grows only the prefill pool.  Spawns prefer
+    reviving a draining/parked worker (warm pool) before acquiring a
+    fresh cluster node.  One autoscaler drives one engine."""
+
+    def __init__(self, prefill: PoolScalingPolicy = PoolScalingPolicy(),
+                 decode: PoolScalingPolicy = PoolScalingPolicy(),
+                 check_interval_s: float = 2.0):
+        if check_interval_s <= 0:
+            raise ValueError("check_interval_s must be > 0")
+        self.prefill = prefill
+        self.decode = decode
+        self.check_interval_s = check_interval_s
+        self.history: List[PoolSample] = []
+        self._cooldown_until: Dict[str, float] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        self.history = []
+        self._cooldown_until = {"prefill": 0.0, "decode": 0.0}
+
+    def policy(self, role: str) -> PoolScalingPolicy:
+        return self.prefill if role == "prefill" else self.decode
+
+    def control(self, engine: "DisaggregatedEngine", at_s: float) -> None:
+        """One observation of both pools at simulated time ``at_s``."""
+        for role in ("prefill", "decode"):
+            policy = self.policy(role)
+            active = engine.active_workers(role)
+            backlog = engine.pool_backlog(role)
+            per = backlog / max(1, len(active))
+            if at_s < self._cooldown_until[role]:
+                continue
+            action = ""
+            if per > policy.high_backlog_per_worker and \
+                    len(active) < policy.max_workers:
+                if engine._grow_pool(role, at_s):
+                    action = "scale-up"
+                    self._cooldown_until[role] = \
+                        at_s + policy.scale_up_cooldown_s
+            elif per < policy.low_backlog_per_worker and \
+                    len(active) > policy.min_workers:
+                if engine._shrink_pool(role):
+                    action = "scale-down"
+                    self._cooldown_until[role] = \
+                        at_s + policy.scale_down_cooldown_s
+            if action:
+                self.history.append(PoolSample(
+                    clock_s=at_s, role=role, action=action,
+                    n_workers=len(engine.active_workers(role)),
+                    backlog_per_worker=per))
+
+
+# --------------------------------------------------------------------- #
+# the disaggregated engine
+# --------------------------------------------------------------------- #
+@register_engine
+class DisaggregatedEngine(ServingEngine):
+    """Prefill/decode disaggregation over heterogeneous worker pools.
+
+    The engine satisfies the full :class:`~repro.serving.base.
+    ServingEngine` protocol (submit/step/abort/lookup/backlog/
+    build_result) by *delegation*: every request is routed to a prefill
+    worker at submit time (conversation affinity when the prefix cache
+    is on, least-outstanding otherwise), runs prefill to completion
+    there, pays the priced KV transfer, and finishes decoding on a
+    decode worker.  The owner keeps the canonical request object whose
+    record is what clients, gateways, and metrics observe — worker-side
+    surrogate requests are an implementation detail.
+    """
+
+    name = "disagg"
+    variant_artifact = ArtifactKind.DELTA
+    include_stats = True
+
+    def __init__(self, manager: ModelManager, node: GPUNode,
+                 scheduler_config: SchedulerConfig,
+                 engine_config: EngineConfig = EngineConfig(),
+                 prefill_workers: int = 1, decode_workers: int = 1,
+                 prefill_chunk_tokens: int = DEFAULT_PREFILL_CHUNK_TOKENS,
+                 cluster: Optional[Cluster] = None,
+                 link: Optional[InterconnectModel] = None,
+                 pool_autoscaler: Optional[PoolAutoscaler] = None):
+        if prefill_workers < 1 or decode_workers < 1:
+            raise ValueError("each pool needs at least one worker")
+        if prefill_chunk_tokens < 1:
+            raise ValueError("prefill_chunk_tokens must be >= 1")
+        self.scheduler_config = scheduler_config
+        self.prefill_chunk_tokens = prefill_chunk_tokens
+        self._n_prefill = prefill_workers
+        self._n_decode = decode_workers
+        self._link = link if link is not None else InterconnectModel()
+        self._scaler = pool_autoscaler
+        ceiling = prefill_workers + decode_workers
+        if pool_autoscaler is not None:
+            ceiling = max(prefill_workers,
+                          pool_autoscaler.prefill.max_workers) + \
+                max(decode_workers, pool_autoscaler.decode.max_workers)
+        self._cluster = cluster if cluster is not None \
+            else Cluster(node.spec, n_nodes=ceiling)
+        super().__init__(manager, node, engine_config)
+
+    @classmethod
+    def build(cls, manager: ModelManager, node: GPUNode,
+              scheduler_config: Optional[SchedulerConfig] = None,
+              engine_config: Optional[EngineConfig] = None,
+              **kwargs: Any) -> "ServingEngine":
+        return cls(manager, node, scheduler_config or SchedulerConfig(),
+                   engine_config or EngineConfig(), **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    def _reset_engine(self) -> None:
+        for worker in list(getattr(self, "_prefill_pool", [])) + \
+                list(getattr(self, "_decode_pool", [])):
+            self._cluster.release(worker.node)
+        self._next_worker_id = 0
+        self._prefill_pool: List[_PoolWorker] = []
+        self._decode_pool: List[_PoolWorker] = []
+        self._parked: List[_PoolWorker] = []   # drained, node released
+        self._owner_of: Dict[int, _PoolWorker] = {}
+        self._cancel_log: Dict[int, List[Tuple[float, str]]] = {}
+        self._conv_home: Dict[str, _PoolWorker] = {}
+        self._in_transfer: Set[int] = set()
+        self._kv_transfers = 0
+        self._kv_transfer_bytes = 0
+        self._kv_transfer_s = 0.0
+        self._max_prefill_seen = self._n_prefill
+        self._max_decode_seen = self._n_decode
+        self._next_check_s: Optional[float] = None
+        if self._scaler is not None:
+            self._scaler.reset()
+            self._next_check_s = self._scaler.check_interval_s
+        for _ in range(self._n_prefill):
+            self._spawn_worker("prefill", 0.0)
+        for _ in range(self._n_decode):
+            self._spawn_worker("decode", 0.0)
+
+    def _spawn_worker(self, role: str, at_s: float) -> _PoolWorker:
+        node = self._cluster.acquire()
+        worker_cls = _PrefillWorker if role == "prefill" else _DecodeWorker
+        worker = worker_cls(self, role, self._next_worker_id,
+                            self.manager, node, self.scheduler_config,
+                            self.config)
+        self._next_worker_id += 1
+        worker.clock = at_s
+        self._pool(role).append(worker)
+        return worker
+
+    def _pool(self, role: str) -> List[_PoolWorker]:
+        return self._prefill_pool if role == "prefill" \
+            else self._decode_pool
+
+    def _all_workers(self) -> List[_PoolWorker]:
+        return self._prefill_pool + self._decode_pool
+
+    def active_workers(self, role: str) -> List[_PoolWorker]:
+        """Non-draining members of one pool (the routable set)."""
+        return [w for w in self._pool(role) if not w.draining]
+
+    def pool_backlog(self, role: str) -> int:
+        """Arrived-but-unfinished work attributable to one pool; KV
+        moves in flight count against decode (that is where they land).
+        """
+        backlog = sum(w.backlog for w in self._pool(role))
+        if role == "decode":
+            backlog += len(self._in_transfer)
+        return backlog
+
+    # aggregated stats: the owner's counters are derived, so the base
+    # class's ``self.stats = EngineStats()`` in reset() is a no-op here
+    @property
+    def stats(self) -> EngineStats:
+        agg = EngineStats()
+        workers = list(getattr(self, "_prefill_pool", [])) + \
+            list(getattr(self, "_decode_pool", [])) + \
+            list(getattr(self, "_parked", []))
+        for worker in workers:
+            ws = worker.stats
+            for f in dataclass_fields(EngineStats):
+                setattr(agg, f.name,
+                        getattr(agg, f.name) + getattr(ws, f.name))
+        agg.kv_transfers += getattr(self, "_kv_transfers", 0)
+        agg.kv_transfer_bytes += getattr(self, "_kv_transfer_bytes", 0)
+        agg.kv_transfer_s += getattr(self, "_kv_transfer_s", 0.0)
+        return agg
+
+    @stats.setter
+    def stats(self, value: EngineStats) -> None:
+        pass  # derived from the pools; base reset's assignment is moot
+
+    # ------------------------------------------------------------------ #
+    # clock: the cluster frontier sees the earliest busy worker
+    # ------------------------------------------------------------------ #
+    @property
+    def clock(self) -> float:
+        workers = list(getattr(self, "_prefill_pool", [])) + \
+            list(getattr(self, "_decode_pool", []))
+        if not workers:
+            return 0.0
+        # workers with arrived work advance on event-exact boundaries;
+        # a worker whose only work is a *pending* future arrival (a KV
+        # handoff in flight) reports that arrival time instead of its
+        # raw clock, which under dense-quantum stepping creeps through
+        # intermediate positions skip-mode never visits — outer layers
+        # (the tenancy frontier) must see the same "now" in both modes
+        active = [w.clock for w in workers
+                  if w.running or w.backlog > 0]
+        if active:
+            return min(active)
+        waiting = []
+        for w in workers:
+            if w.unfinished > 0:
+                nxt = w._pending.peek_time()
+                waiting.append(w.clock if nxt is None
+                               else max(w.clock, nxt))
+        if waiting:
+            return min(waiting)
+        return max(w.clock for w in workers)
+
+    @clock.setter
+    def clock(self, value: float) -> None:
+        # outer layers re-seat idle engines (replica spawn, floor bumps):
+        # lift every worker that lags, never rewind one that leads
+        for worker in self._all_workers():
+            if value > worker.clock:
+                worker.clock = value
+
+    # ------------------------------------------------------------------ #
+    # submission and routing
+    # ------------------------------------------------------------------ #
+    def submit(self, request: TraceRequest) -> ServingRequest:
+        req = ServingRequest(trace=request)
+        self._live[request.request_id] = req
+        self._n_submitted += 1
+        worker = self._route_prefill(request)
+        self._owner_of[request.request_id] = worker
+        # the prefill surrogate asks for exactly one token: prefill plus
+        # the first decode step, after which the worker retires it and
+        # the owner hands the KV state to the decode pool
+        worker.submit(replace(request, output_tokens=1)
+                      if request.output_tokens > 1 else request)
+        return req
+
+    def _route_prefill(self, request: TraceRequest) -> _PoolWorker:
+        pool = self.active_workers("prefill") or self._prefill_pool
+        conv = request.conversation_id
+        if self.config.prefix_cache and conv is not None:
+            home = self._conv_home.get(conv)
+            if home is not None and not home.draining and \
+                    home in self._prefill_pool:
+                return home
+            chosen = min(pool, key=lambda w: (w.unfinished, w.worker_id))
+            self._conv_home[conv] = chosen
+            return chosen
+        return min(pool, key=lambda w: (w.unfinished, w.worker_id))
+
+    def _route_decode(self) -> _PoolWorker:
+        pool = self.active_workers("decode") or self._decode_pool
+        return min(pool, key=lambda w: (w.unfinished, w.worker_id))
+
+    def schedule_cancel(self, request_id: int, at_s: float,
+                        reason: str = "cancel") -> None:
+        worker = self._owner_of.get(request_id)
+        if worker is None:
+            canonical = self._live.get(request_id)
+            if canonical is not None and canonical.terminal:
+                return           # stale: already terminal, nothing to do
+            raise KeyError(f"unknown request {request_id}")
+        # remembered so a handoff after this call re-arms the cancel on
+        # the decode worker (deadlines re-arm themselves via the trace)
+        self._cancel_log.setdefault(request_id, []).append(
+            (float(at_s), reason))
+        worker.schedule_cancel(request_id, at_s, reason)
+
+    def _apply_cancel(self, request_id: int,
+                      reason: str) -> Optional[ServingRequest]:
+        canonical = self._live.get(request_id)
+        worker = self._owner_of.get(request_id)
+        if canonical is None or canonical.terminal or worker is None:
+            return None
+        if worker._apply_cancel(request_id, reason) is None:
+            return None
+        return canonical          # finalized via the worker finish hook
+
+    # ------------------------------------------------------------------ #
+    # stepping
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        self._sync_hooks()
+        limit = self.config.max_sim_seconds
+        candidates = [w for w in self._all_workers()
+                      if w.unfinished > 0 and w.clock < limit]
+        candidates.sort(key=lambda w: (w.clock, w.worker_id))
+        progress = False
+        for worker in candidates:
+            before = (worker.clock, worker.unfinished)
+            if not worker.step():
+                continue
+            if (worker.clock, worker.unfinished) != before:
+                progress = True
+                break
+            # a clamped idle jump moved nothing: let an earlier-frontier
+            # worker (already stepped) or the next candidate make time
+        self._run_autoscaler()
+        return progress
+
+    def _sync_hooks(self) -> None:
+        has_sink = self.on_event is not None
+        phases = self.emit_phases and has_sink
+        for worker in self._all_workers():
+            worker.emit_phases = phases
+            worker.on_event = worker._event_to_owner if has_sink else None
+
+    def _prefill_frontier(self) -> Optional[float]:
+        times = [w.clock for w in self._prefill_pool if w.unfinished > 0]
+        return min(times) if times else None
+
+    def _scaler_bound(self) -> Optional[float]:
+        return self._next_check_s
+
+    def _event_frontier(self) -> float:
+        """The earliest point any worker can still act: raw clocks for
+        workers with arrived work, next-arrival times for pending-only
+        ones.  Unlike the tenancy-facing ``clock`` (which prefers busy
+        workers), this never ignores a worker that will wake soon, so it
+        crosses an autoscaler check boundary at the same position in
+        event order under both idle-skip and dense-quantum stepping —
+        how far an idle worker's clock happened to creep cannot change
+        when a scale action lands relative to the surrounding handoffs.
+        """
+        vals = []
+        for w in self._all_workers():
+            if w.running or w.backlog > 0:
+                vals.append(w.clock)
+            elif w.unfinished > 0:
+                nxt = w._pending.peek_time()
+                vals.append(w.clock if nxt is None else max(w.clock, nxt))
+        return min(vals) if vals else self.clock
+
+    def _run_autoscaler(self) -> None:
+        scaler = self._scaler
+        if scaler is None or self._next_check_s is None:
+            return
+        if self.unfinished == 0:
+            return                # a drained system never rescales
+        now = self._event_frontier()
+        while self._next_check_s is not None and now >= self._next_check_s:
+            at_s = self._next_check_s
+            scaler.control(self, at_s)
+            self._next_check_s = at_s + scaler.check_interval_s
+        self._reap_drained()
+
+    def _grow_pool(self, role: str, at_s: float) -> bool:
+        """Add one worker to a pool: un-drain the youngest draining
+        member, revive a parked one onto a fresh node, or acquire a new
+        node.  Returns False when the cluster is exhausted."""
+        pool = self._pool(role)
+        draining = [w for w in pool if w.draining]
+        if draining:
+            revived = max(draining, key=lambda w: w.worker_id)
+            revived.draining = False
+            self._note_pool_peak(role)
+            return True
+        parked = [w for w in self._parked if w.role == role]
+        if parked and self._cluster.n_free > 0:
+            worker = max(parked, key=lambda w: w.worker_id)
+            self._parked.remove(worker)
+            worker.node = self._cluster.acquire()
+            worker.flush_residency()
+            worker.draining = False
+            worker.clock = at_s
+            pool.append(worker)
+            pool.sort(key=lambda w: w.worker_id)
+            self._note_pool_peak(role)
+            return True
+        if self._cluster.n_free > 0:
+            self._spawn_worker(role, at_s)
+            self._note_pool_peak(role)
+            return True
+        return False
+
+    def _shrink_pool(self, role: str) -> bool:
+        """Mark the least-loaded (youngest on ties) worker draining; it
+        keeps serving its queue and is reaped once idle."""
+        active = self.active_workers(role)
+        if len(active) <= 1:
+            return False
+        worker = min(active, key=lambda w: (w.unfinished, -w.worker_id))
+        worker.draining = True
+        return True
+
+    def _reap_drained(self) -> None:
+        for pool in (self._prefill_pool, self._decode_pool):
+            drained = [w for w in pool if w.draining and w.unfinished == 0]
+            for worker in drained:
+                pool.remove(worker)
+                self._cluster.release(worker.node)
+                self._parked.append(worker)
+                stale = [conv for conv, home in self._conv_home.items()
+                         if home is worker]
+                for conv in stale:
+                    del self._conv_home[conv]
+
+    def _note_pool_peak(self, role: str) -> None:
+        n = len(self.active_workers(role))
+        if role == "prefill":
+            self._max_prefill_seen = max(self._max_prefill_seen, n)
+        else:
+            self._max_decode_seen = max(self._max_decode_seen, n)
+
+    # ------------------------------------------------------------------ #
+    # worker callbacks: canonical request maintenance + KV handoff
+    # ------------------------------------------------------------------ #
+    def _on_worker_token(self, worker: _PoolWorker, req: ServingRequest,
+                         clock_s: float) -> None:
+        canonical = self._live.get(req.request_id)
+        if canonical is None:
+            return
+        if canonical.first_token_s is None:
+            canonical.first_token_s = clock_s
+            canonical.state = RequestState.RUNNING
+        if req.generated_tokens > canonical.generated_tokens:
+            canonical.generated_tokens = req.generated_tokens
+        if self.on_token is not None:
+            self.on_token(canonical, clock_s)
+
+    def _on_worker_finish(self, worker: _PoolWorker, req: ServingRequest,
+                          clock_s: float) -> None:
+        canonical = self._live.get(req.request_id)
+        if canonical is None:
+            return
+        self._fold_timing(canonical, req)
+        if worker.role == "decode" \
+                or req.state is not RequestState.FINISHED \
+                or canonical.trace.output_tokens <= 1:
+            self._finalize(canonical, req, clock_s)
+            return
+        self._handoff(worker, canonical, req)
+
+    @staticmethod
+    def _fold_timing(canonical: ServingRequest,
+                     req: ServingRequest) -> None:
+        canonical.queue_wait_s += req.queue_wait_s
+        canonical.loading_s += req.loading_s
+        canonical.inference_s += req.inference_s
+        canonical.preemptions += req.preemptions
+        canonical.skipped_line = canonical.skipped_line or req.skipped_line
+        if req.cached_prefix_tokens:
+            canonical.cached_prefix_tokens = req.cached_prefix_tokens
+        if canonical.first_scheduled_s is None:
+            canonical.first_scheduled_s = req.first_scheduled_s
+
+    def _handoff(self, src: _PoolWorker, canonical: ServingRequest,
+                 req: ServingRequest) -> None:
+        rid = canonical.request_id
+        assert req.finish_s is not None
+        start_s = req.finish_s
+        plan = plan_kv_transfer(self.manager.spec, self._link,
+                                context_tokens=req.context_length,
+                                cached_prefix_tokens=req.cached_prefix_tokens)
+        canonical.transfer_s = plan.transfer_s
+        self._kv_transfers += 1
+        self._kv_transfer_bytes += plan.nbytes
+        self._kv_transfer_s += plan.transfer_s
+        dst = self._route_decode()
+        emit = self.on_event
+        if emit is not None:
+            emit(KvTransfer(
+                time=start_s, request_id=rid, model_id=canonical.model_id,
+                nbytes=plan.nbytes, transfer_s=plan.transfer_s,
+                tokens=plan.tokens, cached_tokens=plan.cached_tokens,
+                src=src.name, dst=dst.name))
+            if self.emit_phases:
+                emit(PhaseTransition(
+                    time=start_s, request_id=rid, phase="transfer",
+                    model_id=canonical.model_id,
+                    tenant_id=canonical.tenant_id, source=self.name))
+        self._owner_of[rid] = dst
+        self._in_transfer.add(rid)
+        dst.seed(rid, req.cached_prefix_tokens)
+        dst.submit(replace(canonical.trace,
+                           arrival_s=start_s + plan.transfer_s))
+        for at_s, reason in self._cancel_log.get(rid, ()):
+            dst.schedule_cancel(rid, at_s, reason)
+
+    def _note_arrived(self, request_id: int) -> None:
+        self._in_transfer.discard(request_id)
+
+    def _finalize(self, canonical: ServingRequest, req: ServingRequest,
+                  clock_s: float) -> None:
+        rid = canonical.request_id
+        if req.generated_tokens > canonical.generated_tokens:
+            canonical.generated_tokens = req.generated_tokens
+        canonical.state = req.state
+        canonical.finish_s = req.finish_s
+        if canonical.first_token_s is None:
+            canonical.first_token_s = req.first_token_s
+        self._cancel_log.pop(rid, None)
+        self._in_transfer.discard(rid)
+        self._owner_of.pop(rid, None)
+        self._retire_terminal(canonical)
+        if self.on_finish is not None:
+            self.on_finish(canonical, clock_s)
+
+    # phase translation: worker-local lifecycles map onto the canonical
+    # queue → prefill → transfer → decode → retire span; the owner's own
+    # _retire_terminal emits retire, _handoff emits transfer
+    _PREFILL_PHASE_MAP = {"queue": "queue", "prefill": "prefill"}
+    _DECODE_PHASE_MAP = {"prefill": "decode"}
+
+    def _on_worker_event(self, worker: _PoolWorker, event: Event) -> None:
+        emit = self.on_event
+        if emit is None:
+            return
+        if isinstance(event, PhaseTransition):
+            mapping = self._PREFILL_PHASE_MAP if worker.role == "prefill" \
+                else self._DECODE_PHASE_MAP
+            phase = mapping.get(event.phase)
+            if phase is None:
+                return
+            if phase != event.phase:
+                event = replace(event, phase=phase, source=self.name)
+            emit(event)
+            return
+        emit(event)
+
+    # ------------------------------------------------------------------ #
+    # protocol surface the pools satisfy jointly
+    # ------------------------------------------------------------------ #
+    @property
+    def backlog(self) -> int:
+        return sum(w.backlog for w in self._all_workers()) + \
+            len(self._in_transfer)
+
+    def has_queued(self) -> bool:
+        return any(w.has_queued() for w in self._all_workers())
+
+    def on_arrival(self, request: ServingRequest) -> None:
+        raise AssertionError("disagg routes at submit; no owner queue")
+
+    def admit(self) -> Admission:
+        raise AssertionError("disagg steps its pools; no owner admission")
+
+    def iteration_cost(self,
+                       admitted: List[ServingRequest]) -> Optional[float]:
+        raise AssertionError("disagg steps its pools; no owner iterations")
+
+    def utilization(self) -> Dict[str, float]:
+        workers = self._all_workers()
+        if not workers:
+            return {"batch_occupancy": 0.0, "kv_occupancy": 0.0}
+        batch = 0.0
+        kv = 0.0
+        for worker in workers:
+            util = worker.utilization()
+            batch += util["batch_occupancy"]
+            kv += util["kv_occupancy"]
+        return {"batch_occupancy": batch / len(workers),
+                "kv_occupancy": kv / len(workers)}
+
+    def pool_gauges(self) -> Dict[str, float]:
+        """Per-pool occupancy/backlog for the telemetry gauge board."""
+        def occupancy(pool: List[_PoolWorker]) -> float:
+            if not pool:
+                return 0.0
+            return sum(w.utilization()["batch_occupancy"]
+                       for w in pool) / len(pool)
+        return {
+            "prefill_workers": float(len(self.active_workers("prefill"))),
+            "decode_workers": float(len(self.active_workers("decode"))),
+            "prefill_occupancy": occupancy(self._prefill_pool),
+            "decode_occupancy": occupancy(self._decode_pool),
+            "prefill_backlog": float(self.pool_backlog("prefill")),
+            "decode_backlog": float(self.pool_backlog("decode")),
+        }
+
+    def result_config(self) -> Dict[str, object]:
+        cfg: Dict[str, object] = {
+            "tp_degree": self.config.tp_degree,
+            "variant_kind": self.config.variant_kind,
+            "max_batch_requests": self.scheduler_config.max_batch_requests,
+            "max_concurrent_deltas":
+                self.scheduler_config.max_concurrent_deltas,
+            "prefill_workers": self._n_prefill,
+            "decode_workers": self._n_decode,
+            "prefill_chunk_tokens": self.prefill_chunk_tokens,
+            "kv_link_gbps": self._link.gbps,
+        }
+        if self._scaler is not None:
+            cfg["max_prefill_workers_seen"] = self._max_prefill_seen
+            cfg["max_decode_workers_seen"] = self._max_decode_seen
+        if self.config.prefix_cache:
+            cfg["prefix_cache"] = True
+            cfg["prefix_block_tokens"] = self.config.prefix_block_tokens
+        return cfg
+
+
+# --------------------------------------------------------------------- #
+# sharded multi-node tensor parallelism
+# --------------------------------------------------------------------- #
+@register_engine
+class ShardedEngine(DeltaZipEngine):
+    """One tensor-parallel group spanning several cluster nodes.
+
+    The intra-node collective stage is already priced by
+    :class:`~repro.serving.costs.IterationCostModel` (NVLink/PCIe ring
+    inside the node); this engine adds the hierarchical *inter-node*
+    stage: per layer, two ring all-reduces of the activation block
+    across ``n_nodes`` participants over the RDMA interconnect.  Node
+    membership is validated against :meth:`GPUNode.tp_group` on every
+    node acquired from the cluster.
+    """
+
+    name = "sharded"
+    variant_artifact = ArtifactKind.DELTA
+    include_stats = True
+
+    def __init__(self, manager: ModelManager, node: GPUNode,
+                 scheduler_config: SchedulerConfig,
+                 engine_config: EngineConfig = EngineConfig(),
+                 tp_degree: Optional[int] = None,
+                 n_nodes: Optional[int] = None,
+                 cluster: Optional[Cluster] = None,
+                 link: Optional[InterconnectModel] = None):
+        tp = tp_degree if tp_degree is not None else engine_config.tp_degree
+        per_node_gpus = node.spec.n_gpus
+        if n_nodes is None:
+            n_nodes = max(1, -(-tp // per_node_gpus))
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if tp % n_nodes:
+            raise ValueError(
+                f"tp degree {tp} does not shard evenly over "
+                f"{n_nodes} nodes")
+        self._n_nodes = n_nodes
+        self._per_node_tp = tp // n_nodes
+        self._link = link if link is not None else InterconnectModel()
+        self._shard_nodes: List[GPUNode] = [node]
+        if n_nodes > 1:
+            src = cluster if cluster is not None \
+                else Cluster(node.spec, n_nodes=n_nodes - 1)
+            for _ in range(n_nodes - 1):
+                self._shard_nodes.append(src.acquire())
+        for member in self._shard_nodes:
+            member.tp_group(self._per_node_tp)  # validates the degree
+        super().__init__(manager, node, scheduler_config,
+                         replace(engine_config, tp_degree=tp))
+
+    def iteration_cost(self,
+                       admitted: List[ServingRequest]) -> Optional[float]:
+        cost = super().iteration_cost(admitted)
+        if cost is None or self._n_nodes <= 1:
+            return cost
+        batch = self._last_batch
+        assert batch is not None
+        rows = batch.decode_requests + batch.prefill_tokens
+        if rows <= 0:
+            return cost
+        spec = self.manager.spec
+        per_layer = self._link.allreduce_time(rows * spec.dim * FP16,
+                                              self._n_nodes)
+        return cost + 2 * spec.n_layers * per_layer
+
+    def result_config(self) -> Dict[str, object]:
+        cfg = super().result_config()
+        cfg["n_nodes"] = self._n_nodes
+        cfg["per_node_tp"] = self._per_node_tp
+        cfg["interconnect_gbps"] = self._link.gbps
+        return cfg

@@ -33,6 +33,7 @@ from .base import (PREEMPT_SWAP_S, WORKSPACE_FRACTION, Admission,
                    EngineConfig, ServingEngine, TimelineEvent,
                    register_engine)
 from .costs import BatchComposition, IterationCostModel
+from .kv_transfer import InterconnectModel
 from .model_manager import ArtifactKind, ModelManager
 from .prefix_cache import PrefixCache, prefix_block_keys
 from .request import ServingRequest
@@ -361,6 +362,26 @@ class DeltaZipEngine(ServingEngine):
         fetch = self.node.load_time(entry.nbytes, Tier.DISK, Tier.CPU,
                                     decompress_gbps=decompress)
         self._cpu_ready_s[model_id] = now_s + fetch
+
+    def receive_delta(self, model_id: str, at_s: float,
+                      link: Optional[InterconnectModel] = None) -> float:
+        """Stage an incoming delta migration (peer replica → CPU memory).
+
+        Prices moving ``model_id``'s artifact over ``link`` starting at
+        ``at_s``; until it lands, swap-ins of that delta wait out the
+        arrival exactly like the async disk prefetch does.  Returns the
+        wire time.  The lineage balancer uses this to migrate a delta
+        off a draining replica instead of re-fetching it from disk.
+        """
+        entry = self.manager.get(model_id)
+        if link is None:
+            link = InterconnectModel()
+        transfer_s = link.transfer_time(entry.nbytes)
+        ready = float(at_s) + transfer_s
+        current = self._cpu_ready_s.get(model_id)
+        if current is None or ready < current:
+            self._cpu_ready_s[model_id] = ready
+        return transfer_s
 
     def _swap_in_time(self, model_id: str, nbytes: int, now_s: float) -> float:
         """CPU→GPU transfer, waiting out the async disk fetch if needed."""

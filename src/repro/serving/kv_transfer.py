@@ -1,0 +1,116 @@
+"""Pricing KV-cache movement between disaggregated serving pools.
+
+Disaggregated prefill/decode serving (DistServe/Splitwise-style) runs a
+request's prefill on one worker and its decode on another, so the KV
+blocks produced by prefill must cross the inter-worker interconnect
+before decode can start.  This module is the single place that cost is
+priced:
+
+* :class:`InterconnectModel` — a latency + bandwidth link model for the
+  RDMA-class NIC connecting pool workers.  It also prices ring
+  all-reduces over the same fabric, which is what the multi-node
+  ``sharded`` engine charges per layer for cross-node tensor
+  parallelism.
+* :func:`plan_kv_transfer` — turns one request's context into a
+  :class:`KvTransferPlan`: how many KV token-rows actually move (the
+  uncached suffix only, when the decode side's prefix cache already
+  holds the shared prefix), the byte count from
+  :meth:`~repro.serving.models.ServedModelSpec.kv_bytes_per_token`, and
+  the priced wire time.
+
+The numbers mirror the testbed class of the paper's hardware section: a
+200 Gbit RDMA NIC (~25 GB/s usable) with single-digit-microsecond
+latency.  As with every spec in :mod:`repro.hardware`, what matters
+downstream is the *relative* magnitude — KV transfer lands between
+NVLink and disk, so disaggregation pays a real but amortizable toll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .models import ServedModelSpec
+
+__all__ = [
+    "KV_LINK_GBPS", "KV_LINK_LATENCY_S", "InterconnectModel",
+    "KvTransferPlan", "plan_kv_transfer",
+]
+
+#: usable bandwidth of the pool interconnect (GB/s; ≈ 200 Gbit RDMA)
+KV_LINK_GBPS = 25.0
+#: per-transfer setup latency of the pool interconnect
+KV_LINK_LATENCY_S = 10e-6
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """A node-to-node link: setup latency plus stream bandwidth.
+
+    The same fabric carries point-to-point KV moves (disaggregated
+    pools) and ring all-reduces (cross-node tensor parallelism), so
+    both cost functions live on one spec and can never disagree about
+    the wire.
+    """
+
+    gbps: float = KV_LINK_GBPS
+    latency_s: float = KV_LINK_LATENCY_S
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` point-to-point; zero moves free."""
+        if nbytes <= 0:
+            return 0.0
+        return self.latency_s + nbytes / (self.gbps * 1e9)
+
+    def allreduce_time(self, nbytes: float, n_participants: int) -> float:
+        """Ring all-reduce of ``nbytes`` across ``n_participants`` nodes.
+
+        Same 2(n-1)-step ring shape as
+        :func:`repro.hardware.cluster.allreduce_time`, over this link
+        instead of an intra-node NVLink/PCIe hop.
+        """
+        if n_participants <= 1 or nbytes <= 0:
+            return 0.0
+        steps = 2 * (n_participants - 1)
+        volume = steps / n_participants * nbytes
+        return self.latency_s * steps + volume / (self.gbps * 1e9)
+
+
+@dataclass(frozen=True)
+class KvTransferPlan:
+    """One request's priced prefill→decode KV move.
+
+    ``tokens`` is the KV token-rows that cross the wire (context minus
+    the prefix-cached prefix); ``cached_tokens`` is what the prefix
+    cache saved from the transfer; ``transfer_s`` is the wire time for
+    ``nbytes`` under the given :class:`InterconnectModel`.
+    """
+
+    tokens: int
+    cached_tokens: int
+    nbytes: int
+    transfer_s: float
+
+    @property
+    def skipped(self) -> bool:
+        """True when nothing crosses the wire (fully cached context)."""
+        return self.tokens == 0
+
+
+def plan_kv_transfer(spec: ServedModelSpec, link: InterconnectModel,
+                     context_tokens: int,
+                     cached_prefix_tokens: int = 0) -> KvTransferPlan:
+    """Price moving one request's KV context across ``link``.
+
+    ``context_tokens`` is the full KV length produced by prefill
+    (prompt plus the first generated token); ``cached_prefix_tokens``
+    are already resident on the destination via the shared prefix
+    cache, so only the suffix is transferred.
+    """
+    if context_tokens < 0:
+        raise ValueError("context_tokens must be >= 0")
+    cached = max(0, min(cached_prefix_tokens, context_tokens))
+    tokens = context_tokens - cached
+    nbytes = tokens * spec.kv_bytes_per_token()
+    return KvTransferPlan(tokens=tokens, cached_tokens=cached,
+                          nbytes=nbytes,
+                          transfer_s=link.transfer_time(nbytes))

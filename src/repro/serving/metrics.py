@@ -54,6 +54,9 @@ class EngineStats:
     prefix_hits: int = 0            # lookups that reused >= 1 block
     prefix_hit_tokens: int = 0      # prompt tokens served from the pool
     prefix_evictions: int = 0       # pool blocks dropped for KV pressure
+    kv_transfers: int = 0           # prefill→decode KV moves (disagg)
+    kv_transfer_bytes: int = 0      # bytes that crossed the pool link
+    kv_transfer_s: float = 0.0      # priced interconnect occupancy
 
     @property
     def prefix_hit_rate(self) -> float:

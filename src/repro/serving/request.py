@@ -51,6 +51,7 @@ class ServingRequest:
     preemptions: int = 0
     needs_recompute: bool = False    # KV discarded at preemption; re-prefill
     cached_prefix_tokens: int = 0    # prompt tokens served from the prefix cache
+    transfer_s: float = 0.0          # prefill→decode KV move (disaggregated)
     # memoized terminal record: retire-time metrics observation and the
     # gateway finish hooks both ask for it, and a terminal request can
     # never produce a different one
@@ -123,6 +124,7 @@ class ServingRequest:
             served_tokens=self.generated_tokens,
             conversation_id=self.conversation_id,
             cached_prefix_tokens=self.cached_prefix_tokens,
+            transfer_s=self.transfer_s,
         )
         if self.terminal:
             self._record_cache = rec
@@ -142,6 +144,8 @@ class RequestRecord:
     session key through to metrics and routing;
     ``cached_prefix_tokens`` counts the prompt tokens whose prefill was
     skipped by the engine's prefix cache (0 everywhere the cache is off).
+    ``transfer_s`` is the priced prefill→decode KV-move time under
+    disaggregated serving (0 for every colocated engine).
     """
 
     request_id: int
@@ -161,6 +165,7 @@ class RequestRecord:
     served_tokens: Optional[int] = None
     conversation_id: Optional[str] = None
     cached_prefix_tokens: int = 0
+    transfer_s: float = 0.0
 
     @property
     def finished(self) -> bool:

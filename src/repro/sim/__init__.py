@@ -27,8 +27,9 @@ arrivals and stall-jumps from an :class:`EventQueue` on a
 
 from .clock import SimClock
 from .events import (AdmissionDecision, Arrival, AutoscalerTick, BucketRefill,
-                     Cancel, Event, IterationDone, PhaseTransition,
-                     ReplicaDrain, ReplicaSpawn, TelemetryTick)
+                     Cancel, Event, IterationDone, KvTransfer,
+                     PhaseTransition, ReplicaDrain, ReplicaSpawn,
+                     TelemetryTick)
 from .kernel import SimKernel
 from .queue import EventQueue, KeyedHeap
 from .sanitizer import SimSanitizerError, new_clock
@@ -38,7 +39,7 @@ __all__ = [
     "SimClock", "EventQueue", "KeyedHeap", "SimKernel",
     "Event", "Arrival", "Cancel", "IterationDone", "BucketRefill",
     "AutoscalerTick", "ReplicaSpawn", "ReplicaDrain",
-    "PhaseTransition", "AdmissionDecision", "TelemetryTick",
+    "PhaseTransition", "AdmissionDecision", "TelemetryTick", "KvTransfer",
     "SimSanitizerError", "new_clock",
     "chrome_trace_events", "export_chrome_trace",
 ]

@@ -33,11 +33,19 @@ Producers and consumers:
 * :class:`ReplicaSpawn` / :class:`ReplicaDrain` — replica-set changes,
   journaled so a run's scaling history is reconstructible from events.
 * :class:`PhaseTransition` — a request crossing a lifecycle boundary
-  (``queue → prefill → decode → retire``).  Emitted by
+  (``queue → prefill [→ transfer] → decode → retire``).  Emitted by
   :class:`~repro.serving.base.ServingEngine` (and by the tenancy
   frontier for shed/rejected requests that never reach an engine) so the
   telemetry layer can assemble per-request spans without scraping
-  per-request state.
+  per-request state.  The ``transfer`` phase only appears under
+  disaggregated serving, between prefill completing on one pool and
+  decode starting on the other.
+* :class:`KvTransfer` — a request's KV blocks moving from its prefill
+  worker to its decode worker over the interconnect.  Emitted by
+  :class:`~repro.serving.disagg.DisaggregatedEngine` with the priced
+  byte count (uncached suffix only when the prefix cache held the
+  shared prefix) so journals and benchmarks can audit transfer cost
+  against the hardware transfer model.
 * :class:`AdmissionDecision` — the admission controller's verdict on one
   offered request (admitted / deferred / shed / rejected), emitted by
   :class:`~repro.serving.tenancy.AdmissionController`.
@@ -54,6 +62,7 @@ __all__ = [
     "Event", "Arrival", "Cancel", "IterationDone", "BucketRefill",
     "AutoscalerTick", "ReplicaSpawn", "ReplicaDrain",
     "PhaseTransition", "AdmissionDecision", "TelemetryTick",
+    "KvTransfer",
 ]
 
 
@@ -161,11 +170,41 @@ class PhaseTransition(Event):
     """
 
     request_id: int = -1
-    phase: str = "queue"      # "queue" | "prefill" | "decode" | "retire"
+    #: "queue" | "prefill" | "transfer" | "decode" | "retire"
+    #: ("transfer" appears only under disaggregated serving)
+    phase: str = "queue"
     model_id: str = ""
     tenant_id: Optional[str] = None
     status: str = ""          # terminal state value, retire only
     source: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def sort_key(self) -> float:
+        return self.request_id
+
+
+@dataclass(frozen=True)
+class KvTransfer(Event):
+    """A request's KV blocks crossing the prefill→decode interconnect.
+
+    ``time`` is when the transfer *starts* (prefill completion);
+    ``transfer_s`` is the priced interconnect occupancy, so the decode
+    pool sees the request arrive at ``time + transfer_s``.  ``nbytes``
+    covers only the uncached KV suffix: when the prefix cache already
+    holds the request's shared prefix on the decode side the cached
+    blocks never cross the wire.  ``src``/``dst`` name the pool workers
+    and never participate in equality, so replay comparisons ignore
+    which worker pair happened to carry the request.
+    """
+
+    request_id: int = -1
+    model_id: str = ""
+    nbytes: int = 0
+    transfer_s: float = 0.0
+    tokens: int = 0           # KV token rows moved (uncached suffix)
+    cached_tokens: int = 0    # prefix tokens that skipped the wire
+    src: Optional[str] = field(default=None, compare=False)
+    dst: Optional[str] = field(default=None, compare=False)
 
     @property
     def sort_key(self) -> float:

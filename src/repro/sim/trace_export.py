@@ -10,7 +10,8 @@ can be opened in ``chrome://tracing`` and inspected visually.
 Mapping: :class:`~repro.sim.IterationDone` becomes a complete ("X") span
 on its source engine's track; :class:`~repro.sim.PhaseTransition`
 streams are folded into *nested* "X" slices — one outer request slice
-per lifecycle, with ``queue``/``prefill``/``decode`` sub-slices under it
+per lifecycle, with ``queue``/``prefill``/``transfer``/``decode``
+sub-slices under it
 — on a per-request track carrying tenant/variant args.  Everything else
 renders as an instant ("i") event; cancellations are attributed to the
 originating tenant when the journal identifies one.  Simulated seconds
@@ -25,15 +26,16 @@ from typing import IO, Dict, Iterable, List, Optional, Tuple, Union
 
 from .events import (AdmissionDecision, Arrival, AutoscalerTick,
                      BucketRefill, Cancel, Event, IterationDone,
-                     PhaseTransition, ReplicaDrain, ReplicaSpawn,
-                     TelemetryTick)
+                     KvTransfer, PhaseTransition, ReplicaDrain,
+                     ReplicaSpawn, TelemetryTick)
 
 __all__ = ["chrome_trace_events", "export_chrome_trace"]
 
 _US = 1e6      # simulated seconds -> trace microseconds
 
 #: lifecycle phase order used to close nested request sub-slices
-_PHASE_ORDER = ("queue", "prefill", "decode")
+#: ("transfer" only appears under disaggregated prefill/decode serving)
+_PHASE_ORDER = ("queue", "prefill", "transfer", "decode")
 
 
 def _instant(name: str, time_s: float, tid: str, **args: object) -> dict:
@@ -180,6 +182,14 @@ def chrome_trace_events(journal: Iterable[Event]) -> List[dict]:
             out.append(_instant("bucket-refill", event.time,
                                 f"tenant:{event.tenant_id}",
                                 request_id=event.request_id))
+        elif isinstance(event, KvTransfer):
+            out.append(_slice("kv-transfer", event.time,
+                              event.time + event.transfer_s, "kv-transfer",
+                              request_id=event.request_id,
+                              variant=event.model_id, nbytes=event.nbytes,
+                              tokens=event.tokens,
+                              cached_tokens=event.cached_tokens,
+                              src=event.src, dst=event.dst))
         elif isinstance(event, AutoscalerTick):
             out.append(_instant("autoscaler-tick", event.time, "autoscaler"))
         elif isinstance(event, AdmissionDecision):

@@ -231,6 +231,15 @@ class Telemetry:
         lookups = sum(e.stats.prefix_lookups for e in engines)
         hits = sum(e.stats.prefix_hits for e in engines)
         saved = sum(e.stats.prefix_hit_tokens for e in engines)
+        pools: Dict[str, float] = {}
+        pooled = [e for e in engines if hasattr(e, "pool_gauges")]
+        for engine in pooled:
+            for key, value in engine.pool_gauges().items():
+                pools[key] = pools.get(key, 0.0) + value
+        if len(pooled) > 1:
+            # occupancies are means per engine; keep them a mean overall
+            for key in ("prefill_occupancy", "decode_occupancy"):
+                pools[key] = pools.get(key, 0.0) / len(pooled)
         return GaugeSnapshot(
             time_s=t, backlog=backlog, unfinished=unfinished,
             queued_at_admission=queued, n_replicas=n_replicas,
@@ -238,7 +247,14 @@ class Telemetry:
             shed_rate_per_s=shed_rate, n_retired=n_retired,
             spans_active=self.spans.active_count,
             prefix_hit_rate=hits / lookups if lookups else 0.0,
-            prefix_saved_tokens=saved, attainment=attainment)
+            prefix_saved_tokens=saved,
+            prefill_workers=pools.get("prefill_workers", 0.0),
+            decode_workers=pools.get("decode_workers", 0.0),
+            prefill_occupancy=pools.get("prefill_occupancy", 0.0),
+            decode_occupancy=pools.get("decode_occupancy", 0.0),
+            prefill_backlog=pools.get("prefill_backlog", 0.0),
+            decode_backlog=pools.get("decode_backlog", 0.0),
+            attainment=attainment)
 
     # ------------------------------------------------------------------ #
     # read side

@@ -33,6 +33,9 @@ class GaugeSnapshot:
     an admission layer).  ``prefix_hit_rate`` is the engines' cumulative
     prefix-cache hit rate (hits / lookups, 0.0 when caching is off) and
     ``prefix_saved_tokens`` the cumulative prefill tokens skipped.
+    Under disaggregated serving the ``prefill_*``/``decode_*`` pool
+    gauges report per-pool worker counts, mean batch occupancy, and
+    backlog (all zero for colocated engines).
     """
 
     time_s: float
@@ -47,6 +50,12 @@ class GaugeSnapshot:
     spans_active: int = 0
     prefix_hit_rate: float = 0.0
     prefix_saved_tokens: int = 0
+    prefill_workers: float = 0.0
+    decode_workers: float = 0.0
+    prefill_occupancy: float = 0.0
+    decode_occupancy: float = 0.0
+    prefill_backlog: float = 0.0
+    decode_backlog: float = 0.0
     attainment: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
@@ -62,6 +71,12 @@ class GaugeSnapshot:
             "spans_active": self.spans_active,
             "prefix_hit_rate": self.prefix_hit_rate,
             "prefix_saved_tokens": self.prefix_saved_tokens,
+            "prefill_workers": self.prefill_workers,
+            "decode_workers": self.decode_workers,
+            "prefill_occupancy": self.prefill_occupancy,
+            "decode_occupancy": self.decode_occupancy,
+            "prefill_backlog": self.prefill_backlog,
+            "decode_backlog": self.decode_backlog,
             "attainment": dict(self.attainment),
         }
 

@@ -37,8 +37,9 @@ __all__ = ["RequestSpan", "SpanRecorder"]
 #: independent of the metrics reservoir's stream)
 _SPAN_ENTROPY = 0x5BA2_CAFE
 
-#: lifecycle phases in span order
-PHASES = ("queue", "prefill", "decode", "retire")
+#: lifecycle phases in span order (``transfer`` appears only under
+#: disaggregated serving, between the prefill and decode pools)
+PHASES = ("queue", "prefill", "transfer", "decode", "retire")
 
 
 @dataclass
@@ -60,6 +61,7 @@ class RequestSpan:
     cancel_reason: Optional[str] = None
     queue_s: Optional[float] = None
     prefill_s: Optional[float] = None
+    transfer_s: Optional[float] = None
     decode_s: Optional[float] = None
     retire_s: Optional[float] = None
     status: str = ""
@@ -70,8 +72,8 @@ class RequestSpan:
 
     @property
     def start_s(self) -> Optional[float]:
-        for t in (self.queue_s, self.prefill_s, self.decode_s,
-                  self.retire_s):
+        for t in (self.queue_s, self.prefill_s, self.transfer_s,
+                  self.decode_s, self.retire_s):
             if t is not None:
                 return t
         return None
@@ -93,7 +95,7 @@ class RequestSpan:
         if self.retire_s is None:
             return []
         stamps = [("queue", self.queue_s), ("prefill", self.prefill_s),
-                  ("decode", self.decode_s)]
+                  ("transfer", self.transfer_s), ("decode", self.decode_s)]
         entered = [(name, t) for name, t in stamps if t is not None]
         out: List[tuple] = []
         for i, (name, t) in enumerate(entered):
@@ -109,6 +111,7 @@ class RequestSpan:
             "decision": self.decision,
             "cancel_reason": self.cancel_reason,
             "queue_s": self.queue_s, "prefill_s": self.prefill_s,
+            "transfer_s": self.transfer_s,
             "decode_s": self.decode_s, "retire_s": self.retire_s,
             "status": self.status,
         }
@@ -136,7 +139,7 @@ class SpanRecorder:
         #: always-on duration sketches, one per phase plus end-to-end
         self.sketches: Dict[str, QuantileSketch] = {
             name: QuantileSketch()
-            for name in ("queue", "prefill", "decode", "e2e")}
+            for name in ("queue", "prefill", "transfer", "decode", "e2e")}
 
     # ------------------------------------------------------------------ #
     # wiring
@@ -169,6 +172,8 @@ class SpanRecorder:
             span.queue_s = event.time
         elif event.phase == "prefill" and span.prefill_s is None:
             span.prefill_s = event.time
+        elif event.phase == "transfer" and span.transfer_s is None:
+            span.transfer_s = event.time
         elif event.phase == "decode" and span.decode_s is None:
             span.decode_s = event.time
         elif event.phase == "retire" and span.retire_s is None:

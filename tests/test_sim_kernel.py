@@ -121,15 +121,22 @@ def make_manager():
     return mgr
 
 
+#: per-engine constructor kwargs that exercise the interesting shape
+#: (sharded across 2 single-GPU nodes; disagg with a 1+1 worker split)
+ENGINE_EXTRAS = {"sharded": {"tp_degree": 2},
+                 "disagg": {"prefill_workers": 1, "decode_workers": 1}}
+
+
 def make_factory(mgr, engine_name, idle_quantum_s):
     config = EngineConfig(tp_degree=1, idle_quantum_s=idle_quantum_s)
+    extra = ENGINE_EXTRAS.get(engine_name, {})
 
     def factory(node):
         return create_engine(
             engine_name, mgr, node or GPUNode(node_from_name("a800", 1)),
             scheduler_config=SchedulerConfig(max_batch_requests=8,
                                              max_concurrent_deltas=4),
-            engine_config=config)
+            engine_config=config, **extra)
     return factory
 
 
@@ -162,7 +169,8 @@ class TestKernelDeterminism:
     {gateway, cluster, tenant} wrappers, run-to-run and before/after
     idle-skip (event-driven vs dense-quantum stepping)."""
 
-    @pytest.mark.parametrize("engine_name", ["deltazip", "vllm-scb"])
+    @pytest.mark.parametrize("engine_name", ["deltazip", "vllm-scb",
+                                             "disagg", "sharded"])
     @pytest.mark.parametrize("wrapper", WRAPPERS)
     def test_replay_identical_across_idle_skip_and_reruns(
             self, engine_name, wrapper):
